@@ -1,0 +1,24 @@
+"""E14 — the application workloads the introduction motivates.
+
+Paper claims (Section 1): BVC guarantees that when every non-faulty process
+proposes a feasible point (a probability vector, a location in an allowed
+region, a gradient), the agreed vector is also feasible — a guarantee
+coordinate-wise scalar consensus cannot give.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_applications
+
+
+def test_e14_application_workloads(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_applications, kwargs={"epsilon": 0.25}, rounds=1, iterations=1
+    )
+    record_table("E14_applications", rows, "E14 — application workloads under attack")
+    assert len(rows) == 3
+    for row in rows:
+        assert row["agreement"], row
+        assert row["validity"], row
+    # The probability-vector decision is itself a distribution.
+    assert rows[0]["decision_is_distribution"] is True

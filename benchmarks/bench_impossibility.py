@@ -1,0 +1,41 @@
+"""E2 / E7 — the necessity constructions of Theorems 1 and 4.
+
+Paper claims:
+* Theorem 1: with ``n = d + 1`` processes (``f = 1``) and standard-basis
+  inputs, no decision can lie in every leave-one-out hull — the intersection
+  is empty; one more process removes the obstruction.
+* Theorem 4: with ``n = d + 2`` processes (``f = 1``) and scaled-basis inputs,
+  validity alone forces decisions that are ``4 * epsilon`` apart, so
+  epsilon-agreement is impossible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    experiment_async_impossibility,
+    experiment_sync_impossibility,
+)
+
+DIMENSIONS = (1, 2, 3, 4, 5, 6)
+
+
+def test_e2_sync_necessity(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_sync_impossibility, args=(DIMENSIONS,), rounds=1, iterations=1
+    )
+    record_table("E2_sync_impossibility", rows, "E2 — Theorem 1 necessity (f = 1)")
+    for row in rows:
+        assert row["gamma_empty_below"] is True
+        assert row["gamma_empty_at_bound"] is False
+
+
+def test_e7_async_necessity(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_async_impossibility, kwargs={"dimensions": DIMENSIONS, "epsilon": 0.25},
+        rounds=1, iterations=1,
+    )
+    record_table("E7_async_impossibility", rows, "E7 — Theorem 4 necessity (f = 1)")
+    for row in rows:
+        assert row["violates_epsilon_agreement"] is True
+        # Forced gap is 4 * epsilon = 1.0 in every dimension.
+        assert abs(row["max_forced_gap"] - 1.0) < 1e-6

@@ -1,0 +1,48 @@
+"""E11 / E12 — the restricted-round algorithms of Section 4.
+
+Paper claim (Theorem 6): with the simple one-message-delay round structure,
+approximate BVC needs ``n >= (d+2)f + 1`` in synchronous systems and
+``n >= (d+4)f + 1`` in asynchronous systems — an extra ``2f`` versus the
+witness-based algorithm, the price of the restricted structure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_restricted_rounds
+from repro.core.conditions import (
+    minimum_processes_approx_async,
+    minimum_processes_restricted_async,
+)
+
+
+def test_e11_e12_restricted_rounds(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_restricted_rounds,
+        kwargs={"dimension": 2, "fault_bound": 1, "epsilon": 0.25,
+                "strategies": ("crash", "equivocate", "outside_hull")},
+        rounds=1, iterations=1,
+    )
+    record_table("E11_E12_restricted", rows, "E11/E12 — restricted-round algorithms at their bounds")
+    for row in rows:
+        assert row["eps_agreement"], row
+        assert row["validity"], row
+    # The asynchronous restricted structure pays 2f extra processes over the
+    # witness-based asynchronous algorithm.
+    sync_rows = [row for row in rows if row["structure"] == "restricted synchronous"]
+    async_rows = [row for row in rows if row["structure"] == "restricted asynchronous"]
+    assert async_rows[0]["n"] - minimum_processes_approx_async(2, 1) == 2
+    assert minimum_processes_restricted_async(2, 1) == async_rows[0]["n"]
+    assert sync_rows[0]["n"] == minimum_processes_approx_async(2, 1)
+
+
+def test_e12_restricted_async_higher_fault_budget(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_restricted_rounds,
+        kwargs={"dimension": 1, "fault_bound": 2, "epsilon": 0.3,
+                "strategies": ("outside_hull",),
+                "sync_rounds_override": 8, "async_rounds_override": 5},
+        rounds=1, iterations=1,
+    )
+    record_table("E12_restricted_f2", rows, "E12b — restricted rounds with f = 2, d = 1")
+    for row in rows:
+        assert row["eps_agreement"] and row["validity"], row

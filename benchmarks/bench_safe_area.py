@@ -1,0 +1,83 @@
+"""E3 / E6 / E10 — the safe area ``Gamma``: existence (Lemma 1), LP cost
+(Section 2.2) and the Appendix F subset optimisation.
+
+Paper claims:
+* Lemma 1: ``Gamma(Y)`` is non-empty whenever ``|Y| >= (d+1)f + 1``.
+* Section 2.2: a point of ``Gamma`` is computable by an LP whose size grows
+  with ``C(n, n-f)`` — polynomial for fixed ``f``, expensive as ``f`` grows.
+* Appendix F: restricting Step 2 to at most ``n`` witness-derived subsets
+  (instead of all ``C(n, n-f)``) preserves correctness and cuts the work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import experiment_safe_area_cost, experiment_safe_area_existence
+from repro.core.safe_area import safe_area_point, safe_area_subset_count
+from repro.geometry.multisets import PointMultiset
+
+
+def test_e3_gamma_existence(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_safe_area_existence,
+        kwargs={"dimensions": (1, 2, 3), "fault_bounds": (1, 2), "samples": 5},
+        rounds=1, iterations=1,
+    )
+    record_table("E3_safe_area_existence", rows, "E3 — Lemma 1: Gamma non-empty at (d+1)f+1 points")
+    for row in rows:
+        assert row["gamma_nonempty"] == row["samples"]
+
+
+def test_e6_gamma_lp_cost(benchmark, record_table):
+    rows = benchmark.pedantic(
+        experiment_safe_area_cost, rounds=1, iterations=1,
+    )
+    record_table("E6_safe_area_cost", rows, "E6 — Section 2.2 LP: subset count and feasibility")
+    for row in rows:
+        assert row["point_found"]
+    # The subset count (and hence LP size) grows with f for fixed n - f gap.
+    assert rows[-1]["subsets_in_gamma"] > rows[0]["subsets_in_gamma"]
+
+
+def test_e6_single_gamma_lp_timing(benchmark):
+    """Micro-benchmark: one Gamma LP at n = 7, d = 2, f = 2 (21 subsets)."""
+    rng = np.random.default_rng(5)
+    cloud = PointMultiset(rng.uniform(0.0, 1.0, size=(7, 2)))
+
+    result = benchmark(lambda: safe_area_point(cloud, 2))
+    assert result is not None
+
+
+def test_e10_appendix_f_subset_reduction(benchmark, record_table):
+    """Appendix F: n witness subsets versus C(n, n-f) subsets — cost and identical validity."""
+    rng = np.random.default_rng(9)
+    rows = []
+
+    def run_both():
+        rows.clear()
+        for process_count, dimension, fault_bound in ((5, 2, 1), (7, 2, 2), (9, 2, 2)):
+            cloud = rng.uniform(0.0, 1.0, size=(process_count, dimension))
+            multiset = PointMultiset(cloud)
+            all_subsets = safe_area_subset_count(process_count, fault_bound)
+            # The witness optimisation touches at most n subsets.
+            witness_subsets = min(process_count, all_subsets)
+            point_full = safe_area_point(multiset, fault_bound)
+            rows.append(
+                {
+                    "n": process_count,
+                    "d": dimension,
+                    "f": fault_bound,
+                    "subsets_full": all_subsets,
+                    "subsets_witness_bound": witness_subsets,
+                    "reduction_factor": all_subsets / witness_subsets,
+                    "gamma_point_found": point_full is not None,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table("E10_appendix_f", rows, "E10 — Appendix F: subsets explored, full vs witness-based")
+    assert all(row["gamma_point_found"] for row in rows)
+    # The reduction grows with f (paper: C(n, n-f) vs <= n).
+    assert rows[-1]["reduction_factor"] > rows[0]["reduction_factor"]

@@ -1,0 +1,42 @@
+"""E4 — Figure 1: the Tverberg partition of a regular heptagon.
+
+Paper claim (Figure 1 / Theorem 2): 7 points in the plane (``n = (d+1)f + 1``
+with ``d = 2``, ``f = 2``) admit a partition into ``f + 1 = 3`` parts whose
+convex hulls share a point; in the paper's drawing the parts are one triangle
+and two segments.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_figure1_tverberg
+from repro.geometry.tverberg import figure1_instance, find_tverberg_partition, radon_partition
+from repro.geometry.multisets import PointMultiset
+import numpy as np
+
+
+def test_e4_figure1_partition(benchmark, record_table):
+    rows = benchmark.pedantic(experiment_figure1_tverberg, rounds=1, iterations=1)
+    record_table("E4_figure1_tverberg", rows, "E4 — Figure 1: Tverberg partition of the heptagon")
+    row = rows[0]
+    assert row["found"] is True
+    assert row["parts"] == 3
+    assert row["witness_in_all_hulls"] is True
+    # The paper's drawing splits the heptagon into a triangle and two segments.
+    assert sorted(row["block_sizes"]) == [2, 2, 3]
+
+
+def test_e4_partition_search_timing(benchmark):
+    """Micro-benchmark: exhaustive Tverberg partition search on the heptagon."""
+    multiset, parts = figure1_instance()
+    partition = benchmark.pedantic(
+        lambda: find_tverberg_partition(multiset, parts), rounds=3, iterations=1
+    )
+    assert partition is not None
+
+
+def test_e4_radon_point_timing(benchmark):
+    """Micro-benchmark: the Radon-point primitive (f = 1 Tverberg case)."""
+    rng = np.random.default_rng(3)
+    cloud = PointMultiset(rng.normal(size=(4, 2)))
+    partition = benchmark(lambda: radon_partition(cloud))
+    assert partition.parts == 2

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from ``DESIGN.md`` (E1-E14): it
+runs the experiment once under ``pytest-benchmark`` timing, asserts the
+qualitative outcome the paper predicts, and writes the measured table to
+``benchmarks/results/<experiment id>.txt`` so the numbers can be inspected
+after a ``pytest benchmarks/ --benchmark-only`` run (stdout is captured by
+pytest).  ``EXPERIMENTS.md`` records the expected shape of each table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.analysis.report import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Return a callable that renders rows to text and stores them under an experiment id."""
+
+    def _record(experiment_id: str, rows: Sequence[Mapping[str, object]], title: str) -> str:
+        text = render_table(rows, title=title)
+        (results_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return text
+
+    return _record

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e .``) in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so pip
+can fall back to the ``setup.py develop`` code path on machines without the
+``wheel`` package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

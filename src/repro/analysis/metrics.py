@@ -1,0 +1,70 @@
+"""Quantitative metrics reported by the experiments.
+
+Thin, well-named wrappers over the geometry layer that turn raw protocol
+outputs (decision dictionaries, state histories, registries) into the numbers
+the benchmark tables print: disagreement, hull-violation distance, decision
+quality relative to reference aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.convex_hull import distance_to_hull
+from repro.geometry.points import as_point
+from repro.processes.registry import ProcessRegistry
+
+__all__ = [
+    "decision_cloud",
+    "max_coordinate_disagreement",
+    "max_validity_violation",
+    "mean_distance_to_point",
+    "decision_spread_summary",
+]
+
+
+def decision_cloud(decisions: Mapping[int, Sequence[float]]) -> np.ndarray:
+    """Stack a decision dictionary into a ``(k, d)`` array ordered by process id."""
+    if not decisions:
+        raise ConfigurationError("no decisions to analyse")
+    rows = [as_point(vector) for _, vector in sorted(decisions.items())]
+    return np.vstack(rows)
+
+
+def max_coordinate_disagreement(decisions: Mapping[int, Sequence[float]]) -> float:
+    """Largest per-coordinate gap between any two decisions (0 = exact agreement)."""
+    cloud = decision_cloud(decisions)
+    return float(np.max(cloud.max(axis=0) - cloud.min(axis=0)))
+
+
+def max_validity_violation(registry: ProcessRegistry, decisions: Mapping[int, Sequence[float]]) -> float:
+    """Chebyshev distance of the worst decision from the honest-input hull (0 = all valid)."""
+    hull = registry.honest_input_multiset()
+    cloud = decision_cloud(decisions)
+    return max(distance_to_hull(hull, row) for row in cloud)
+
+
+def mean_distance_to_point(decisions: Mapping[int, Sequence[float]], reference: Sequence[float]) -> float:
+    """Mean Euclidean distance of the decisions from a reference point.
+
+    Used by the robust-aggregation workload to compare the consensus decision
+    against the honest centroid (the aggregate an attack-free system would
+    produce).
+    """
+    cloud = decision_cloud(decisions)
+    reference = as_point(reference, dimension=cloud.shape[1])
+    return float(np.mean(np.linalg.norm(cloud - reference[None, :], axis=1)))
+
+
+def decision_spread_summary(decisions: Mapping[int, Sequence[float]]) -> dict[str, float]:
+    """Return a small dictionary of spread statistics of the decisions."""
+    cloud = decision_cloud(decisions)
+    spread = cloud.max(axis=0) - cloud.min(axis=0)
+    return {
+        "max_coordinate_spread": float(spread.max()),
+        "mean_coordinate_spread": float(spread.mean()),
+        "decision_count": float(cloud.shape[0]),
+    }

@@ -1,0 +1,6 @@
+"""Asynchronous dissemination substrate: reliable broadcast and the witness exchange."""
+
+from repro.broadcast.reliable_broadcast import BroadcastId, ReliableBroadcastEngine
+from repro.broadcast.witness import RoundExchangeResult, WitnessExchange
+
+__all__ = ["BroadcastId", "ReliableBroadcastEngine", "RoundExchangeResult", "WitnessExchange"]

@@ -1,0 +1,209 @@
+"""Bracha-style asynchronous reliable broadcast.
+
+The asynchronous Approximate BVC algorithm relies on AAD Component #1, whose
+first ingredient is a way for a process to disseminate a value such that
+
+* (consistency) no two non-faulty processes deliver different values for the
+  same broadcast, and
+* (validity) if the broadcaster is non-faulty every non-faulty process
+  eventually delivers its value, and
+* (totality) if any non-faulty process delivers a value, all non-faulty
+  processes eventually do.
+
+Bracha's classic echo/ready protocol provides exactly these properties for
+``n >= 3f + 1``, which always holds in the regimes the paper needs
+(``n >= (d + 2) f + 1`` with ``d >= 1``).  Like the EIG module, the protocol is
+packaged as an embeddable state machine keyed by a *broadcast id* (the pair
+``(broadcaster, tag)``), because the BVC process runs one instance per process
+per asynchronous round.
+
+Message flow for a single instance:
+
+1. broadcaster sends ``INIT(value)`` to everyone;
+2. on the first ``INIT`` from the broadcaster, a process sends ``ECHO(value)``
+   to everyone;
+3. on receiving more than ``(n + f) / 2`` ``ECHO`` messages for the same value,
+   a process sends ``READY(value)`` (if it has not already);
+4. on receiving ``f + 1`` ``READY`` messages for the same value, a process also
+   sends ``READY(value)`` (amplification);
+5. on receiving ``2f + 1`` ``READY`` messages for the same value, the process
+   *delivers* the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BroadcastId", "ReliableBroadcastEngine"]
+
+BroadcastId = tuple[int, Hashable]
+
+
+def _value_key(value: Any) -> Hashable:
+    """Return a hashable identity for a broadcast value (vectors become tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_value_key(item) for item in value)
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+@dataclass
+class _InstanceState:
+    """Per-broadcast bookkeeping at one process."""
+
+    echoed: bool = False
+    readied: bool = False
+    delivered: bool = False
+    echo_senders: dict[Hashable, set[int]] = field(default_factory=dict)
+    ready_senders: dict[Hashable, set[int]] = field(default_factory=dict)
+    value_by_key: dict[Hashable, Any] = field(default_factory=dict)
+
+
+class ReliableBroadcastEngine:
+    """All reliable-broadcast instances of a single owning process.
+
+    The owning process wires ``send`` (a callable that sends a protocol message
+    to one recipient) and ``deliver`` (a callback invoked exactly once per
+    broadcast id with the delivered value) at construction time, then feeds
+    every incoming reliable-broadcast message to :meth:`handle`.
+    """
+
+    KIND_INIT = "RB_INIT"
+    KIND_ECHO = "RB_ECHO"
+    KIND_READY = "RB_READY"
+    KINDS = (KIND_INIT, KIND_ECHO, KIND_READY)
+
+    def __init__(
+        self,
+        owner_id: int,
+        process_ids: tuple[int, ...],
+        fault_bound: int,
+        send: Callable[[int, str, dict[str, Any]], None],
+        deliver: Callable[[BroadcastId, Any], None],
+    ) -> None:
+        if owner_id not in process_ids:
+            raise ConfigurationError(f"owner {owner_id} is not among the processes")
+        if fault_bound < 0:
+            raise ConfigurationError("fault bound must be non-negative")
+        if len(process_ids) <= 3 * fault_bound:
+            raise ConfigurationError(
+                f"reliable broadcast requires n > 3f; got n={len(process_ids)}, f={fault_bound}"
+            )
+        self.owner_id = owner_id
+        self.process_ids = tuple(process_ids)
+        self.fault_bound = fault_bound
+        self._send = send
+        self._deliver = deliver
+        self._instances: dict[BroadcastId, _InstanceState] = {}
+
+    # -- thresholds -------------------------------------------------------------
+
+    @property
+    def _echo_threshold(self) -> int:
+        """Echoes needed before sending READY: strictly more than (n + f) / 2."""
+        return (len(self.process_ids) + self.fault_bound) // 2 + 1
+
+    @property
+    def _ready_amplify_threshold(self) -> int:
+        return self.fault_bound + 1
+
+    @property
+    def _deliver_threshold(self) -> int:
+        return 2 * self.fault_bound + 1
+
+    # -- API ---------------------------------------------------------------------
+
+    def broadcast(self, tag: Hashable, value: Any) -> None:
+        """Start a reliable broadcast of ``value`` under ``(owner, tag)``."""
+        broadcast_id: BroadcastId = (self.owner_id, tag)
+        payload = {"broadcaster": self.owner_id, "tag": tag, "value": value}
+        for recipient in self.process_ids:
+            if recipient != self.owner_id:
+                self._send(recipient, self.KIND_INIT, payload)
+        # The broadcaster processes its own INIT locally (a process always
+        # "hears" itself immediately).
+        self._on_init(broadcast_id, self.owner_id, value)
+
+    def handle(self, sender: int, kind: str, payload: dict[str, Any]) -> None:
+        """Process one incoming reliable-broadcast message."""
+        if kind not in self.KINDS:
+            return
+        if not isinstance(payload, dict):
+            return
+        broadcaster = payload.get("broadcaster")
+        tag = payload.get("tag")
+        if broadcaster not in self.process_ids:
+            return
+        try:
+            hash(tag)
+        except TypeError:
+            return
+        broadcast_id: BroadcastId = (broadcaster, tag)
+        value = payload.get("value")
+        if kind == self.KIND_INIT:
+            self._on_init(broadcast_id, sender, value)
+        elif kind == self.KIND_ECHO:
+            self._on_echo(broadcast_id, sender, value)
+        else:
+            self._on_ready(broadcast_id, sender, value)
+
+    # -- state transitions ----------------------------------------------------------
+
+    def _state(self, broadcast_id: BroadcastId) -> _InstanceState:
+        return self._instances.setdefault(broadcast_id, _InstanceState())
+
+    def _relay(self, broadcast_id: BroadcastId, kind: str, value: Any) -> None:
+        broadcaster, tag = broadcast_id
+        payload = {"broadcaster": broadcaster, "tag": tag, "value": value}
+        for recipient in self.process_ids:
+            if recipient != self.owner_id:
+                self._send(recipient, kind, payload)
+
+    def _on_init(self, broadcast_id: BroadcastId, sender: int, value: Any) -> None:
+        broadcaster, _ = broadcast_id
+        if sender != broadcaster:
+            # Only the broadcaster may initiate its own broadcast.
+            return
+        state = self._state(broadcast_id)
+        if state.echoed:
+            return
+        state.echoed = True
+        self._relay(broadcast_id, self.KIND_ECHO, value)
+        self._on_echo(broadcast_id, self.owner_id, value)
+
+    def _on_echo(self, broadcast_id: BroadcastId, sender: int, value: Any) -> None:
+        state = self._state(broadcast_id)
+        key = _value_key(value)
+        senders = state.echo_senders.setdefault(key, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        state.value_by_key.setdefault(key, value)
+        if not state.readied and len(senders) >= self._echo_threshold:
+            state.readied = True
+            self._relay(broadcast_id, self.KIND_READY, value)
+            self._on_ready(broadcast_id, self.owner_id, value)
+
+    def _on_ready(self, broadcast_id: BroadcastId, sender: int, value: Any) -> None:
+        state = self._state(broadcast_id)
+        key = _value_key(value)
+        senders = state.ready_senders.setdefault(key, set())
+        if sender in senders:
+            return
+        senders.add(sender)
+        state.value_by_key.setdefault(key, value)
+        if not state.readied and len(senders) >= self._ready_amplify_threshold:
+            state.readied = True
+            self._relay(broadcast_id, self.KIND_READY, value)
+            self._on_ready(broadcast_id, self.owner_id, value)
+            # Re-fetch: our own READY may have pushed the count over the bar.
+            senders = state.ready_senders.setdefault(key, set())
+        if not state.delivered and len(senders) >= self._deliver_threshold:
+            state.delivered = True
+            self._deliver(broadcast_id, state.value_by_key.get(key, value))

@@ -1,0 +1,246 @@
+"""The AAD exchange mechanism (Component #1) built on reliable broadcast.
+
+In every asynchronous round ``t`` of the approximate BVC algorithm, each
+non-faulty process ``p_i`` must obtain a set ``B_i[t]`` of at least ``n - f``
+``(process, value, t)`` tuples satisfying the three properties the paper lists
+in Section 3.2:
+
+* Property 1 — any two non-faulty processes share at least ``n - f`` tuples;
+* Property 2 — at most one tuple per process;
+* Property 3 — a tuple attributed to a non-faulty process carries that
+  process's true round-``(t-1)`` state.
+
+The mechanism here follows the witness technique of Abraham, Amit and Dolev
+(and the paper's Appendix F description):
+
+1. each process reliably broadcasts its round-``t`` state (Bracha RB gives
+   Properties 2 and 3 directly);
+2. once a process has RB-delivered ``n - f`` tuples for round ``t`` it sends
+   everyone a *report* listing the first ``n - f`` broadcaster ids it
+   delivered, in delivery order;
+3. a process accepts ``p_k`` as a *witness* for round ``t`` once it holds
+   ``p_k``'s report **and** has itself delivered every tuple the report lists;
+4. the round's exchange completes once ``n - f`` witnesses are accepted.
+
+Any two non-faulty processes then share at least ``n - 2f >= f + 1`` witnesses,
+hence at least one non-faulty witness, whose ``n - f`` reported tuples are in
+both ``B`` sets — Property 1.  The ordered witness reports are also exactly
+what the Appendix F optimisation needs: instead of enumerating all
+``C(|B|, n-f)`` subsets in Step 2, the process may use one subset per witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.broadcast.reliable_broadcast import BroadcastId, ReliableBroadcastEngine
+
+__all__ = ["RoundExchangeResult", "WitnessExchange"]
+
+_STATE_TAG = "state"
+
+
+@dataclass(frozen=True)
+class RoundExchangeResult:
+    """What the exchange hands back to the algorithm when a round completes.
+
+    Attributes:
+        round_index: the asynchronous round this exchange belongs to.
+        tuples: mapping ``process id -> state vector`` — the frozen ``B_i[t]``.
+        arrival_order: broadcaster ids in the order their tuples were delivered.
+        witness_reports: for each accepted witness, the ordered list of the
+            first ``n - f`` broadcaster ids it reported (Appendix F subsets).
+    """
+
+    round_index: int
+    tuples: dict[int, np.ndarray]
+    arrival_order: tuple[int, ...]
+    witness_reports: dict[int, tuple[int, ...]]
+
+
+@dataclass
+class _RoundState:
+    """Per-round bookkeeping."""
+
+    delivered: dict[int, Any] = field(default_factory=dict)
+    arrival_order: list[int] = field(default_factory=list)
+    reports: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    witnesses: set[int] = field(default_factory=set)
+    report_sent: bool = False
+    completed: bool = False
+
+
+class WitnessExchange:
+    """Run the per-round AAD exchange for one owning process.
+
+    The owner wires ``send`` (recipient, kind, payload) and
+    ``on_round_complete`` (called exactly once per completed round with a
+    :class:`RoundExchangeResult`), starts each round with :meth:`start_round`,
+    and forwards every exchange message to :meth:`handle`.
+    """
+
+    KIND_REPORT = "WITNESS_REPORT"
+    KINDS = ReliableBroadcastEngine.KINDS + (KIND_REPORT,)
+
+    def __init__(
+        self,
+        owner_id: int,
+        process_ids: tuple[int, ...],
+        fault_bound: int,
+        send: Callable[[int, str, dict[str, Any]], None],
+        on_round_complete: Callable[[RoundExchangeResult], None],
+    ) -> None:
+        if owner_id not in process_ids:
+            raise ConfigurationError(f"owner {owner_id} is not among the processes")
+        self.owner_id = owner_id
+        self.process_ids = tuple(process_ids)
+        self.fault_bound = fault_bound
+        self._send = send
+        self._on_round_complete = on_round_complete
+        self._rounds: dict[int, _RoundState] = {}
+        self._awaited_round: int | None = None
+        self._reliable_broadcast = ReliableBroadcastEngine(
+            owner_id=owner_id,
+            process_ids=self.process_ids,
+            fault_bound=fault_bound,
+            send=send,
+            deliver=self._on_rb_delivery,
+        )
+
+    # -- derived sizes -------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        """``n - f``: tuples needed before reporting, and witnesses needed to finish."""
+        return len(self.process_ids) - self.fault_bound
+
+    # -- owner-facing API ------------------------------------------------------------
+
+    def start_round(self, round_index: int, state_vector: np.ndarray) -> None:
+        """Begin the exchange for ``round_index`` by reliably broadcasting our state."""
+        self._awaited_round = round_index
+        value = tuple(float(coordinate) for coordinate in np.asarray(state_vector, dtype=float))
+        self._reliable_broadcast.broadcast((_STATE_TAG, round_index), value)
+        # Early messages for this round may already satisfy the completion
+        # condition (the broadcast above also self-delivers after enough local
+        # bookkeeping, but re-check explicitly for robustness).
+        self._maybe_report(round_index)
+        self._reevaluate_witnesses(round_index)
+        self._maybe_complete(round_index)
+
+    def handle(self, sender: int, kind: str, payload: dict[str, Any]) -> None:
+        """Process one incoming exchange message (RB traffic or a witness report)."""
+        if kind in ReliableBroadcastEngine.KINDS:
+            self._reliable_broadcast.handle(sender, kind, payload)
+            return
+        if kind == self.KIND_REPORT:
+            self._on_report(sender, payload)
+
+    # -- reliable broadcast plumbing ----------------------------------------------------
+
+    def _on_rb_delivery(self, broadcast_id: BroadcastId, value: Any) -> None:
+        broadcaster, tag = broadcast_id
+        if not isinstance(tag, tuple) or len(tag) != 2 or tag[0] != _STATE_TAG:
+            return
+        round_index = tag[1]
+        if not isinstance(round_index, int):
+            return
+        state = self._round(round_index)
+        if broadcaster in state.delivered:
+            return
+        vector = self._coerce_vector(value)
+        if vector is None:
+            # A Byzantine broadcaster managed to get a malformed value
+            # RB-delivered; record nothing (its tuple simply never appears,
+            # which the algorithm tolerates for up to f processes).
+            return
+        state.delivered[broadcaster] = vector
+        state.arrival_order.append(broadcaster)
+        self._maybe_report(round_index)
+        self._reevaluate_witnesses(round_index)
+        self._maybe_complete(round_index)
+
+    @staticmethod
+    def _coerce_vector(value: Any) -> np.ndarray | None:
+        try:
+            vector = np.asarray(value, dtype=float)
+        except (TypeError, ValueError):
+            return None
+        if vector.ndim != 1 or vector.size == 0 or not np.all(np.isfinite(vector)):
+            return None
+        return vector
+
+    # -- reports and witnesses ------------------------------------------------------------
+
+    def _round(self, round_index: int) -> _RoundState:
+        return self._rounds.setdefault(round_index, _RoundState())
+
+    def _maybe_report(self, round_index: int) -> None:
+        state = self._round(round_index)
+        if state.report_sent or len(state.delivered) < self.quorum:
+            return
+        state.report_sent = True
+        members = tuple(state.arrival_order[: self.quorum])
+        payload = {"round": round_index, "members": list(members)}
+        for recipient in self.process_ids:
+            if recipient != self.owner_id:
+                self._send(recipient, self.KIND_REPORT, payload)
+        # Record our own report: a process is trivially its own witness.
+        state.reports[self.owner_id] = members
+        self._reevaluate_witnesses(round_index)
+        self._maybe_complete(round_index)
+
+    def _on_report(self, sender: int, payload: dict[str, Any]) -> None:
+        if not isinstance(payload, dict):
+            return
+        round_index = payload.get("round")
+        members = payload.get("members")
+        if not isinstance(round_index, int) or not isinstance(members, (list, tuple)):
+            return
+        member_ids: list[int] = []
+        for member in members:
+            if not isinstance(member, (int, np.integer)) or int(member) not in self.process_ids:
+                return
+            member_ids.append(int(member))
+        if len(member_ids) != self.quorum or len(set(member_ids)) != len(member_ids):
+            return
+        state = self._round(round_index)
+        if sender in state.reports:
+            return
+        state.reports[sender] = tuple(member_ids)
+        self._reevaluate_witnesses(round_index)
+        self._maybe_complete(round_index)
+
+    def _reevaluate_witnesses(self, round_index: int) -> None:
+        state = self._round(round_index)
+        for reporter, members in state.reports.items():
+            if reporter in state.witnesses:
+                continue
+            if all(member in state.delivered for member in members):
+                state.witnesses.add(reporter)
+
+    def _maybe_complete(self, round_index: int) -> None:
+        if self._awaited_round != round_index:
+            return
+        state = self._round(round_index)
+        if state.completed:
+            return
+        if len(state.witnesses) < self.quorum or len(state.delivered) < self.quorum:
+            return
+        state.completed = True
+        self._awaited_round = None
+        result = RoundExchangeResult(
+            round_index=round_index,
+            tuples={pid: vector.copy() for pid, vector in state.delivered.items()},
+            arrival_order=tuple(state.arrival_order),
+            witness_reports={
+                reporter: members
+                for reporter, members in state.reports.items()
+                if reporter in state.witnesses
+            },
+        )
+        self._on_round_complete(result)

@@ -1,0 +1,29 @@
+"""Byzantine fault injection: adversary wrappers and attack strategies."""
+
+from repro.byzantine.adversary import (
+    ByzantineAsyncProcess,
+    ByzantineSyncProcess,
+    MessageMutator,
+    mutate_numeric_leaves,
+)
+from repro.byzantine.strategies import (
+    CoordinateAttackStrategy,
+    CrashStrategy,
+    EquivocationStrategy,
+    HonestStrategy,
+    OutsideHullStrategy,
+    RandomNoiseStrategy,
+)
+
+__all__ = [
+    "ByzantineAsyncProcess",
+    "ByzantineSyncProcess",
+    "MessageMutator",
+    "mutate_numeric_leaves",
+    "CoordinateAttackStrategy",
+    "CrashStrategy",
+    "EquivocationStrategy",
+    "HonestStrategy",
+    "OutsideHullStrategy",
+    "RandomNoiseStrategy",
+]

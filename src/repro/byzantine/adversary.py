@@ -1,0 +1,151 @@
+"""Byzantine adversary: wrapping processes so they misbehave.
+
+A Byzantine process "may behave arbitrarily" — but an adversary that sends
+structurally random bytes is simply ignored by the honest message handlers and
+is indistinguishable from a crashed process.  The interesting adversaries are
+the ones that *follow the protocol's message structure while lying about the
+values*: equivocating about their input, injecting vectors far outside the
+honest hull, or going silent mid-protocol.
+
+This module implements that through wrapping: a faulty process is an honest
+protocol process whose *outgoing traffic* passes through a
+:class:`MessageMutator` that may drop, alter, or replace each message —
+per recipient, per round, with full knowledge of the system (a strong,
+adaptive adversary).  Concrete mutators live in
+:mod:`repro.byzantine.strategies`.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.network.message import Message
+from repro.processes.process import AsyncProcess, SyncProcess
+
+__all__ = [
+    "MessageMutator",
+    "ByzantineSyncProcess",
+    "ByzantineAsyncProcess",
+    "mutate_numeric_leaves",
+    "STRUCTURAL_KEYS",
+]
+
+# Payload dictionary keys that carry protocol structure rather than
+# application values; value-corrupting mutators leave these untouched so the
+# corrupted messages still parse (the most damaging kind of lie).
+STRUCTURAL_KEYS = frozenset({"round", "members", "broadcaster", "tag"})
+
+
+def mutate_numeric_leaves(
+    payload: Any,
+    corrupt_scalar: Callable[[float], float],
+    corrupt_vector: Callable[[np.ndarray], np.ndarray],
+) -> Any:
+    """Return a deep copy of ``payload`` with numeric value leaves corrupted.
+
+    * floats become ``corrupt_scalar(value)``;
+    * numpy arrays, and lists/tuples consisting entirely of floats, are treated
+      as vectors and become ``corrupt_vector(vector)`` (same length);
+    * ints, bools, strings and anything under a structural key are preserved,
+      so the message still passes the honest parsers.
+    """
+
+    def is_float_like(value: Any) -> bool:
+        return isinstance(value, (float, np.floating)) and not isinstance(value, bool)
+
+    def walk(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {
+                key: (copy.deepcopy(item) if key in STRUCTURAL_KEYS else walk(item))
+                for key, item in value.items()
+            }
+        if isinstance(value, np.ndarray):
+            corrupted = np.asarray(corrupt_vector(np.asarray(value, dtype=float)), dtype=float)
+            return corrupted
+        if isinstance(value, (list, tuple)):
+            if value and all(is_float_like(item) for item in value):
+                vector = np.asarray(value, dtype=float)
+                corrupted = np.asarray(corrupt_vector(vector), dtype=float)
+                result = [float(item) for item in corrupted]
+                return tuple(result) if isinstance(value, tuple) else result
+            walked = [walk(item) for item in value]
+            return tuple(walked) if isinstance(value, tuple) else walked
+        if is_float_like(value):
+            return float(corrupt_scalar(float(value)))
+        return copy.deepcopy(value)
+
+    return walk(payload)
+
+
+class MessageMutator(abc.ABC):
+    """Strategy interface: rewrite the outgoing traffic of a faulty process."""
+
+    @abc.abstractmethod
+    def mutate(self, message: Message) -> Sequence[Message]:
+        """Return the messages actually sent in place of ``message``.
+
+        Return an empty sequence to drop the message (crash/omission
+        behaviour), a single-element sequence to alter it, or several messages
+        to inject extra traffic.  Recipients other than the original are
+        allowed (the adversary may talk to whoever it wants).
+        """
+
+
+class ByzantineSyncProcess(SyncProcess):
+    """A synchronous faulty process: an honest core with corrupted output."""
+
+    def __init__(self, inner: SyncProcess, mutator: MessageMutator) -> None:
+        super().__init__(inner.process_id)
+        self.inner = inner
+        self.mutator = mutator
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        corrupted: list[Message] = []
+        for message in self.inner.outgoing(round_index):
+            corrupted.extend(self.mutator.mutate(message))
+        return corrupted
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        self.inner.deliver(round_index, inbox)
+
+    def has_decided(self) -> bool:
+        # A faulty process never holds up the run; the runtimes only wait on
+        # honest processes, but returning True keeps stand-alone uses safe.
+        return True
+
+    def decision(self) -> Any:
+        return self.inner.decision() if self.inner.has_decided() else None
+
+
+class ByzantineAsyncProcess(AsyncProcess):
+    """An asynchronous faulty process: an honest core with corrupted output."""
+
+    def __init__(self, inner: AsyncProcess, mutator: MessageMutator) -> None:
+        super().__init__(inner.process_id)
+        self.inner = inner
+        self.mutator = mutator
+
+    def bind_transport(self, send: Callable[[Message], None]) -> None:
+        super().bind_transport(send)
+
+        def corrupted_send(message: Message) -> None:
+            for replacement in self.mutator.mutate(message):
+                send(replacement)
+
+        self.inner.bind_transport(corrupted_send)
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_message(self, message: Message) -> None:
+        self.inner.on_message(message)
+
+    def has_decided(self) -> bool:
+        return True
+
+    def decision(self) -> Any:
+        return self.inner.decision() if self.inner.has_decided() else None

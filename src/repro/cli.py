@@ -1,0 +1,149 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list                      # list experiment ids and descriptions
+    python -m repro.cli run E2                    # run one experiment, print its table
+    python -m repro.cli run all                   # run every experiment
+    python -m repro.cli run E8 --output out.txt   # also write the table to a file
+    python -m repro.cli bounds --dimension 3 --faults 2   # query the resilience bounds
+
+The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis import experiments
+from repro.analysis.report import render_table
+from repro.core.conditions import resilience_table
+
+__all__ = ["EXPERIMENT_REGISTRY", "build_parser", "main"]
+
+# Experiment id -> (description, zero-argument callable returning table rows).
+EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]] = {
+    "E1": (
+        "Intro counterexample: coordinate-wise scalar consensus vs Exact BVC",
+        experiments.experiment_baseline_validity,
+    ),
+    "E2": (
+        "Theorem 1 necessity: Gamma emptiness below vs at the bound (f=1)",
+        experiments.experiment_sync_impossibility,
+    ),
+    "E3": (
+        "Lemma 1: Gamma non-empty on random multisets of size (d+1)f+1",
+        experiments.experiment_safe_area_existence,
+    ),
+    "E4": (
+        "Figure 1: Tverberg partition of the regular heptagon",
+        experiments.experiment_figure1_tverberg,
+    ),
+    "E5": (
+        "Theorem 3: Exact BVC at the bound under attack",
+        experiments.experiment_exact_bvc,
+    ),
+    "E6": (
+        "Section 2.2 LP: subset count and feasibility across (n, d, f)",
+        experiments.experiment_safe_area_cost,
+    ),
+    "E7": (
+        "Theorem 4 necessity: forced decision gap at n = d+2 (f=1)",
+        experiments.experiment_async_impossibility,
+    ),
+    "E8": (
+        "Theorem 5: Approximate async BVC at the bound under attack",
+        experiments.experiment_approx_bvc,
+    ),
+    "E9": (
+        "Equation (12): measured vs bound per-round contraction",
+        experiments.experiment_contraction_rate,
+    ),
+    "E11": (
+        "Theorem 6: restricted-round algorithms at their bounds (also covers E12)",
+        experiments.experiment_restricted_rounds,
+    ),
+    "E13": (
+        "Resilience landscape: minimum n per setting",
+        experiments.experiment_resilience_landscape,
+    ),
+    "E14": (
+        "Application workloads (probability vectors, robots, gradients)",
+        experiments.experiment_applications,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Byzantine Vector Consensus in Complete Graphs' (PODC 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (E1..E14) or 'all'")
+    run_parser.add_argument(
+        "--output", type=Path, default=None, help="also write the rendered table(s) to this file"
+    )
+
+    bounds_parser = subparsers.add_parser("bounds", help="print the resilience bounds for (d, f)")
+    bounds_parser.add_argument("--dimension", type=int, default=2, help="vector dimension d")
+    bounds_parser.add_argument("--faults", type=int, default=1, help="fault bound f")
+
+    return parser
+
+
+def _run_experiments(ids: Sequence[str]) -> str:
+    sections: list[str] = []
+    for experiment_id in ids:
+        description, runner = EXPERIMENT_REGISTRY[experiment_id]
+        rows = runner()
+        sections.append(render_table(rows, title=f"{experiment_id} — {description}"))
+    return "\n\n".join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        rows = [
+            {"id": experiment_id, "description": description}
+            for experiment_id, (description, _) in sorted(EXPERIMENT_REGISTRY.items())
+        ]
+        print(render_table(rows, title="Available experiments"))
+        return 0
+
+    if arguments.command == "bounds":
+        rows = resilience_table([arguments.dimension], [arguments.faults])
+        print(render_table(rows, title="Minimum number of processes"))
+        return 0
+
+    # command == "run"
+    requested = arguments.experiment.upper()
+    if requested == "ALL":
+        ids: list[str] = sorted(EXPERIMENT_REGISTRY)
+    elif requested in EXPERIMENT_REGISTRY:
+        ids = [requested]
+    else:
+        known = ", ".join(sorted(EXPERIMENT_REGISTRY))
+        print(f"unknown experiment '{arguments.experiment}'; known ids: {known}, or 'all'", file=sys.stderr)
+        return 2
+
+    text = _run_experiments(ids)
+    print(text)
+    if arguments.output is not None:
+        arguments.output.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

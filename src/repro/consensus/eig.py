@@ -1,0 +1,294 @@
+"""Exponential-information-gathering (EIG) Byzantine broadcast.
+
+Step 1 of the paper's Exact BVC algorithm requires "a scalar Byzantine
+broadcast algorithm (such as [12, 6])": a designated sender distributes a
+value so that (i) all non-faulty processes decide an identical value and
+(ii) if the sender is non-faulty they decide the sender's value, assuming
+``n >= 3f + 1`` in a synchronous complete graph.  The classical algorithm the
+citations refer to is exponential information gathering over ``f + 1`` rounds
+(Lamport-Shostak-Pease / Bar-Noy-Dolev, as presented in Lynch's textbook), and
+that is what this module implements.
+
+The algorithm is packaged as an *embeddable state machine*
+(:class:`EigBroadcastInstance`) rather than a full process, because the Exact
+BVC process multiplexes ``n`` concurrent instances (one per originator) —
+or ``n * d`` instances when broadcasting coordinate-by-coordinate — inside the
+same synchronous rounds.  A thin :class:`EigBroadcastProcess` wrapper exposes a
+single instance as a :class:`~repro.processes.process.SyncProcess` for unit
+testing the substrate in isolation.
+
+How the EIG tree works
+----------------------
+Tree nodes are labelled by sequences of *distinct* process ids starting with
+the designated sender; the label ``(s, q1, ..., qk)`` stands for "``qk`` said
+that ``q(k-1)`` said that ... ``q1`` said that the sender's value is ``v``".
+
+* Round 1: the sender sends its value; every process stores it as
+  ``value_at[(s,)]`` (a missing message yields the default value).
+* Round ``k`` (``2 <= k <= f + 1``): every process relays all its level-
+  ``k - 1`` values whose label does not contain it; receiving process ``p``
+  stores the value relayed by ``q`` for label ``x`` as ``value_at[x + (q,)]``.
+* After round ``f + 1`` each process resolves the tree bottom-up: a leaf
+  resolves to its stored value, an internal node to the strict majority of its
+  children (default value when there is no majority).  The decision is the
+  resolved value of the root ``(s,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.message import Message
+from repro.processes.process import SyncProcess
+
+__all__ = ["EigBroadcastInstance", "EigBroadcastProcess", "eig_round_count"]
+
+NodeLabel = tuple[int, ...]
+
+
+def eig_round_count(fault_bound: int) -> int:
+    """Return the number of synchronous rounds EIG needs: ``f + 1``."""
+    if fault_bound < 0:
+        raise ConfigurationError("fault bound must be non-negative")
+    return fault_bound + 1
+
+
+@dataclass
+class EigBroadcastInstance:
+    """One EIG broadcast: ``sender`` distributes a value to all processes.
+
+    The instance is driven by its owner process: once per round the owner
+    calls :meth:`payload_for_round` and sends the returned relay payload to
+    every other process (the same payload to everyone — honest behaviour),
+    and feeds every payload it received to :meth:`receive_payload`.  After
+    ``f + 1`` rounds, :meth:`resolve` produces the broadcast decision.
+    """
+
+    owner_id: int
+    sender_id: int
+    process_ids: tuple[int, ...]
+    fault_bound: int
+    value: Any = None
+    default: Any = 0.0
+
+    def __post_init__(self) -> None:
+        if self.owner_id not in self.process_ids:
+            raise ConfigurationError(f"owner {self.owner_id} is not among the processes")
+        if self.sender_id not in self.process_ids:
+            raise ConfigurationError(f"sender {self.sender_id} is not among the processes")
+        if self.fault_bound < 0:
+            raise ConfigurationError("fault bound must be non-negative")
+        if self.owner_id == self.sender_id and self.value is None:
+            raise ConfigurationError("the sending process must provide a value to broadcast")
+        # value_at[x] is what this process believes about label x this far.
+        self._value_at: dict[NodeLabel, Any] = {}
+        self._resolved: Any = None
+        self._is_resolved = False
+
+    # -- round driving -----------------------------------------------------------
+
+    @property
+    def total_rounds(self) -> int:
+        """Number of rounds this instance participates in (``f + 1``)."""
+        return eig_round_count(self.fault_bound)
+
+    def payload_for_round(self, round_index: int) -> Mapping[NodeLabel, Any] | None:
+        """Return the relay payload this process sends in ``round_index``.
+
+        Round 1: only the designated sender sends, as the single-entry mapping
+        ``{(sender,): value}``.  Round ``k >= 2``: every process relays its
+        level ``k - 1`` values whose labels do not already contain it.  Returns
+        ``None`` when this process has nothing to send in this round.
+        """
+        if round_index < 1 or round_index > self.total_rounds:
+            return None
+        if round_index == 1:
+            if self.owner_id != self.sender_id:
+                return None
+            return {(self.sender_id,): self.value}
+        level = round_index - 1
+        relay = {
+            label: value
+            for label, value in self._value_at.items()
+            if len(label) == level and self.owner_id not in label
+        }
+        return relay or None
+
+    def receive_payload(
+        self, round_index: int, from_id: int, payload: Mapping[NodeLabel, Any] | None
+    ) -> None:
+        """Record the values relayed by ``from_id`` in ``round_index``.
+
+        Malformed payloads (wrong label level, labels already containing the
+        relayer, non-tuple labels) are ignored entry-by-entry: a Byzantine
+        relayer cannot corrupt the tree structure, only the values at labels
+        it legitimately owns — exactly the power the model gives it.
+        """
+        if round_index < 1 or round_index > self.total_rounds:
+            return
+        if payload is None:
+            return
+        if round_index == 1:
+            if from_id != self.sender_id:
+                return
+            value = payload.get((self.sender_id,), self.default) if isinstance(payload, Mapping) else self.default
+            self._value_at[(self.sender_id,)] = value
+            return
+        if not isinstance(payload, Mapping):
+            return
+        expected_level = round_index - 1
+        for label, value in payload.items():
+            if not isinstance(label, tuple) or len(label) != expected_level:
+                continue
+            if label[0] != self.sender_id:
+                continue
+            if from_id in label:
+                continue
+            if len(set(label)) != len(label):
+                continue
+            if any(process_id not in self.process_ids for process_id in label):
+                continue
+            self._value_at[label + (from_id,)] = value
+
+    def finish_round(self, round_index: int) -> None:
+        """Fill in defaults for labels that should exist after ``round_index`` but were not received.
+
+        The classical algorithm assumes a missing or malformed message is read
+        as the default value; making that explicit keeps the resolution step
+        total.  The owner's own relayed values are stored here as well (a
+        process trivially "receives" its own relay).
+        """
+        if round_index == 1:
+            if self.owner_id == self.sender_id:
+                self._value_at[(self.sender_id,)] = self.value
+            self._value_at.setdefault((self.sender_id,), self.default)
+            return
+        expected_level = round_index
+        previous_level_labels = [
+            label for label in list(self._value_at) if len(label) == round_index - 1
+        ]
+        for label in previous_level_labels:
+            for process_id in self.process_ids:
+                if process_id in label:
+                    continue
+                extended = label + (process_id,)
+                if len(extended) != expected_level:
+                    continue
+                if process_id == self.owner_id:
+                    self._value_at[extended] = self._value_at[label]
+                else:
+                    self._value_at.setdefault(extended, self.default)
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolve(self) -> Any:
+        """Resolve the EIG tree bottom-up and return the broadcast decision."""
+        if self._is_resolved:
+            return self._resolved
+        root = (self.sender_id,)
+        self._value_at.setdefault(root, self.default)
+        self._resolved = self._resolve_node(root)
+        self._is_resolved = True
+        return self._resolved
+
+    def _resolve_node(self, label: NodeLabel) -> Any:
+        if len(label) >= self.total_rounds:
+            return self._value_at.get(label, self.default)
+        children = [
+            self._resolve_node(label + (process_id,))
+            for process_id in self.process_ids
+            if process_id not in label
+        ]
+        if not children:
+            return self._value_at.get(label, self.default)
+        return self._strict_majority(children)
+
+    def _strict_majority(self, values: list[Any]) -> Any:
+        counts: dict[Hashable, tuple[int, Any]] = {}
+        for value in values:
+            key = self._hashable(value)
+            count, _ = counts.get(key, (0, value))
+            counts[key] = (count + 1, value)
+        best_key, (best_count, best_value) = max(counts.items(), key=lambda item: item[1][0])
+        if 2 * best_count > len(values):
+            return best_value
+        return self.default
+
+    @staticmethod
+    def _hashable(value: Any) -> Hashable:
+        if isinstance(value, (list, tuple)):
+            return tuple(EigBroadcastInstance._hashable(item) for item in value)
+        try:
+            hash(value)
+            return value
+        except TypeError:
+            return repr(value)
+
+
+class EigBroadcastProcess(SyncProcess):
+    """A stand-alone synchronous process running a single EIG broadcast.
+
+    Used to test and benchmark the broadcast substrate in isolation; the Exact
+    BVC algorithm embeds :class:`EigBroadcastInstance` objects directly
+    instead.
+    """
+
+    PROTOCOL = "eig_broadcast"
+
+    def __init__(
+        self,
+        process_id: int,
+        sender_id: int,
+        process_ids: tuple[int, ...],
+        fault_bound: int,
+        value: Any = None,
+        default: Any = 0.0,
+    ) -> None:
+        super().__init__(process_id)
+        self.instance = EigBroadcastInstance(
+            owner_id=process_id,
+            sender_id=sender_id,
+            process_ids=tuple(process_ids),
+            fault_bound=fault_bound,
+            value=value,
+            default=default,
+        )
+        self._decided = False
+        self._decision: Any = None
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        payload = self.instance.payload_for_round(round_index)
+        if payload is None:
+            return []
+        return [
+            Message(
+                sender=self.process_id,
+                recipient=recipient,
+                protocol=self.PROTOCOL,
+                kind="RELAY",
+                payload=dict(payload),
+                round_index=round_index,
+            )
+            for recipient in self.instance.process_ids
+            if recipient != self.process_id
+        ]
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        for message in inbox:
+            if message.protocol != self.PROTOCOL:
+                continue
+            self.instance.receive_payload(round_index, message.sender, message.payload)
+        self.instance.finish_round(round_index)
+        if round_index >= self.instance.total_rounds:
+            self._decision = self.instance.resolve()
+            self._decided = True
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self) -> Any:
+        if not self._decided:
+            raise ProtocolError(f"process {self.process_id} has not resolved its EIG tree yet")
+        return self._decision

@@ -1,0 +1,217 @@
+"""Asynchronous approximate *scalar* consensus with the simple round structure.
+
+This is the Dolev-Lynch-Pinter-Stark-Weihl style iterated averaging algorithm
+the paper cites as [5]: the simplest asynchronous approximate agreement
+protocol, requiring ``n >= 5f + 1``.  It serves two roles in this repository:
+
+* it is the scalar analogue of the Section 4 restricted-round algorithms
+  (Theorem 6's remark that the 2f gap between the witness-based and the
+  simple structure mirrors the gap between [1] and [5]); and
+* it is a baseline in the robust-aggregation benchmarks, applied coordinate
+  by coordinate.
+
+Round ``t`` at a process: send the current scalar state tagged ``t``; wait for
+round-``t`` values from ``n - f - 1`` other processes; discard the ``f``
+smallest and ``f`` largest of the collected ``n - f`` values and move to the
+midpoint of the remaining extremes.  The honest-value range halves every
+round, so ``ceil(log2(range / epsilon))`` rounds give epsilon-agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+from repro.byzantine.adversary import ByzantineAsyncProcess, MessageMutator
+from repro.exceptions import ConfigurationError, ProtocolError, ResilienceError
+from repro.network.async_runtime import AsynchronousRuntime
+from repro.network.message import Message
+from repro.network.scheduler import DeliveryScheduler
+from repro.processes.process import AsyncProcess
+
+__all__ = ["ScalarApproxProcess", "ScalarApproxOutcome", "run_scalar_approx_consensus"]
+
+
+def _scalar_round_threshold(value_range: float, epsilon: float) -> int:
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    if value_range <= epsilon:
+        return 1
+    return max(1, ceil(log2(value_range / epsilon)))
+
+
+class ScalarApproxProcess(AsyncProcess):
+    """One process of asynchronous approximate scalar consensus (n >= 5f + 1)."""
+
+    PROTOCOL = "scalar_approx"
+
+    def __init__(
+        self,
+        process_id: int,
+        process_count: int,
+        fault_bound: int,
+        input_value: float,
+        epsilon: float,
+        value_lower: float,
+        value_upper: float,
+        max_rounds_override: int | None = None,
+        allow_insufficient: bool = False,
+    ) -> None:
+        super().__init__(process_id)
+        if fault_bound > 0 and process_count < 5 * fault_bound + 1 and not allow_insufficient:
+            raise ResilienceError(
+                f"the simple asynchronous structure needs n >= 5f + 1; got n={process_count}, f={fault_bound}"
+            )
+        if value_upper < value_lower:
+            raise ConfigurationError("value_upper must be at least value_lower")
+        self.process_count = process_count
+        self.fault_bound = fault_bound
+        self.epsilon = float(epsilon)
+        self._state = float(input_value)
+        self.state_history: list[float] = [self._state]
+        computed_rounds = _scalar_round_threshold(value_upper - value_lower, self.epsilon)
+        self.total_rounds = (
+            max_rounds_override if max_rounds_override is not None else computed_rounds
+        )
+        self._wait_for = process_count - fault_bound - 1
+        self._current_round = 0
+        self._received_by_round: dict[int, dict[int, float]] = {}
+        self._decided = False
+        self._decision: float | None = None
+
+    def on_start(self) -> None:
+        self._begin_round(1)
+
+    def on_message(self, message: Message) -> None:
+        if self._decided:
+            return
+        if message.protocol != self.PROTOCOL or message.kind != "STATE":
+            return
+        if not isinstance(message.payload, dict):
+            return
+        round_index = message.payload.get("round")
+        value = message.payload.get("state")
+        if not isinstance(round_index, int):
+            return
+        try:
+            scalar = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return
+        if not np.isfinite(scalar) or round_index < self._current_round:
+            return
+        bucket = self._received_by_round.setdefault(round_index, {})
+        if message.sender in bucket:
+            return
+        bucket[message.sender] = scalar
+        self._maybe_finish_round()
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self) -> float:
+        if self._decision is None:
+            raise ProtocolError(f"process {self.process_id} has not decided")
+        return self._decision
+
+    # -- rounds ------------------------------------------------------------------------
+
+    def _begin_round(self, round_index: int) -> None:
+        self._current_round = round_index
+        payload = {"round": round_index, "state": self._state}
+        self.send_to_all(
+            list(range(self.process_count)),
+            lambda recipient: Message(
+                sender=self.process_id,
+                recipient=recipient,
+                protocol=self.PROTOCOL,
+                kind="STATE",
+                payload=payload,
+                round_index=round_index,
+            ),
+        )
+        self._maybe_finish_round()
+
+    def _maybe_finish_round(self) -> None:
+        if self._decided or self._current_round == 0:
+            return
+        bucket = self._received_by_round.get(self._current_round, {})
+        others = {sender: value for sender, value in bucket.items() if sender != self.process_id}
+        if len(others) < self._wait_for:
+            return
+        collected = sorted(list(others.values()) + [self._state])
+        trimmed = collected[self.fault_bound : len(collected) - self.fault_bound]
+        if not trimmed:
+            trimmed = collected
+        self._state = (trimmed[0] + trimmed[-1]) / 2.0
+        self.state_history.append(self._state)
+        finished_round = self._current_round
+        self._received_by_round.pop(finished_round, None)
+        if finished_round >= self.total_rounds:
+            self._decision = self._state
+            self._decided = True
+            return
+        self._begin_round(finished_round + 1)
+
+
+@dataclass(frozen=True)
+class ScalarApproxOutcome:
+    """Result of an asynchronous approximate scalar consensus run."""
+
+    decisions: dict[int, float]
+    epsilon: float
+    rounds_executed: int
+    messages_sent: int
+    state_histories: dict[int, list[float]]
+
+
+def run_scalar_approx_consensus(
+    inputs: dict[int, float],
+    fault_bound: int,
+    epsilon: float,
+    faulty_ids: frozenset[int] | set[int] = frozenset(),
+    adversary_mutators: dict[int, MessageMutator] | None = None,
+    scheduler: DeliveryScheduler | None = None,
+    value_bounds: tuple[float, float] | None = None,
+    max_rounds_override: int | None = None,
+    allow_insufficient: bool = False,
+) -> ScalarApproxOutcome:
+    """Run asynchronous approximate scalar consensus end-to-end."""
+    adversary_mutators = adversary_mutators or {}
+    process_count = len(inputs)
+    honest_ids = tuple(sorted(set(inputs) - set(faulty_ids)))
+    if value_bounds is None:
+        honest_values = [inputs[pid] for pid in honest_ids]
+        value_bounds = (min(honest_values), max(honest_values))
+    value_lower, value_upper = value_bounds
+
+    processes: dict[int, AsyncProcess] = {}
+    cores: dict[int, ScalarApproxProcess] = {}
+    for process_id, value in sorted(inputs.items()):
+        core = ScalarApproxProcess(
+            process_id=process_id,
+            process_count=process_count,
+            fault_bound=fault_bound,
+            input_value=value,
+            epsilon=epsilon,
+            value_lower=value_lower,
+            value_upper=value_upper,
+            max_rounds_override=max_rounds_override,
+            allow_insufficient=allow_insufficient,
+        )
+        cores[process_id] = core
+        if process_id in faulty_ids and process_id in adversary_mutators:
+            processes[process_id] = ByzantineAsyncProcess(core, adversary_mutators[process_id])
+        else:
+            processes[process_id] = core
+
+    runtime = AsynchronousRuntime(processes, honest_ids=honest_ids, scheduler=scheduler)
+    result = runtime.run()
+    return ScalarApproxOutcome(
+        decisions={pid: float(result.decisions[pid]) for pid in honest_ids},
+        epsilon=epsilon,
+        rounds_executed=max(cores[pid].total_rounds for pid in honest_ids),
+        messages_sent=result.traffic.messages_sent,
+        state_histories={pid: cores[pid].state_history for pid in honest_ids},
+    )

@@ -1,0 +1,190 @@
+"""Synchronous Byzantine scalar consensus (the classical ``d = 1`` base case).
+
+Each process EIG-broadcasts its scalar input; after the broadcasts every
+non-faulty process holds an identical multiset of ``n`` scalars in which every
+non-faulty process's entry is its true input, and decides the *lower median*
+of that multiset.  With ``n >= 3f + 1`` the lower median is always within the
+range of the honest inputs, so scalar validity holds; agreement holds because
+the multiset is identical everywhere.
+
+This substrate exists for two reasons: it is the algorithm the paper's
+introduction runs coordinate-by-coordinate to show that scalar consensus does
+*not* solve vector consensus (experiment E1), and it doubles as a unit-level
+exercise of the EIG machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
+from repro.consensus.eig import EigBroadcastInstance, eig_round_count
+from repro.core.conditions import minimum_processes_scalar
+from repro.exceptions import ProtocolError, ResilienceError
+from repro.network.message import Message
+from repro.network.sync_runtime import SynchronousRuntime
+from repro.processes.process import SyncProcess
+
+__all__ = ["lower_median", "ScalarConsensusProcess", "ScalarConsensusOutcome", "run_scalar_consensus"]
+
+
+def lower_median(values: np.ndarray) -> float:
+    """Return the lower median (element at index ``(k - 1) // 2`` of the sorted values)."""
+    ordered = np.sort(np.asarray(values, dtype=float).reshape(-1))
+    if ordered.size == 0:
+        raise ProtocolError("median of an empty collection is undefined")
+    return float(ordered[(ordered.size - 1) // 2])
+
+
+class ScalarConsensusProcess(SyncProcess):
+    """One process of synchronous Byzantine scalar consensus."""
+
+    PROTOCOL = "scalar_consensus"
+
+    def __init__(
+        self,
+        process_id: int,
+        process_count: int,
+        fault_bound: int,
+        input_value: float,
+        allow_insufficient: bool = False,
+    ) -> None:
+        super().__init__(process_id)
+        required = minimum_processes_scalar(fault_bound)
+        if process_count < required and not allow_insufficient:
+            raise ResilienceError(
+                f"scalar consensus needs n >= {required} for f={fault_bound}, got n={process_count}"
+            )
+        self.process_count = process_count
+        self.fault_bound = fault_bound
+        self.input_value = float(input_value)
+        process_ids = tuple(range(process_count))
+        self._instances = {
+            originator: EigBroadcastInstance(
+                owner_id=process_id,
+                sender_id=originator,
+                process_ids=process_ids,
+                fault_bound=fault_bound,
+                value=self.input_value if originator == process_id else None,
+                default=0.0,
+            )
+            for originator in process_ids
+        }
+        self._decided = False
+        self._decision: float | None = None
+        self._agreed_values: np.ndarray | None = None
+
+    @property
+    def total_rounds(self) -> int:
+        """Number of synchronous rounds (``f + 1``)."""
+        return eig_round_count(self.fault_bound)
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        if round_index > self.total_rounds:
+            return []
+        bundle = {}
+        for originator, instance in self._instances.items():
+            payload = instance.payload_for_round(round_index)
+            if payload is not None:
+                bundle[originator] = dict(payload)
+        if not bundle:
+            return []
+        return [
+            Message(
+                sender=self.process_id,
+                recipient=recipient,
+                protocol=self.PROTOCOL,
+                kind="EIG",
+                payload=bundle,
+                round_index=round_index,
+            )
+            for recipient in range(self.process_count)
+            if recipient != self.process_id
+        ]
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        if round_index > self.total_rounds:
+            return
+        for message in inbox:
+            if message.protocol != self.PROTOCOL or not isinstance(message.payload, dict):
+                continue
+            for originator, payload in message.payload.items():
+                instance = self._instances.get(originator)
+                if instance is not None:
+                    instance.receive_payload(round_index, message.sender, payload)
+        for instance in self._instances.values():
+            instance.finish_round(round_index)
+        if round_index == self.total_rounds:
+            values = []
+            for originator in range(self.process_count):
+                resolved = self._instances[originator].resolve()
+                try:
+                    scalar = float(resolved)  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    scalar = 0.0
+                values.append(scalar if np.isfinite(scalar) else 0.0)
+            self._agreed_values = np.asarray(values, dtype=float)
+            self._decision = lower_median(self._agreed_values)
+            self._decided = True
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self) -> float:
+        if self._decision is None:
+            raise ProtocolError(f"process {self.process_id} has not decided")
+        return self._decision
+
+    @property
+    def agreed_values(self) -> np.ndarray | None:
+        """The identical multiset of broadcast values (after deciding)."""
+        return self._agreed_values
+
+
+@dataclass(frozen=True)
+class ScalarConsensusOutcome:
+    """Result of a scalar consensus run."""
+
+    decisions: dict[int, float]
+    rounds_executed: int
+    messages_sent: int
+
+
+def run_scalar_consensus(
+    inputs: dict[int, float],
+    fault_bound: int,
+    faulty_ids: frozenset[int] | set[int] = frozenset(),
+    adversary_mutators: dict[int, MessageMutator] | None = None,
+    allow_insufficient: bool = False,
+) -> ScalarConsensusOutcome:
+    """Run synchronous Byzantine scalar consensus end-to-end.
+
+    ``inputs`` maps every process id (``0 .. n-1``) to its scalar input;
+    ``faulty_ids``/``adversary_mutators`` configure the attack as in the vector
+    runners.
+    """
+    adversary_mutators = adversary_mutators or {}
+    process_count = len(inputs)
+    honest_ids = tuple(sorted(set(inputs) - set(faulty_ids)))
+    processes: dict[int, SyncProcess] = {}
+    for process_id, value in sorted(inputs.items()):
+        core = ScalarConsensusProcess(
+            process_id=process_id,
+            process_count=process_count,
+            fault_bound=fault_bound,
+            input_value=value,
+            allow_insufficient=allow_insufficient,
+        )
+        if process_id in faulty_ids and process_id in adversary_mutators:
+            processes[process_id] = ByzantineSyncProcess(core, adversary_mutators[process_id])
+        else:
+            processes[process_id] = core
+    runtime = SynchronousRuntime(processes, honest_ids=honest_ids, max_rounds=fault_bound + 2)
+    result = runtime.run()
+    return ScalarConsensusOutcome(
+        decisions={pid: float(result.decisions[pid]) for pid in honest_ids},
+        rounds_executed=result.rounds_executed,
+        messages_sent=result.traffic.messages_sent,
+    )

@@ -1,0 +1,112 @@
+"""The paper's contribution: Byzantine vector consensus algorithms and bounds."""
+
+from repro.core.conditions import (
+    Setting,
+    SystemConfiguration,
+    check_approx_async,
+    check_exact_sync,
+    check_restricted_async,
+    check_restricted_sync,
+    max_tolerable_faults,
+    minimum_processes,
+    minimum_processes_approx_async,
+    minimum_processes_exact_sync,
+    minimum_processes_restricted_async,
+    minimum_processes_restricted_sync,
+    minimum_processes_scalar,
+    resilience_table,
+)
+from repro.core.safe_area import (
+    SafeAreaCalculator,
+    safe_area_contains,
+    safe_area_is_empty,
+    safe_area_point,
+    safe_area_point_via_tverberg,
+    safe_area_subset_count,
+)
+from repro.core.aggregation import AggregationStep, SafeAverageAggregator
+from repro.core.exact_bvc import ExactBVCOutcome, ExactBVCProcess, run_exact_bvc
+from repro.core.approx_bvc import (
+    ApproxBVCOutcome,
+    ApproxBVCProcess,
+    contraction_factor,
+    round_threshold,
+    run_approx_bvc,
+)
+from repro.core.restricted_sync import (
+    RestrictedRoundOutcome,
+    RestrictedSyncProcess,
+    run_restricted_sync_bvc,
+)
+from repro.core.restricted_async import (
+    RestrictedAsyncProcess,
+    restricted_async_contraction_factor,
+    run_restricted_async_bvc,
+)
+from repro.core.validity import ValidityReport, check_approximate_outcome, check_exact_outcome
+from repro.core.baselines import (
+    CoordinateWiseConsensusProcess,
+    coordinatewise_median,
+    coordinatewise_trimmed_mean,
+    run_coordinatewise_consensus,
+)
+from repro.core.impossibility import (
+    AsyncImpossibilityWitness,
+    SyncImpossibilityWitness,
+    analyze_async_necessity,
+    analyze_sync_necessity,
+    theorem1_construction,
+    theorem4_construction,
+)
+
+__all__ = [
+    "Setting",
+    "SystemConfiguration",
+    "check_approx_async",
+    "check_exact_sync",
+    "check_restricted_async",
+    "check_restricted_sync",
+    "max_tolerable_faults",
+    "minimum_processes",
+    "minimum_processes_approx_async",
+    "minimum_processes_exact_sync",
+    "minimum_processes_restricted_async",
+    "minimum_processes_restricted_sync",
+    "minimum_processes_scalar",
+    "resilience_table",
+    "SafeAreaCalculator",
+    "safe_area_contains",
+    "safe_area_is_empty",
+    "safe_area_point",
+    "safe_area_point_via_tverberg",
+    "safe_area_subset_count",
+    "AggregationStep",
+    "SafeAverageAggregator",
+    "ExactBVCOutcome",
+    "ExactBVCProcess",
+    "run_exact_bvc",
+    "ApproxBVCOutcome",
+    "ApproxBVCProcess",
+    "contraction_factor",
+    "round_threshold",
+    "run_approx_bvc",
+    "RestrictedRoundOutcome",
+    "RestrictedSyncProcess",
+    "run_restricted_sync_bvc",
+    "RestrictedAsyncProcess",
+    "restricted_async_contraction_factor",
+    "run_restricted_async_bvc",
+    "ValidityReport",
+    "check_approximate_outcome",
+    "check_exact_outcome",
+    "CoordinateWiseConsensusProcess",
+    "coordinatewise_median",
+    "coordinatewise_trimmed_mean",
+    "run_coordinatewise_consensus",
+    "AsyncImpossibilityWitness",
+    "SyncImpossibilityWitness",
+    "analyze_async_necessity",
+    "analyze_sync_necessity",
+    "theorem1_construction",
+    "theorem4_construction",
+]

@@ -1,0 +1,241 @@
+"""Asynchronous approximate BVC with the restricted round structure (Section 4).
+
+The asynchronous restricted structure mirrors Dolev et al.'s classic
+approximate-agreement skeleton: in its round ``t`` a process sends its state
+(tagged with ``t``) to everyone, then waits for round-``t`` states from
+``n - f - 1`` other processes, and updates its state from the ``n - f``
+collected vectors.  Theorem 6 shows this structure requires
+``n >= (d + 4) f + 1`` — two extra ``f`` compared to the witness-based
+algorithm, the price of the simpler communication pattern.
+
+Because two non-faulty processes may wait on *different* ``n - f - 1`` senders,
+their collected sets are only guaranteed to share ``n - 3f`` identical vectors
+(at least ``n - 2f`` common senders, of which at most ``f`` may have
+equivocated).  The Step-2 analogue therefore enumerates subsets of size
+``n - 3f`` — large enough that ``Gamma`` is non-empty
+(``n - 3f >= (d + 1) f + 1``) and small enough that both processes are
+guaranteed to enumerate one common subset, which drives the same contraction
+argument with ``gamma = 1 / (n * C(n - f, n - 3f))``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.byzantine.adversary import ByzantineAsyncProcess, MessageMutator
+from repro.core.aggregation import SafeAverageAggregator
+from repro.core.approx_bvc import round_threshold
+from repro.core.conditions import SystemConfiguration, check_restricted_async
+from repro.core.restricted_sync import RestrictedRoundOutcome
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.async_runtime import AsynchronousRuntime, AsyncRunResult
+from repro.network.message import Message
+from repro.network.scheduler import DeliveryScheduler
+from repro.processes.process import AsyncProcess
+from repro.processes.registry import ProcessRegistry
+
+__all__ = ["restricted_async_contraction_factor", "RestrictedAsyncProcess", "run_restricted_async_bvc"]
+
+
+def restricted_async_contraction_factor(process_count: int, fault_bound: int) -> float:
+    """Return the per-round contraction weight for the restricted asynchronous algorithm.
+
+    ``gamma = 1 / (n * C(n - f, n - 3f))``: each process averages over the
+    ``C(n - f, n - 3f)`` subsets of its collected vectors, and the common
+    subset's ``Gamma`` point carries weight at least ``1 / n`` of itself.
+    """
+    if process_count < 2:
+        raise ConfigurationError("consensus is trivial for fewer than 2 processes")
+    if fault_bound < 0 or fault_bound >= process_count:
+        raise ConfigurationError("fault bound must satisfy 0 <= f < n")
+    collected = process_count - fault_bound
+    quorum = process_count - 3 * fault_bound
+    if quorum < 1:
+        raise ConfigurationError("n - 3f must be positive for the restricted asynchronous structure")
+    return 1.0 / (process_count * comb(collected, quorum))
+
+
+class RestrictedAsyncProcess(AsyncProcess):
+    """One process of the restricted-round asynchronous approximate BVC algorithm."""
+
+    PROTOCOL = "restricted_async_bvc"
+
+    def __init__(
+        self,
+        process_id: int,
+        configuration: SystemConfiguration,
+        input_vector: np.ndarray,
+        epsilon: float,
+        value_lower: float,
+        value_upper: float,
+        max_rounds_override: int | None = None,
+        allow_insufficient: bool = False,
+    ) -> None:
+        super().__init__(process_id)
+        check_restricted_async(configuration, allow_insufficient=allow_insufficient)
+        self.configuration = configuration
+        self.input_vector = np.asarray(input_vector, dtype=float)
+        if self.input_vector.shape != (configuration.dimension,):
+            raise ProtocolError(
+                f"input vector has shape {self.input_vector.shape}, expected ({configuration.dimension},)"
+            )
+        if value_upper < value_lower:
+            raise ConfigurationError("value_upper must be at least value_lower")
+        self.epsilon = float(epsilon)
+        fault_bound = configuration.fault_bound
+        process_count = configuration.process_count
+        quorum = max(1, process_count - 3 * fault_bound)
+        self.gamma = (
+            restricted_async_contraction_factor(process_count, fault_bound)
+            if process_count - 3 * fault_bound >= 1
+            else 1.0 / (process_count * process_count)
+        )
+        computed_rounds = round_threshold(value_upper - value_lower, self.epsilon, self.gamma)
+        self.total_rounds = (
+            max_rounds_override if max_rounds_override is not None else computed_rounds
+        )
+        self._aggregator = SafeAverageAggregator(fault_bound, quorum)
+        self._wait_for = process_count - fault_bound - 1
+        self._state = self.input_vector.copy()
+        self.state_history: list[np.ndarray] = [self._state.copy()]
+        self._current_round = 0
+        self._received_by_round: dict[int, dict[int, np.ndarray]] = {}
+        self._decided = False
+        self._decision: np.ndarray | None = None
+
+    # -- asynchronous process interface -------------------------------------------------
+
+    def on_start(self) -> None:
+        self._begin_round(1)
+
+    def on_message(self, message: Message) -> None:
+        if self._decided:
+            return
+        if message.protocol != self.PROTOCOL or message.kind != "STATE":
+            return
+        if not isinstance(message.payload, dict):
+            return
+        round_index = message.payload.get("round")
+        vector = self._coerce_state(message.payload.get("state"))
+        if not isinstance(round_index, int) or vector is None:
+            return
+        if round_index < self._current_round:
+            return
+        bucket = self._received_by_round.setdefault(round_index, {})
+        if message.sender in bucket:
+            return
+        bucket[message.sender] = vector
+        self._maybe_finish_round()
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self) -> np.ndarray:
+        if self._decision is None:
+            raise ProtocolError(f"process {self.process_id} has not decided")
+        return self._decision
+
+    # -- the algorithm ------------------------------------------------------------------
+
+    def _begin_round(self, round_index: int) -> None:
+        self._current_round = round_index
+        payload = {"round": round_index, "state": tuple(float(x) for x in self._state)}
+        self.send_to_all(
+            list(range(self.configuration.process_count)),
+            lambda recipient: Message(
+                sender=self.process_id,
+                recipient=recipient,
+                protocol=self.PROTOCOL,
+                kind="STATE",
+                payload=payload,
+                round_index=round_index,
+            ),
+        )
+        # Messages for this round may already have been buffered.
+        self._maybe_finish_round()
+
+    def _maybe_finish_round(self) -> None:
+        if self._decided or self._current_round == 0:
+            return
+        bucket = self._received_by_round.get(self._current_round, {})
+        others = {sender: vector for sender, vector in bucket.items() if sender != self.process_id}
+        if len(others) < self._wait_for:
+            return
+        collected = dict(others)
+        collected[self.process_id] = self._state.copy()
+        step = self._aggregator.aggregate(collected)
+        self._state = step.new_state
+        self.state_history.append(self._state.copy())
+        finished_round = self._current_round
+        self._received_by_round.pop(finished_round, None)
+        if finished_round >= self.total_rounds:
+            self._decision = self._state.copy()
+            self._decided = True
+            return
+        self._begin_round(finished_round + 1)
+
+    def _coerce_state(self, value: object) -> np.ndarray | None:
+        try:
+            vector = np.asarray(value, dtype=float).reshape(-1)
+        except (TypeError, ValueError):
+            return None
+        if vector.shape != (self.configuration.dimension,) or not np.all(np.isfinite(vector)):
+            return None
+        return vector
+
+
+def run_restricted_async_bvc(
+    registry: ProcessRegistry,
+    epsilon: float,
+    adversary_mutators: dict[int, MessageMutator] | None = None,
+    scheduler: DeliveryScheduler | None = None,
+    value_bounds: tuple[float, float] | None = None,
+    max_rounds_override: int | None = None,
+    allow_insufficient: bool = False,
+    max_deliveries: int = 2_000_000,
+) -> RestrictedRoundOutcome:
+    """Run the restricted-round asynchronous approximate BVC algorithm end-to-end."""
+    adversary_mutators = adversary_mutators or {}
+    configuration = registry.configuration
+    if value_bounds is None:
+        value_bounds = registry.value_bounds()
+    value_lower, value_upper = value_bounds
+
+    processes: dict[int, AsyncProcess] = {}
+    cores: dict[int, RestrictedAsyncProcess] = {}
+    for process_id in registry.process_ids:
+        core = RestrictedAsyncProcess(
+            process_id=process_id,
+            configuration=configuration,
+            input_vector=registry.input_of(process_id),
+            epsilon=epsilon,
+            value_lower=value_lower,
+            value_upper=value_upper,
+            max_rounds_override=max_rounds_override,
+            allow_insufficient=allow_insufficient,
+        )
+        cores[process_id] = core
+        if registry.is_faulty(process_id) and process_id in adversary_mutators:
+            processes[process_id] = ByzantineAsyncProcess(core, adversary_mutators[process_id])
+        else:
+            processes[process_id] = core
+
+    runtime = AsynchronousRuntime(
+        processes,
+        honest_ids=registry.honest_ids,
+        scheduler=scheduler,
+        max_deliveries=max_deliveries,
+    )
+    result: AsyncRunResult = runtime.run()
+    decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}
+    rounds_executed = max(cores[pid].total_rounds for pid in registry.honest_ids)
+    return RestrictedRoundOutcome(
+        registry=registry,
+        decisions=decisions,
+        epsilon=epsilon,
+        rounds_executed=rounds_executed,
+        messages_sent=result.traffic.messages_sent,
+        state_histories={pid: cores[pid].state_history for pid in registry.honest_ids},
+    )

@@ -1,0 +1,209 @@
+"""Synchronous approximate BVC with the restricted round structure (Section 4).
+
+The restricted structure trades processes for simplicity: in every synchronous
+round each process simply sends its current state to everyone and updates its
+state from whatever it received (one message delay per round, no embedded
+broadcast protocol).  Theorem 6 shows ``n >= (d + 2) f + 1`` is necessary and
+sufficient for this structure.
+
+Round ``t`` at process ``p_i``:
+
+1. send ``v_i[t-1]`` to all processes; collect the states sent by the others
+   this round, substituting the default all-zero vector for processes that
+   sent nothing (only Byzantine processes ever stay silent in a synchronous
+   complete graph with reliable channels);
+2. update ``v_i[t]`` as in Step 2 of the Section 3.2 algorithm, with
+   ``B_i[t]`` the collected states: average the deterministic ``Gamma`` points
+   of all ``(n - f)``-subsets.
+
+Because any two non-faulty processes receive identical vectors from the
+``n - f >= (d + 1) f + 1`` non-faulty processes, their subset enumerations
+share at least one common subset, which is what drives the contraction
+argument (with the same ``gamma = 1 / (n * C(n, n - f))`` as the unrestricted
+algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
+from repro.core.aggregation import SafeAverageAggregator
+from repro.core.approx_bvc import contraction_factor, round_threshold
+from repro.core.conditions import SystemConfiguration, check_restricted_sync
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.message import Message
+from repro.network.sync_runtime import SynchronousRuntime, SyncRunResult
+from repro.processes.process import SyncProcess
+from repro.processes.registry import ProcessRegistry
+
+__all__ = ["RestrictedSyncProcess", "RestrictedRoundOutcome", "run_restricted_sync_bvc"]
+
+
+class RestrictedSyncProcess(SyncProcess):
+    """One process of the restricted-round synchronous approximate BVC algorithm."""
+
+    PROTOCOL = "restricted_sync_bvc"
+
+    def __init__(
+        self,
+        process_id: int,
+        configuration: SystemConfiguration,
+        input_vector: np.ndarray,
+        epsilon: float,
+        value_lower: float,
+        value_upper: float,
+        max_rounds_override: int | None = None,
+        allow_insufficient: bool = False,
+    ) -> None:
+        super().__init__(process_id)
+        check_restricted_sync(configuration, allow_insufficient=allow_insufficient)
+        self.configuration = configuration
+        self.input_vector = np.asarray(input_vector, dtype=float)
+        if self.input_vector.shape != (configuration.dimension,):
+            raise ProtocolError(
+                f"input vector has shape {self.input_vector.shape}, expected ({configuration.dimension},)"
+            )
+        if value_upper < value_lower:
+            raise ConfigurationError("value_upper must be at least value_lower")
+        self.epsilon = float(epsilon)
+        self.gamma = contraction_factor(
+            configuration.process_count, configuration.fault_bound, "all_subsets"
+        )
+        computed_rounds = round_threshold(value_upper - value_lower, self.epsilon, self.gamma)
+        self.total_rounds = (
+            max_rounds_override if max_rounds_override is not None else computed_rounds
+        )
+        quorum = configuration.process_count - configuration.fault_bound
+        self._aggregator = SafeAverageAggregator(configuration.fault_bound, quorum)
+        self._state = self.input_vector.copy()
+        self.state_history: list[np.ndarray] = [self._state.copy()]
+        self._decided = False
+        self._decision: np.ndarray | None = None
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        if round_index > self.total_rounds:
+            return []
+        payload = {"state": tuple(float(x) for x in self._state)}
+        return [
+            Message(
+                sender=self.process_id,
+                recipient=recipient,
+                protocol=self.PROTOCOL,
+                kind="STATE",
+                payload=payload,
+                round_index=round_index,
+            )
+            for recipient in range(self.configuration.process_count)
+            if recipient != self.process_id
+        ]
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        if round_index > self.total_rounds or self._decided:
+            return
+        default = np.zeros(self.configuration.dimension)
+        received: dict[int, np.ndarray] = {self.process_id: self._state.copy()}
+        for message in inbox:
+            if message.protocol != self.PROTOCOL or message.kind != "STATE":
+                continue
+            if not isinstance(message.payload, dict):
+                continue
+            vector = self._coerce_state(message.payload.get("state"))
+            if vector is not None:
+                received[message.sender] = vector
+        for process_id in range(self.configuration.process_count):
+            received.setdefault(process_id, default.copy())
+        step = self._aggregator.aggregate(received)
+        self._state = step.new_state
+        self.state_history.append(self._state.copy())
+        if round_index >= self.total_rounds:
+            self._decision = self._state.copy()
+            self._decided = True
+
+    def _coerce_state(self, value: object) -> np.ndarray | None:
+        try:
+            vector = np.asarray(value, dtype=float).reshape(-1)
+        except (TypeError, ValueError):
+            return None
+        if vector.shape != (self.configuration.dimension,) or not np.all(np.isfinite(vector)):
+            return None
+        return vector
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self) -> np.ndarray:
+        if self._decision is None:
+            raise ProtocolError(f"process {self.process_id} has not decided")
+        return self._decision
+
+
+@dataclass(frozen=True)
+class RestrictedRoundOutcome:
+    """Result of a restricted-round execution (synchronous or asynchronous).
+
+    Attributes:
+        registry: the experiment cast.
+        decisions: decision vector per honest process id.
+        epsilon: the agreement parameter used.
+        rounds_executed: rounds each honest process ran.
+        messages_sent: total messages put on the network.
+        state_histories: per honest process, its state after every round.
+    """
+
+    registry: ProcessRegistry
+    decisions: dict[int, np.ndarray]
+    epsilon: float
+    rounds_executed: int
+    messages_sent: int
+    state_histories: dict[int, list[np.ndarray]]
+
+
+def run_restricted_sync_bvc(
+    registry: ProcessRegistry,
+    epsilon: float,
+    adversary_mutators: dict[int, MessageMutator] | None = None,
+    value_bounds: tuple[float, float] | None = None,
+    max_rounds_override: int | None = None,
+    allow_insufficient: bool = False,
+) -> RestrictedRoundOutcome:
+    """Run the restricted-round synchronous approximate BVC algorithm end-to-end."""
+    adversary_mutators = adversary_mutators or {}
+    configuration = registry.configuration
+    if value_bounds is None:
+        value_bounds = registry.value_bounds()
+    value_lower, value_upper = value_bounds
+
+    processes: dict[int, SyncProcess] = {}
+    cores: dict[int, RestrictedSyncProcess] = {}
+    for process_id in registry.process_ids:
+        core = RestrictedSyncProcess(
+            process_id=process_id,
+            configuration=configuration,
+            input_vector=registry.input_of(process_id),
+            epsilon=epsilon,
+            value_lower=value_lower,
+            value_upper=value_upper,
+            max_rounds_override=max_rounds_override,
+            allow_insufficient=allow_insufficient,
+        )
+        cores[process_id] = core
+        if registry.is_faulty(process_id) and process_id in adversary_mutators:
+            processes[process_id] = ByzantineSyncProcess(core, adversary_mutators[process_id])
+        else:
+            processes[process_id] = core
+
+    max_rounds = max(cores[pid].total_rounds for pid in registry.honest_ids) + 1
+    runtime = SynchronousRuntime(processes, honest_ids=registry.honest_ids, max_rounds=max_rounds)
+    result: SyncRunResult = runtime.run()
+    decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}
+    return RestrictedRoundOutcome(
+        registry=registry,
+        decisions=decisions,
+        epsilon=epsilon,
+        rounds_executed=result.rounds_executed,
+        messages_sent=result.traffic.messages_sent,
+        state_histories={pid: cores[pid].state_history for pid in registry.honest_ids},
+    )

@@ -1,0 +1,285 @@
+"""Convex hull predicates phrased as linear programs.
+
+The constructions in the paper routinely involve convex hulls of *fewer* than
+``d + 1`` points (segments, triangles and lower-dimensional faces embedded in
+``R^d``), which vertex-enumeration libraries handle poorly.  Membership and
+intersection questions are therefore answered with linear programs over convex
+combination weights, which are exact up to solver tolerance regardless of
+degeneracy.
+
+The central objects are:
+
+* :func:`contains_point` — is a point inside ``H(Y)``?
+* :func:`hulls_intersection_point` — a common point of several hulls, if any.
+* :func:`distance_to_hull` — Chebyshev distance from a point to a hull, used by
+  the validity checker to report how badly a decision misses the honest hull.
+* :class:`ConvexHullRegion` — a small convenience wrapper bundling a point
+  cloud with these predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.linprog import feasibility_program, solve_linear_program
+from repro.geometry.multisets import PointMultiset
+from repro.geometry.points import as_cloud, as_point
+
+__all__ = [
+    "contains_point",
+    "convex_combination_weights",
+    "hulls_intersection_point",
+    "hulls_intersect",
+    "distance_to_hull",
+    "hull_vertices",
+    "ConvexHullRegion",
+]
+
+_DEFAULT_TOLERANCE = 1e-7
+
+
+def _cloud_of(points: PointMultiset | np.ndarray | Iterable[Sequence[float]]) -> np.ndarray:
+    if isinstance(points, PointMultiset):
+        return points.points
+    return as_cloud(points)
+
+
+def convex_combination_weights(
+    points: PointMultiset | np.ndarray | Iterable[Sequence[float]],
+    target: Sequence[float],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> np.ndarray | None:
+    """Return weights expressing ``target`` as a convex combination of ``points``.
+
+    Returns ``None`` when ``target`` is not in the convex hull.  The weights
+    sum to one, are non-negative, and ``weights @ points == target`` up to the
+    solver tolerance.
+    """
+    cloud = _cloud_of(points)
+    if cloud.shape[0] == 0:
+        return None
+    target = as_point(target, dimension=cloud.shape[1])
+    point_count, dimension = cloud.shape
+
+    # Variables: the convex-combination weights alpha_1..alpha_k.
+    # Equalities: sum(alpha) == 1 and cloud.T @ alpha == target.
+    equality_matrix = np.vstack([np.ones((1, point_count)), cloud.T])
+    equality_rhs = np.concatenate([[1.0], target])
+
+    result = feasibility_program(
+        variable_count=point_count,
+        equality_matrix=equality_matrix,
+        equality_rhs=equality_rhs,
+        bounds=(0, None),
+    )
+    if not result.feasible or result.solution is None:
+        return None
+    weights = np.clip(result.solution, 0.0, None)
+    total = float(weights.sum())
+    if total <= 0:
+        return None
+    weights = weights / total
+    reconstructed = weights @ cloud
+    if np.max(np.abs(reconstructed - target)) > max(tolerance, 1e-6):
+        return None
+    return weights
+
+
+def contains_point(
+    points: PointMultiset | np.ndarray | Iterable[Sequence[float]],
+    target: Sequence[float],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> bool:
+    """Return True when ``target`` lies in the convex hull of ``points``."""
+    return convex_combination_weights(points, target, tolerance) is not None
+
+
+def hulls_intersection_point(
+    point_sets: Sequence[PointMultiset | np.ndarray | Iterable[Sequence[float]]],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> np.ndarray | None:
+    """Return a point common to the convex hulls of every set, or ``None``.
+
+    This is a single feasibility LP: one block of convex-combination weights
+    per hull, all constrained to reproduce the same point ``z``.  It is the
+    work-horse behind ``Gamma`` emptiness testing and the impossibility
+    constructions (Theorem 1 / Theorem 4 in the paper).
+    """
+    clouds = [_cloud_of(point_set) for point_set in point_sets]
+    if not clouds:
+        raise GeometryError("need at least one hull to intersect")
+    dimensions = {cloud.shape[1] for cloud in clouds}
+    if len(dimensions) != 1:
+        raise GeometryError(f"hulls live in different dimensions: {sorted(dimensions)}")
+    if any(cloud.shape[0] == 0 for cloud in clouds):
+        return None
+    dimension = dimensions.pop()
+
+    # Variable layout: [z (free, length d)] ++ [alpha block per hull].
+    weight_counts = [cloud.shape[0] for cloud in clouds]
+    total_weights = sum(weight_counts)
+    variable_count = dimension + total_weights
+
+    equality_rows: list[np.ndarray] = []
+    equality_rhs: list[float] = []
+
+    offset = dimension
+    for cloud, count in zip(clouds, weight_counts):
+        # z - cloud.T @ alpha_block == 0   (d rows)
+        for coordinate in range(dimension):
+            row = np.zeros(variable_count)
+            row[coordinate] = 1.0
+            row[offset : offset + count] = -cloud[:, coordinate]
+            equality_rows.append(row)
+            equality_rhs.append(0.0)
+        # sum(alpha_block) == 1
+        row = np.zeros(variable_count)
+        row[offset : offset + count] = 1.0
+        equality_rows.append(row)
+        equality_rhs.append(1.0)
+        offset += count
+
+    bounds: list[tuple[float | None, float | None]] = [(None, None)] * dimension
+    bounds.extend([(0, None)] * total_weights)
+
+    result = feasibility_program(
+        variable_count=variable_count,
+        equality_matrix=np.vstack(equality_rows),
+        equality_rhs=np.asarray(equality_rhs),
+        bounds=bounds,
+    )
+    if not result.feasible or result.solution is None:
+        return None
+    candidate = result.solution[:dimension]
+    # Sanity re-check: the candidate must be in every hull individually.
+    for cloud in clouds:
+        if not contains_point(cloud, candidate, tolerance=max(tolerance, 1e-6)):
+            return None
+    return candidate
+
+
+def hulls_intersect(
+    point_sets: Sequence[PointMultiset | np.ndarray | Iterable[Sequence[float]]],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> bool:
+    """Return True when the convex hulls of all the sets share a point."""
+    return hulls_intersection_point(point_sets, tolerance) is not None
+
+
+def distance_to_hull(
+    points: PointMultiset | np.ndarray | Iterable[Sequence[float]],
+    target: Sequence[float],
+) -> float:
+    """Return the Chebyshev distance from ``target`` to the convex hull of ``points``.
+
+    Zero when the target is inside the hull.  Computed as the LP
+
+        minimise t
+        subject to  -t <= (cloud.T @ alpha - target)_l <= t   for every l
+                    sum(alpha) = 1,  alpha >= 0,  t >= 0
+    """
+    cloud = _cloud_of(points)
+    if cloud.shape[0] == 0:
+        raise GeometryError("distance to the hull of an empty set is undefined")
+    target = as_point(target, dimension=cloud.shape[1])
+    point_count, dimension = cloud.shape
+
+    # Variables: alpha_1..alpha_k, t.
+    variable_count = point_count + 1
+    objective = np.zeros(variable_count)
+    objective[-1] = 1.0
+
+    inequality_rows: list[np.ndarray] = []
+    inequality_rhs: list[float] = []
+    for coordinate in range(dimension):
+        # cloud.T @ alpha - t <= target_l
+        row = np.zeros(variable_count)
+        row[:point_count] = cloud[:, coordinate]
+        row[-1] = -1.0
+        inequality_rows.append(row)
+        inequality_rhs.append(float(target[coordinate]))
+        # -cloud.T @ alpha - t <= -target_l
+        row = np.zeros(variable_count)
+        row[:point_count] = -cloud[:, coordinate]
+        row[-1] = -1.0
+        inequality_rows.append(row)
+        inequality_rhs.append(-float(target[coordinate]))
+
+    equality_matrix = np.zeros((1, variable_count))
+    equality_matrix[0, :point_count] = 1.0
+
+    result = solve_linear_program(
+        objective,
+        inequality_matrix=np.vstack(inequality_rows),
+        inequality_rhs=np.asarray(inequality_rhs),
+        equality_matrix=equality_matrix,
+        equality_rhs=np.asarray([1.0]),
+        bounds=(0, None),
+    )
+    if not result.feasible or result.objective is None:
+        raise GeometryError("distance-to-hull program unexpectedly infeasible")
+    return max(0.0, float(result.objective))
+
+
+def hull_vertices(
+    points: PointMultiset | np.ndarray | Iterable[Sequence[float]],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> np.ndarray:
+    """Return the points of the cloud that are vertices (extreme points) of its hull.
+
+    A point is extreme iff it is *not* in the convex hull of the other points.
+    Works in any dimension and for degenerate (lower-dimensional) hulls, unlike
+    ``scipy.spatial.ConvexHull``.
+    """
+    cloud = _cloud_of(points)
+    if cloud.shape[0] <= 1:
+        return cloud.copy()
+    keep: list[int] = []
+    for index in range(cloud.shape[0]):
+        others = np.delete(cloud, index, axis=0)
+        if not contains_point(others, cloud[index], tolerance=tolerance):
+            keep.append(index)
+    if not keep:
+        # All points coincide; the single common point is the hull's vertex.
+        return cloud[:1].copy()
+    return cloud[keep].copy()
+
+
+@dataclass(frozen=True)
+class ConvexHullRegion:
+    """The convex hull of a finite point cloud, with membership predicates."""
+
+    generators: np.ndarray
+
+    def __init__(self, points: PointMultiset | np.ndarray | Iterable[Sequence[float]]) -> None:
+        cloud = _cloud_of(points)
+        if cloud.shape[0] == 0:
+            raise GeometryError("a hull region needs at least one generator point")
+        object.__setattr__(self, "generators", cloud.copy())
+        self.generators.setflags(write=False)
+
+    @property
+    def dimension(self) -> int:
+        """Coordinate dimension of the ambient space."""
+        return int(self.generators.shape[1])
+
+    def contains(self, target: Sequence[float], tolerance: float = _DEFAULT_TOLERANCE) -> bool:
+        """Return True when ``target`` lies in the region."""
+        return contains_point(self.generators, target, tolerance)
+
+    def distance_to(self, target: Sequence[float]) -> float:
+        """Chebyshev distance from ``target`` to the region (zero if inside)."""
+        return distance_to_hull(self.generators, target)
+
+    def vertices(self) -> np.ndarray:
+        """Extreme points of the region."""
+        return hull_vertices(self.generators)
+
+    def intersection_point_with(self, *others: "ConvexHullRegion") -> np.ndarray | None:
+        """A point common to this region and every region in ``others``, or None."""
+        clouds = [self.generators] + [other.generators for other in others]
+        return hulls_intersection_point(clouds)

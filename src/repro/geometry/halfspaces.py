@@ -1,0 +1,222 @@
+"""Halfspace representations of convex polytopes.
+
+The LP-based predicates in :mod:`repro.geometry.convex_hull` work directly on
+vertex (V-) representations.  A handful of places — notably the analysis
+helpers that describe *where* the safe area ``Gamma`` lives, and the separating
+hyperplane certificates used in tests of the impossibility constructions —
+are more naturally expressed with halfspaces (H-representation):
+
+    { x : normal . x <= offset }.
+
+This module provides a small :class:`Halfspace` / :class:`HalfspaceRegion`
+pair, conversion from point clouds via separating-hyperplane LPs, and
+emptiness / membership tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.linprog import feasibility_program, solve_linear_program
+from repro.geometry.points import as_cloud, as_point
+
+__all__ = ["Halfspace", "HalfspaceRegion", "separating_hyperplane"]
+
+_DEFAULT_TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The closed halfspace ``{ x : normal . x <= offset }``."""
+
+    normal: np.ndarray
+    offset: float
+
+    def __init__(self, normal: Sequence[float], offset: float) -> None:
+        normal = as_point(normal)
+        if np.allclose(normal, 0.0):
+            raise GeometryError("a halfspace normal must be non-zero")
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "offset", float(offset))
+        self.normal.setflags(write=False)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return int(self.normal.shape[0])
+
+    def contains(self, point: Sequence[float], tolerance: float = _DEFAULT_TOLERANCE) -> bool:
+        """Return True when ``point`` satisfies the halfspace inequality."""
+        point = as_point(point, dimension=self.dimension)
+        return float(self.normal @ point) <= self.offset + tolerance
+
+    def margin(self, point: Sequence[float]) -> float:
+        """Return ``offset - normal . point`` (positive inside, negative outside)."""
+        point = as_point(point, dimension=self.dimension)
+        return self.offset - float(self.normal @ point)
+
+    def flipped(self) -> "Halfspace":
+        """Return the complementary halfspace ``{ x : -normal . x <= -offset }``."""
+        return Halfspace(-self.normal, -self.offset)
+
+
+@dataclass(frozen=True)
+class HalfspaceRegion:
+    """A convex region given as the intersection of finitely many halfspaces."""
+
+    halfspaces: tuple[Halfspace, ...]
+
+    def __init__(self, halfspaces: Iterable[Halfspace]) -> None:
+        halfspaces = tuple(halfspaces)
+        if not halfspaces:
+            raise GeometryError("a halfspace region needs at least one halfspace")
+        dimensions = {halfspace.dimension for halfspace in halfspaces}
+        if len(dimensions) != 1:
+            raise GeometryError(f"halfspaces live in different dimensions: {sorted(dimensions)}")
+        object.__setattr__(self, "halfspaces", halfspaces)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self.halfspaces[0].dimension
+
+    def as_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(A, b)`` such that the region is ``{ x : A x <= b }``."""
+        matrix = np.vstack([halfspace.normal for halfspace in self.halfspaces])
+        rhs = np.asarray([halfspace.offset for halfspace in self.halfspaces])
+        return matrix, rhs
+
+    def contains(self, point: Sequence[float], tolerance: float = _DEFAULT_TOLERANCE) -> bool:
+        """Return True when ``point`` satisfies every halfspace."""
+        return all(halfspace.contains(point, tolerance) for halfspace in self.halfspaces)
+
+    def find_point(self) -> np.ndarray | None:
+        """Return a point inside the region, or ``None`` when it is empty."""
+        matrix, rhs = self.as_matrix()
+        result = feasibility_program(
+            variable_count=self.dimension,
+            inequality_matrix=matrix,
+            inequality_rhs=rhs,
+            bounds=(None, None),
+        )
+        if not result.feasible or result.solution is None:
+            return None
+        return result.solution
+
+    def is_empty(self) -> bool:
+        """Return True when no point satisfies all the halfspaces."""
+        return self.find_point() is None
+
+    def chebyshev_center(self) -> tuple[np.ndarray, float] | None:
+        """Return the centre and radius of the largest inscribed ball, or None if empty.
+
+        Maximises ``r`` subject to ``normal . x + r * ||normal|| <= offset`` for
+        every halfspace.  A zero radius means the region has an empty interior
+        (but may still be non-empty).
+        """
+        matrix, rhs = self.as_matrix()
+        norms = np.linalg.norm(matrix, axis=1)
+        # Variables: x (d, free), r (>= 0).  Minimise -r.
+        variable_count = self.dimension + 1
+        objective = np.zeros(variable_count)
+        objective[-1] = -1.0
+        inequality_matrix = np.hstack([matrix, norms[:, None]])
+        bounds: list[tuple[float | None, float | None]] = [(None, None)] * self.dimension
+        bounds.append((0, None))
+        result = solve_linear_program(
+            objective,
+            inequality_matrix=inequality_matrix,
+            inequality_rhs=rhs,
+            bounds=bounds,
+        )
+        if not result.feasible or result.solution is None:
+            return None
+        return result.solution[: self.dimension], float(result.solution[-1])
+
+    def intersect(self, other: "HalfspaceRegion") -> "HalfspaceRegion":
+        """Return the intersection of this region with ``other``."""
+        if other.dimension != self.dimension:
+            raise GeometryError("cannot intersect regions of different dimensions")
+        return HalfspaceRegion(self.halfspaces + other.halfspaces)
+
+    @classmethod
+    def box(cls, lower: Sequence[float], upper: Sequence[float]) -> "HalfspaceRegion":
+        """Return the axis-aligned box ``[lower, upper]`` as a halfspace region."""
+        lower = as_point(lower)
+        upper = as_point(upper, dimension=lower.shape[0])
+        if np.any(upper < lower):
+            raise GeometryError("box upper bound must dominate the lower bound")
+        halfspaces = []
+        dimension = lower.shape[0]
+        for coordinate in range(dimension):
+            unit = np.zeros(dimension)
+            unit[coordinate] = 1.0
+            halfspaces.append(Halfspace(unit, float(upper[coordinate])))
+            halfspaces.append(Halfspace(-unit, -float(lower[coordinate])))
+        return cls(halfspaces)
+
+
+def separating_hyperplane(
+    cloud: np.ndarray | Sequence[Sequence[float]],
+    target: Sequence[float],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> Halfspace | None:
+    """Return a halfspace containing the hull of ``cloud`` but not ``target``.
+
+    Returns ``None`` when no separating hyperplane exists, i.e. when the target
+    lies in the convex hull.  The certificate is found by maximising the
+    separation margin with normal bounded in the unit box; the resulting
+    halfspace satisfies ``normal . p <= offset`` for every cloud point and
+    ``normal . target > offset`` strictly (by at least ``tolerance``).
+    """
+    cloud = as_cloud(cloud)
+    target = as_point(target, dimension=cloud.shape[1])
+    point_count, dimension = cloud.shape
+    if point_count == 0:
+        raise GeometryError("cannot separate from an empty cloud")
+
+    # Variables: normal (d, in [-1, 1]), offset (free), margin (>= 0).
+    # Constraints: normal . p - offset <= 0 for cloud points,
+    #              -(normal . target - offset) + margin <= 0  (i.e. margin <= normal.target - offset).
+    # Maximise margin.
+    variable_count = dimension + 2
+    objective = np.zeros(variable_count)
+    objective[-1] = -1.0
+
+    inequality_rows: list[np.ndarray] = []
+    inequality_rhs: list[float] = []
+    for row_point in cloud:
+        row = np.zeros(variable_count)
+        row[:dimension] = row_point
+        row[dimension] = -1.0
+        inequality_rows.append(row)
+        inequality_rhs.append(0.0)
+    row = np.zeros(variable_count)
+    row[:dimension] = -target
+    row[dimension] = 1.0
+    row[dimension + 1] = 1.0
+    inequality_rows.append(row)
+    inequality_rhs.append(0.0)
+
+    bounds: list[tuple[float | None, float | None]] = [(-1.0, 1.0)] * dimension
+    bounds.append((None, None))
+    bounds.append((0.0, 1.0))
+
+    result = solve_linear_program(
+        objective,
+        inequality_matrix=np.vstack(inequality_rows),
+        inequality_rhs=np.asarray(inequality_rhs),
+        bounds=bounds,
+    )
+    if not result.feasible or result.solution is None:
+        return None
+    normal = result.solution[:dimension]
+    offset = float(result.solution[dimension])
+    margin = float(result.solution[dimension + 1])
+    if margin <= tolerance or np.allclose(normal, 0.0):
+        return None
+    return Halfspace(normal, offset)

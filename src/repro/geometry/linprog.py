@@ -1,0 +1,169 @@
+"""Thin, diagnosable wrappers around :func:`scipy.optimize.linprog`.
+
+All of the geometry in this package (hull membership, hull-intersection
+emptiness, the safe area ``Gamma``) reduces to small linear programs.  Rather
+than scattering raw ``linprog`` calls and status-code checks everywhere, the
+rest of the package goes through :func:`solve_linear_program`, which
+
+* normalises empty constraint blocks to the shapes HiGHS expects,
+* distinguishes *infeasible* (a meaningful geometric answer) from genuine
+  solver failure, and
+* returns a small result object with the optimum and the argument vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import LinearProgramError
+
+__all__ = ["LinearProgramResult", "solve_linear_program", "feasibility_program"]
+
+_STATUS_OPTIMAL = 0
+_STATUS_ITERATION_LIMIT = 1
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+_STATUS_NUMERICAL = 4
+
+
+@dataclass(frozen=True)
+class LinearProgramResult:
+    """Outcome of a linear program.
+
+    Attributes:
+        feasible: True when the program has a feasible (and bounded) solution.
+        objective: optimal objective value; ``None`` when infeasible.
+        solution: optimal variable assignment; ``None`` when infeasible.
+        status: raw scipy status code (0 optimal, 2 infeasible, ...).
+        message: raw scipy status message, useful for diagnostics.
+    """
+
+    feasible: bool
+    objective: float | None
+    solution: np.ndarray | None
+    status: int
+    message: str
+
+
+def _normalise_block(
+    matrix: np.ndarray | Sequence[Sequence[float]] | None,
+    vector: np.ndarray | Sequence[float] | None,
+    variable_count: int,
+    label: str,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Validate one (matrix, rhs) constraint block, allowing it to be absent."""
+    if matrix is None and vector is None:
+        return None, None
+    if matrix is None or vector is None:
+        raise LinearProgramError(f"{label}: matrix and vector must be given together")
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    vector = np.atleast_1d(np.asarray(vector, dtype=float))
+    if matrix.shape[0] == 0:
+        return None, None
+    if matrix.shape[1] != variable_count:
+        raise LinearProgramError(
+            f"{label}: matrix has {matrix.shape[1]} columns, expected {variable_count}"
+        )
+    if matrix.shape[0] != vector.shape[0]:
+        raise LinearProgramError(
+            f"{label}: {matrix.shape[0]} rows but {vector.shape[0]} right-hand sides"
+        )
+    return matrix, vector
+
+
+def solve_linear_program(
+    objective: np.ndarray | Sequence[float],
+    *,
+    inequality_matrix: np.ndarray | Sequence[Sequence[float]] | None = None,
+    inequality_rhs: np.ndarray | Sequence[float] | None = None,
+    equality_matrix: np.ndarray | Sequence[Sequence[float]] | None = None,
+    equality_rhs: np.ndarray | Sequence[float] | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple[float | None, float | None] | None = (0, None),
+) -> LinearProgramResult:
+    """Minimise ``objective @ x`` subject to the given constraints.
+
+    ``bounds`` follows the scipy convention; the default of ``(0, None)``
+    (non-negative variables) matches the convex-combination programs that
+    dominate this package.  Infeasibility is reported through the result
+    object; other abnormal terminations raise :class:`LinearProgramError`.
+    """
+    objective = np.asarray(objective, dtype=float)
+    if objective.ndim != 1:
+        raise LinearProgramError(f"objective must be a vector, got shape {objective.shape}")
+    variable_count = objective.shape[0]
+
+    a_ub, b_ub = _normalise_block(inequality_matrix, inequality_rhs, variable_count, "inequality block")
+    a_eq, b_eq = _normalise_block(equality_matrix, equality_rhs, variable_count, "equality block")
+
+    outcome = linprog(
+        c=objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if outcome.status == _STATUS_NUMERICAL:
+        # Degenerate inputs (duplicated points, adversarial values orders of
+        # magnitude larger than honest ones) occasionally trip the default
+        # HiGHS presolve into an "Unknown" model status; retry without
+        # presolve, then with the interior-point solver, before giving up.
+        for retry_kwargs in ({"method": "highs", "options": {"presolve": False}},
+                             {"method": "highs-ipm"}):
+            outcome = linprog(
+                c=objective,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                **retry_kwargs,
+            )
+            if outcome.status != _STATUS_NUMERICAL:
+                break
+
+    if outcome.status == _STATUS_OPTIMAL:
+        return LinearProgramResult(
+            feasible=True,
+            objective=float(outcome.fun),
+            solution=np.asarray(outcome.x, dtype=float),
+            status=int(outcome.status),
+            message=str(outcome.message),
+        )
+    if outcome.status == _STATUS_INFEASIBLE:
+        return LinearProgramResult(
+            feasible=False,
+            objective=None,
+            solution=None,
+            status=int(outcome.status),
+            message=str(outcome.message),
+        )
+    raise LinearProgramError(
+        f"linear program terminated abnormally (status {outcome.status}): {outcome.message}",
+        status=int(outcome.status),
+    )
+
+
+def feasibility_program(
+    *,
+    variable_count: int,
+    inequality_matrix: np.ndarray | Sequence[Sequence[float]] | None = None,
+    inequality_rhs: np.ndarray | Sequence[float] | None = None,
+    equality_matrix: np.ndarray | Sequence[Sequence[float]] | None = None,
+    equality_rhs: np.ndarray | Sequence[float] | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple[float | None, float | None] | None = (0, None),
+) -> LinearProgramResult:
+    """Solve a pure feasibility problem (zero objective) over the constraints."""
+    return solve_linear_program(
+        np.zeros(variable_count),
+        inequality_matrix=inequality_matrix,
+        inequality_rhs=inequality_rhs,
+        equality_matrix=equality_matrix,
+        equality_rhs=equality_rhs,
+        bounds=bounds,
+    )

@@ -1,0 +1,28 @@
+"""Message-passing substrate: FIFO channels, complete-graph network, runtimes."""
+
+from repro.network.message import Message
+from repro.network.channel import FifoChannel
+from repro.network.network import CompleteGraphNetwork, TrafficStats
+from repro.network.scheduler import (
+    DeliveryScheduler,
+    LaggingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.network.sync_runtime import SynchronousRuntime, SyncRunResult
+from repro.network.async_runtime import AsynchronousRuntime, AsyncRunResult
+
+__all__ = [
+    "Message",
+    "FifoChannel",
+    "CompleteGraphNetwork",
+    "TrafficStats",
+    "DeliveryScheduler",
+    "LaggingScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "SynchronousRuntime",
+    "SyncRunResult",
+    "AsynchronousRuntime",
+    "AsyncRunResult",
+]

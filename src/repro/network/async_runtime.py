@@ -1,0 +1,127 @@
+"""Event-driven asynchronous runtime.
+
+The asynchronous model of the paper's Section 3: processes take steps at
+arbitrary relative speeds and messages suffer arbitrary finite delays, subject
+to reliable FIFO channels.  The runtime models this as a delivery loop: as
+long as some honest process has not decided and some channel has a message in
+flight, a :class:`~repro.network.scheduler.DeliveryScheduler` picks a channel
+and its oldest message is handed to the recipient, which may react by sending
+further messages.
+
+Because the scheduler may only reorder (never drop) messages, every execution
+the runtime can produce is an admissible asynchronous execution; conversely,
+adversarial schedulers (e.g. :class:`~repro.network.scheduler.LaggingScheduler`)
+produce exactly the "slow process" executions the lower-bound arguments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError, TerminationError
+from repro.network.network import CompleteGraphNetwork, TrafficStats
+from repro.network.scheduler import DeliveryScheduler, RandomScheduler
+from repro.processes.process import AsyncProcess
+
+__all__ = ["AsyncRunResult", "AsynchronousRuntime"]
+
+
+@dataclass(frozen=True)
+class AsyncRunResult:
+    """Outcome of an asynchronous execution.
+
+    Attributes:
+        deliveries: how many messages were delivered in total.
+        decisions: decision value per honest process id.
+        traffic: network traffic counters.
+        undelivered: messages still in flight when the run stopped (honest
+            processes had all decided; the remaining traffic is irrelevant to
+            correctness but reported for completeness).
+    """
+
+    deliveries: int
+    decisions: dict[int, object]
+    traffic: TrafficStats
+    undelivered: int
+
+
+class AsynchronousRuntime:
+    """Drive a set of :class:`AsyncProcess` objects with scheduler-chosen delays."""
+
+    def __init__(
+        self,
+        processes: Mapping[int, AsyncProcess],
+        honest_ids: tuple[int, ...] | None = None,
+        scheduler: DeliveryScheduler | None = None,
+        max_deliveries: int = 2_000_000,
+    ) -> None:
+        if len(processes) < 2:
+            raise ConfigurationError("an asynchronous run needs at least two processes")
+        for process_id, process in processes.items():
+            if process.process_id != process_id:
+                raise ConfigurationError(
+                    f"process registered under id {process_id} reports id {process.process_id}"
+                )
+        self._processes = dict(processes)
+        self._honest_ids = tuple(honest_ids) if honest_ids is not None else tuple(sorted(processes))
+        unknown = set(self._honest_ids) - set(self._processes)
+        if unknown:
+            raise ConfigurationError(f"honest ids {sorted(unknown)} have no registered process")
+        self._scheduler = scheduler if scheduler is not None else RandomScheduler(0)
+        self._max_deliveries = max_deliveries
+        self.network = CompleteGraphNetwork(sorted(self._processes))
+        self._started = False
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> AsyncRunResult:
+        """Deliver messages until every honest process has decided.
+
+        Raises :class:`TerminationError` if the delivery budget is exhausted or
+        if the system goes quiescent (no message in flight) while some honest
+        process is still undecided — both are liveness failures of the protocol
+        under test.
+        """
+        self._start_processes()
+        deliveries = 0
+        while not self._all_honest_decided():
+            busy = self.network.busy_channels()
+            if not busy:
+                undecided = [pid for pid in self._honest_ids if not self._processes[pid].has_decided()]
+                raise TerminationError(
+                    f"asynchronous run went quiescent with undecided honest processes {undecided}"
+                )
+            if deliveries >= self._max_deliveries:
+                raise TerminationError(
+                    f"asynchronous run exceeded the {self._max_deliveries}-delivery budget"
+                )
+            sender, recipient = self._scheduler.choose(busy)
+            message = self.network.deliver_from(sender, recipient)
+            deliveries += 1
+            self._processes[recipient].on_message(message)
+        return AsyncRunResult(
+            deliveries=deliveries,
+            decisions={pid: self._processes[pid].decision() for pid in self._honest_ids},
+            traffic=self.network.stats(),
+            undelivered=self.network.in_flight_count(),
+        )
+
+    def _start_processes(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for process in self._processes.values():
+            process.bind_transport(self._accept_outgoing)
+        for process in self._processes.values():
+            process.on_start()
+
+    def _accept_outgoing(self, message) -> None:
+        if message.recipient == message.sender:
+            return
+        if message.recipient not in self._processes:
+            return
+        self.network.send(message)
+
+    def _all_honest_decided(self) -> bool:
+        return all(self._processes[pid].has_decided() for pid in self._honest_ids)

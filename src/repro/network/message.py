@@ -1,0 +1,61 @@
+"""Message types exchanged over the simulated network.
+
+A message is an immutable envelope: ``sender -> recipient`` carrying an
+arbitrary ``payload`` plus two routing tags the algorithms rely on:
+
+* ``protocol`` — which protocol instance the message belongs to (e.g. the EIG
+  broadcast with a given originator, the reliable-broadcast instance for a
+  given (sender, round), or the top-level BVC round exchange);
+* ``round_index`` — the paper tags every message of the asynchronous
+  algorithms by the sender's round number so that a process can associate a
+  message with the right asynchronous round despite arbitrary delays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "next_message_sequence"]
+
+_sequence_counter = itertools.count()
+
+
+def next_message_sequence() -> int:
+    """Return a process-wide monotonically increasing message sequence number.
+
+    Used only to give every message a unique identity for logging and for
+    deterministic tie-breaking inside schedulers; it carries no protocol
+    meaning.
+    """
+    return next(_sequence_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message.
+
+    Attributes:
+        sender: process id of the sender.
+        recipient: process id of the recipient.
+        protocol: name of the (sub-)protocol this message belongs to.
+        kind: message type within the protocol (e.g. ``"ECHO"``, ``"READY"``).
+        payload: arbitrary, treat-as-immutable content.
+        round_index: the sender's round number, or ``None`` for round-free
+            protocols (such as the one-shot EIG broadcast).
+        sequence: unique id for logging / deterministic ordering.
+    """
+
+    sender: int
+    recipient: int
+    protocol: str
+    kind: str
+    payload: Any
+    round_index: int | None = None
+    sequence: int = field(default_factory=next_message_sequence)
+
+    def describe(self) -> str:
+        """Return a compact human-readable description (for logs and errors)."""
+        tag = f"@r{self.round_index}" if self.round_index is not None else ""
+        return f"[{self.protocol}:{self.kind}{tag}] {self.sender} -> {self.recipient}"

@@ -1,0 +1,120 @@
+"""The complete-graph network: one FIFO channel per ordered process pair.
+
+:class:`CompleteGraphNetwork` owns the channels and offers the two access
+patterns the runtimes need:
+
+* the synchronous runtime drains all channels between rounds;
+* the asynchronous runtime asks which channels have messages in flight and
+  delivers from one of them at a time, as chosen by a scheduler.
+
+The network also keeps simple traffic counters (messages sent / delivered per
+channel) that the benchmarks report as the message-complexity measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError, SchedulerError
+from repro.network.channel import FifoChannel
+from repro.network.message import Message
+
+__all__ = ["CompleteGraphNetwork", "TrafficStats"]
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Aggregate traffic counters for a finished run."""
+
+    messages_sent: int
+    messages_delivered: int
+    messages_in_flight: int
+
+
+@dataclass
+class CompleteGraphNetwork:
+    """All-to-all network of reliable FIFO channels over ``process_ids``."""
+
+    process_ids: tuple[int, ...]
+    _channels: dict[tuple[int, int], FifoChannel] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+    def __init__(self, process_ids: Iterable[int]) -> None:
+        ids = tuple(process_ids)
+        if len(ids) < 2:
+            raise ConfigurationError("a network needs at least two processes")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate process ids: {ids}")
+        self.process_ids = ids
+        self._channels = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        for sender in ids:
+            for recipient in ids:
+                if sender != recipient:
+                    self._channels[(sender, recipient)] = FifoChannel(sender, recipient)
+
+    # -- sending --------------------------------------------------------------
+
+    def channel(self, sender: int, recipient: int) -> FifoChannel:
+        """Return the directed channel ``sender -> recipient``."""
+        try:
+            return self._channels[(sender, recipient)]
+        except KeyError as error:
+            raise SchedulerError(f"no channel {sender} -> {recipient} in this network") from error
+
+    def send(self, message: Message) -> None:
+        """Put a message in flight on its channel."""
+        if message.recipient == message.sender:
+            raise SchedulerError(f"self-addressed message: {message.describe()}")
+        self.channel(message.sender, message.recipient).send(message)
+        self.messages_sent += 1
+
+    def broadcast(self, messages: Iterable[Message]) -> None:
+        """Send every message in ``messages``."""
+        for message in messages:
+            self.send(message)
+
+    # -- delivery -------------------------------------------------------------
+
+    def busy_channels(self) -> list[tuple[int, int]]:
+        """Return the (sender, recipient) pairs that currently have messages in flight."""
+        return [key for key, channel in self._channels.items() if not channel.is_empty()]
+
+    def deliver_from(self, sender: int, recipient: int) -> Message:
+        """Deliver (pop) the oldest message on the given channel."""
+        message = self.channel(sender, recipient).deliver_next()
+        self.messages_delivered += 1
+        return message
+
+    def drain_to(self, recipient: int) -> list[Message]:
+        """Deliver every in-flight message addressed to ``recipient`` (per-channel FIFO order)."""
+        delivered: list[Message] = []
+        for sender in self.process_ids:
+            if sender == recipient:
+                continue
+            delivered.extend(self.channel(sender, recipient).drain())
+        self.messages_delivered += len(delivered)
+        return delivered
+
+    def drain_all(self) -> dict[int, list[Message]]:
+        """Deliver every in-flight message, grouped by recipient (the synchronous round step)."""
+        return {recipient: self.drain_to(recipient) for recipient in self.process_ids}
+
+    def in_flight_count(self) -> int:
+        """Return how many messages are currently queued anywhere in the network."""
+        return sum(channel.in_flight() for channel in self._channels.values())
+
+    def has_messages_in_flight(self) -> bool:
+        """Return True when any channel still has an undelivered message."""
+        return any(not channel.is_empty() for channel in self._channels.values())
+
+    def stats(self) -> TrafficStats:
+        """Return aggregate traffic counters."""
+        return TrafficStats(
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_in_flight=self.in_flight_count(),
+        )

@@ -1,0 +1,103 @@
+"""Delivery schedulers for the asynchronous runtime.
+
+In the asynchronous model the adversary (together with the environment)
+controls message delays, subject only to every message being delivered
+eventually and per-channel FIFO order.  The runtime therefore delegates the
+choice of *which channel delivers next* to a scheduler object.  Three
+schedulers are provided:
+
+* :class:`RandomScheduler` — picks a busy channel uniformly at random from a
+  seeded generator.  This is the "benign but unpredictable" environment used
+  by most experiments.
+* :class:`LaggingScheduler` — starves a chosen set of processes: their
+  incoming and outgoing messages are delivered only when no other channel has
+  traffic.  This is the classical "slow process" adversary used in the
+  Theorem 4 lower-bound scenario (a correct process that looks crashed).
+* :class:`RoundRobinScheduler` — deterministic rotation over channels, useful
+  for exactly reproducible unit tests.
+
+All schedulers satisfy eventual delivery: they only ever *reorder* deliveries,
+never drop them, and they always pick from the set of non-empty channels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SchedulerError
+
+__all__ = ["DeliveryScheduler", "RandomScheduler", "LaggingScheduler", "RoundRobinScheduler"]
+
+
+class DeliveryScheduler(abc.ABC):
+    """Strategy interface: choose which busy channel delivers its next message."""
+
+    @abc.abstractmethod
+    def choose(self, busy_channels: Sequence[tuple[int, int]]) -> tuple[int, int]:
+        """Return the (sender, recipient) channel to deliver from next.
+
+        ``busy_channels`` is non-empty and lists every channel with at least
+        one in-flight message.
+        """
+
+
+class RandomScheduler(DeliveryScheduler):
+    """Uniformly random choice among busy channels, from a seeded generator."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    def choose(self, busy_channels: Sequence[tuple[int, int]]) -> tuple[int, int]:
+        if not busy_channels:
+            raise SchedulerError("no busy channel to choose from")
+        index = int(self._rng.integers(0, len(busy_channels)))
+        return busy_channels[index]
+
+
+class LaggingScheduler(DeliveryScheduler):
+    """Starve the channels touching ``slow_processes`` for as long as possible.
+
+    Messages to or from a slow process are delivered only when every other
+    channel is empty, which models a correct-but-arbitrarily-slow process: the
+    rest of the system must make progress without it (this is exactly the
+    situation the Theorem 4 necessity argument builds on).
+    """
+
+    def __init__(self, slow_processes: Sequence[int], seed: int | np.random.Generator = 0) -> None:
+        self._slow = frozenset(int(process_id) for process_id in slow_processes)
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    @property
+    def slow_processes(self) -> frozenset[int]:
+        """The ids being starved."""
+        return self._slow
+
+    def choose(self, busy_channels: Sequence[tuple[int, int]]) -> tuple[int, int]:
+        if not busy_channels:
+            raise SchedulerError("no busy channel to choose from")
+        fast = [
+            channel
+            for channel in busy_channels
+            if channel[0] not in self._slow and channel[1] not in self._slow
+        ]
+        candidates = fast if fast else list(busy_channels)
+        index = int(self._rng.integers(0, len(candidates)))
+        return candidates[index]
+
+
+class RoundRobinScheduler(DeliveryScheduler):
+    """Deterministic rotation across channels (stable across runs)."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, busy_channels: Sequence[tuple[int, int]]) -> tuple[int, int]:
+        if not busy_channels:
+            raise SchedulerError("no busy channel to choose from")
+        ordered = sorted(busy_channels)
+        choice = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return choice

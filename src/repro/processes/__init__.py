@@ -1,0 +1,6 @@
+"""Process abstractions and experiment cast bookkeeping."""
+
+from repro.processes.process import AsyncProcess, SyncProcess
+from repro.processes.registry import ProcessRegistry
+
+__all__ = ["AsyncProcess", "SyncProcess", "ProcessRegistry"]

@@ -1,0 +1,19 @@
+"""Workload generators for examples, tests and benchmarks."""
+
+from repro.workloads.generators import (
+    basis_counterexample_registry,
+    gradient_registry,
+    intro_counterexample_registry,
+    probability_vector_registry,
+    robot_position_registry,
+    uniform_box_registry,
+)
+
+__all__ = [
+    "basis_counterexample_registry",
+    "gradient_registry",
+    "intro_counterexample_registry",
+    "probability_vector_registry",
+    "robot_position_registry",
+    "uniform_box_registry",
+]

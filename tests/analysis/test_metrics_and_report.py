@@ -1,0 +1,74 @@
+"""Unit tests for analysis metrics and the plain-text report renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    decision_cloud,
+    decision_spread_summary,
+    max_coordinate_disagreement,
+    max_validity_violation,
+    mean_distance_to_point,
+)
+from repro.analysis.report import format_value, render_series, render_table
+from repro.exceptions import ConfigurationError
+
+
+class TestMetrics:
+    def test_decision_cloud_orders_by_process_id(self):
+        cloud = decision_cloud({3: [3.0, 3.0], 1: [1.0, 1.0]})
+        assert np.allclose(cloud[0], [1.0, 1.0])
+        assert np.allclose(cloud[1], [3.0, 3.0])
+
+    def test_empty_decisions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decision_cloud({})
+
+    def test_max_coordinate_disagreement(self):
+        decisions = {0: [0.0, 0.0], 1: [0.2, 0.5]}
+        assert max_coordinate_disagreement(decisions) == pytest.approx(0.5)
+
+    def test_max_validity_violation(self, small_registry):
+        inside = {pid: [0.5, 0.5] for pid in small_registry.honest_ids}
+        outside = {pid: [3.0, 0.5] for pid in small_registry.honest_ids}
+        assert max_validity_violation(small_registry, inside) == pytest.approx(0.0, abs=1e-9)
+        assert max_validity_violation(small_registry, outside) == pytest.approx(2.0, abs=1e-6)
+
+    def test_mean_distance_to_point(self):
+        decisions = {0: [0.0, 0.0], 1: [2.0, 0.0]}
+        assert mean_distance_to_point(decisions, [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_spread_summary(self):
+        summary = decision_spread_summary({0: [0.0, 0.0], 1: [1.0, 3.0]})
+        assert summary["max_coordinate_spread"] == pytest.approx(3.0)
+        assert summary["decision_count"] == 2
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(None) == "-"
+        assert format_value(0.123456, precision=3) == "0.123"
+        assert format_value(float("nan")) == "nan"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment_and_missing_cells(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-" in lines[-1]  # missing "b" cell rendered as -
+
+    def test_render_table_with_title_and_columns(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"], title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.splitlines()[1].startswith("b")
+
+    def test_render_empty_table(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_series(self):
+        assert render_series([1.0, 0.5], "range") == "range: 1, 0.5"

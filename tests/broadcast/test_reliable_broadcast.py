@@ -1,0 +1,159 @@
+"""Unit tests for Bracha reliable broadcast.
+
+The engine is exercised both in-memory (directly wiring sends between
+engines, with full control over delivery order) and through adversarial
+scenarios: an equivocating broadcaster, a silent broadcaster, and Byzantine
+echo traffic.  The properties checked are consistency (no two honest
+processes deliver different values), validity (an honest broadcaster's value
+is delivered by everyone), and totality (if one honest process delivers,
+all do).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.broadcast.reliable_broadcast import ReliableBroadcastEngine
+from repro.exceptions import ConfigurationError
+
+
+class BroadcastHarness:
+    """Wire several engines together with an explicit FIFO message queue."""
+
+    def __init__(self, process_count: int, fault_bound: int, byzantine: set[int] | None = None):
+        self.process_ids = tuple(range(process_count))
+        self.byzantine = byzantine or set()
+        self.queue: deque[tuple[int, int, str, dict]] = deque()
+        self.delivered: dict[int, dict] = {pid: {} for pid in self.process_ids}
+        self.engines = {}
+        for pid in self.process_ids:
+            self.engines[pid] = ReliableBroadcastEngine(
+                owner_id=pid,
+                process_ids=self.process_ids,
+                fault_bound=fault_bound,
+                send=self._make_send(pid),
+                deliver=self._make_deliver(pid),
+            )
+
+    def _make_send(self, sender: int):
+        def send(recipient: int, kind: str, payload: dict) -> None:
+            self.queue.append((sender, recipient, kind, dict(payload)))
+        return send
+
+    def _make_deliver(self, owner: int):
+        def deliver(broadcast_id, value) -> None:
+            assert broadcast_id not in self.delivered[owner], "duplicate delivery"
+            self.delivered[owner][broadcast_id] = value
+        return deliver
+
+    def run(self, drop_from: set[int] | None = None) -> None:
+        """Deliver all queued messages (FIFO), optionally dropping a sender's traffic."""
+        drop_from = drop_from or set()
+        while self.queue:
+            sender, recipient, kind, payload = self.queue.popleft()
+            if sender in drop_from:
+                continue
+            self.engines[recipient].handle(sender, kind, payload)
+
+    def honest_deliveries(self, broadcast_id):
+        return {
+            pid: self.delivered[pid].get(broadcast_id)
+            for pid in self.process_ids
+            if pid not in self.byzantine
+        }
+
+
+class TestConstruction:
+    def test_requires_n_greater_than_3f(self):
+        with pytest.raises(ConfigurationError):
+            ReliableBroadcastEngine(0, (0, 1, 2), 1, lambda *a: None, lambda *a: None)
+
+    def test_owner_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            ReliableBroadcastEngine(9, (0, 1, 2, 3), 1, lambda *a: None, lambda *a: None)
+
+
+class TestHonestBroadcast:
+    def test_everyone_delivers_the_value(self):
+        harness = BroadcastHarness(4, 1)
+        harness.engines[0].broadcast("tag", (1.0, 2.0))
+        harness.run()
+        deliveries = harness.honest_deliveries((0, "tag"))
+        assert all(value == (1.0, 2.0) for value in deliveries.values())
+
+    def test_multiple_concurrent_broadcasts(self):
+        harness = BroadcastHarness(4, 1)
+        for pid in range(4):
+            harness.engines[pid].broadcast("round1", (float(pid),))
+        harness.run()
+        for broadcaster in range(4):
+            deliveries = harness.honest_deliveries((broadcaster, "round1"))
+            assert all(value == (float(broadcaster),) for value in deliveries.values())
+
+    def test_distinct_tags_are_independent(self):
+        harness = BroadcastHarness(4, 1)
+        harness.engines[1].broadcast("a", (1.0,))
+        harness.engines[1].broadcast("b", (2.0,))
+        harness.run()
+        assert all(v == (1.0,) for v in harness.honest_deliveries((1, "a")).values())
+        assert all(v == (2.0,) for v in harness.honest_deliveries((1, "b")).values())
+
+    def test_no_delivery_without_broadcast(self):
+        harness = BroadcastHarness(4, 1)
+        harness.run()
+        assert all(not delivered for delivered in harness.delivered.values())
+
+
+class TestByzantineBroadcaster:
+    def test_equivocation_never_yields_conflicting_deliveries(self):
+        harness = BroadcastHarness(4, 1, byzantine={0})
+        # Byzantine process 0 sends INIT with different values to different peers.
+        for recipient, value in [(1, (1.0,)), (2, (2.0,)), (3, (1.0,))]:
+            harness.queue.append((0, recipient, ReliableBroadcastEngine.KIND_INIT,
+                                  {"broadcaster": 0, "tag": "t", "value": value}))
+        harness.run()
+        delivered_values = {
+            value for value in harness.honest_deliveries((0, "t")).values() if value is not None
+        }
+        # Consistency: at most one distinct value may ever be delivered.
+        assert len(delivered_values) <= 1
+
+    def test_totality_when_one_honest_process_delivers(self):
+        harness = BroadcastHarness(4, 1, byzantine={0})
+        # A consistent-looking broadcast from the Byzantine process: everyone
+        # who hears it echoes, so if anyone delivers, all must.
+        for recipient in (1, 2, 3):
+            harness.queue.append((0, recipient, ReliableBroadcastEngine.KIND_INIT,
+                                  {"broadcaster": 0, "tag": "t", "value": (9.0,)}))
+        harness.run()
+        deliveries = harness.honest_deliveries((0, "t"))
+        delivered_count = sum(1 for value in deliveries.values() if value is not None)
+        assert delivered_count in (0, len(deliveries))
+        assert delivered_count == len(deliveries)
+
+    def test_forged_init_from_non_broadcaster_is_ignored(self):
+        harness = BroadcastHarness(4, 1, byzantine={3})
+        # Process 3 forges an INIT claiming to originate from process 1.
+        harness.queue.append((3, 2, ReliableBroadcastEngine.KIND_INIT,
+                              {"broadcaster": 1, "tag": "t", "value": (7.0,)}))
+        harness.run()
+        assert harness.honest_deliveries((1, "t")) == {0: None, 1: None, 2: None}
+
+    def test_byzantine_echo_minority_cannot_force_delivery(self):
+        harness = BroadcastHarness(4, 1, byzantine={3})
+        # Only Byzantine ECHO/READY traffic for a value nobody broadcast.
+        for kind in (ReliableBroadcastEngine.KIND_ECHO, ReliableBroadcastEngine.KIND_READY):
+            for recipient in (0, 1, 2):
+                harness.queue.append((3, recipient, kind,
+                                      {"broadcaster": 3, "tag": "t", "value": (5.0,)}))
+        harness.run()
+        assert all(value is None for value in harness.honest_deliveries((3, "t")).values())
+
+    def test_malformed_payloads_ignored(self):
+        harness = BroadcastHarness(4, 1)
+        harness.engines[0].handle(1, ReliableBroadcastEngine.KIND_ECHO, "not-a-dict")
+        harness.engines[0].handle(1, ReliableBroadcastEngine.KIND_ECHO, {"broadcaster": 99, "tag": "t", "value": 1})
+        harness.engines[0].handle(1, ReliableBroadcastEngine.KIND_ECHO, {"broadcaster": 1, "tag": ["unhashable"], "value": 1})
+        assert harness.delivered[0] == {}

@@ -1,0 +1,136 @@
+"""Unit tests for repro.byzantine.adversary (payload mutation machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.byzantine.adversary import (
+    ByzantineAsyncProcess,
+    ByzantineSyncProcess,
+    mutate_numeric_leaves,
+)
+from repro.byzantine.strategies import CrashStrategy, OutsideHullStrategy
+from repro.network.message import Message
+from repro.processes.process import AsyncProcess, SyncProcess
+
+
+def double_scalar(value: float) -> float:
+    return value * 2.0
+
+
+def double_vector(vector: np.ndarray) -> np.ndarray:
+    return vector * 2.0
+
+
+class TestMutateNumericLeaves:
+    def test_floats_are_mutated(self):
+        assert mutate_numeric_leaves(1.5, double_scalar, double_vector) == 3.0
+
+    def test_ints_and_bools_are_preserved(self):
+        payload = {"count": 3, "flag": True}
+        assert mutate_numeric_leaves(payload, double_scalar, double_vector) == payload
+
+    def test_float_tuples_treated_as_vectors(self):
+        result = mutate_numeric_leaves((1.0, 2.0), double_scalar, double_vector)
+        assert result == (2.0, 4.0)
+        assert isinstance(result, tuple)
+
+    def test_numpy_arrays_treated_as_vectors(self):
+        result = mutate_numeric_leaves(np.asarray([1.0, 2.0]), double_scalar, double_vector)
+        assert np.allclose(result, [2.0, 4.0])
+
+    def test_structural_keys_untouched(self):
+        payload = {"round": 2.0, "members": [1, 2], "value": (1.0, 1.0)}
+        result = mutate_numeric_leaves(payload, double_scalar, double_vector)
+        assert result["round"] == 2.0
+        assert result["members"] == [1, 2]
+        assert result["value"] == (2.0, 2.0)
+
+    def test_nested_dicts_and_lists(self):
+        payload = {"a": {"b": [0.5, {"c": 1.0}]}}
+        result = mutate_numeric_leaves(payload, double_scalar, double_vector)
+        # [0.5, {...}] is a mixed list, so 0.5 is a scalar leaf.
+        assert result["a"]["b"][0] == 1.0
+        assert result["a"]["b"][1]["c"] == 2.0
+
+    def test_original_payload_not_modified(self):
+        payload = {"value": [1.0, 2.0]}
+        mutate_numeric_leaves(payload, double_scalar, double_vector)
+        assert payload["value"] == [1.0, 2.0]
+
+    def test_strings_preserved(self):
+        assert mutate_numeric_leaves({"kind": "ECHO"}, double_scalar, double_vector) == {"kind": "ECHO"}
+
+
+class EchoSyncProcess(SyncProcess):
+    def __init__(self, process_id=0):
+        super().__init__(process_id)
+        self.delivered = []
+
+    def outgoing(self, round_index):
+        return [Message(sender=self.process_id, recipient=1, protocol="p", kind="K",
+                        payload={"value": (1.0, 2.0)}, round_index=round_index)]
+
+    def deliver(self, round_index, inbox):
+        self.delivered.extend(inbox)
+
+    def has_decided(self):
+        return True
+
+    def decision(self):
+        return "inner-decision"
+
+
+class SenderAsyncProcess(AsyncProcess):
+    def on_start(self):
+        self.send(Message(sender=self.process_id, recipient=1, protocol="p", kind="K",
+                          payload={"value": (1.0, 2.0)}, round_index=1))
+
+    def on_message(self, message):
+        pass
+
+    def has_decided(self):
+        return False
+
+    def decision(self):
+        return None
+
+
+class TestByzantineSyncProcess:
+    def test_outgoing_is_mutated(self):
+        wrapped = ByzantineSyncProcess(EchoSyncProcess(), OutsideHullStrategy(offset=10.0, scale=1.0))
+        messages = wrapped.outgoing(1)
+        assert messages[0].payload["value"] == (11.0, 12.0)
+
+    def test_crash_drops_everything(self):
+        wrapped = ByzantineSyncProcess(EchoSyncProcess(), CrashStrategy())
+        assert wrapped.outgoing(1) == []
+
+    def test_deliver_passes_through(self):
+        inner = EchoSyncProcess()
+        wrapped = ByzantineSyncProcess(inner, CrashStrategy())
+        message = Message(sender=1, recipient=0, protocol="p", kind="K", payload=None)
+        wrapped.deliver(1, [message])
+        assert inner.delivered == [message]
+
+    def test_always_reports_decided(self):
+        wrapped = ByzantineSyncProcess(EchoSyncProcess(), CrashStrategy())
+        assert wrapped.has_decided()
+        assert wrapped.decision() == "inner-decision"
+
+
+class TestByzantineAsyncProcess:
+    def test_sends_are_intercepted(self):
+        sent = []
+        wrapped = ByzantineAsyncProcess(SenderAsyncProcess(0), OutsideHullStrategy(offset=10.0, scale=1.0))
+        wrapped.bind_transport(sent.append)
+        wrapped.on_start()
+        assert len(sent) == 1
+        assert sent[0].payload["value"] == (11.0, 12.0)
+
+    def test_crash_suppresses_sends(self):
+        sent = []
+        wrapped = ByzantineAsyncProcess(SenderAsyncProcess(0), CrashStrategy())
+        wrapped.bind_transport(sent.append)
+        wrapped.on_start()
+        assert sent == []

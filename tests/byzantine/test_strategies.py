@@ -1,0 +1,121 @@
+"""Unit tests for repro.byzantine.strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byzantine.strategies import (
+    CoordinateAttackStrategy,
+    CrashStrategy,
+    EquivocationStrategy,
+    HonestStrategy,
+    OutsideHullStrategy,
+    RandomNoiseStrategy,
+)
+from repro.network.message import Message
+
+
+def make_message(recipient=1, payload=None, round_index=1):
+    if payload is None:
+        payload = {"value": (0.25, 0.75)}
+    return Message(sender=9, recipient=recipient, protocol="p", kind="K",
+                   payload=payload, round_index=round_index)
+
+
+class TestHonestStrategy:
+    def test_passes_message_unchanged(self):
+        message = make_message()
+        assert HonestStrategy().mutate(message) == [message]
+
+
+class TestCrashStrategy:
+    def test_immediate_crash_drops_all(self):
+        strategy = CrashStrategy()
+        assert strategy.mutate(make_message(round_index=1)) == []
+        assert strategy.mutate(make_message(round_index=None)) == []
+
+    def test_crash_after_round(self):
+        strategy = CrashStrategy(crash_round=3)
+        assert strategy.mutate(make_message(round_index=1)) != []
+        assert strategy.mutate(make_message(round_index=2)) != []
+        assert strategy.mutate(make_message(round_index=3)) == []
+        # Once crashed, even untagged messages are suppressed.
+        assert strategy.mutate(make_message(round_index=None)) == []
+
+
+class TestEquivocationStrategy:
+    def test_different_recipients_get_different_values(self):
+        pool = [[0.0, 0.0], [1.0, 1.0]]
+        strategy = EquivocationStrategy(pool)
+        to_even = strategy.mutate(make_message(recipient=2))[0]
+        to_odd = strategy.mutate(make_message(recipient=3))[0]
+        assert to_even.payload["value"] != to_odd.payload["value"]
+
+    def test_same_recipient_is_consistent(self):
+        strategy = EquivocationStrategy([[0.0, 0.0], [1.0, 1.0]])
+        first = strategy.mutate(make_message(recipient=2))[0]
+        second = strategy.mutate(make_message(recipient=2))[0]
+        assert first.payload == second.payload
+
+    def test_shorter_vectors_resized(self):
+        strategy = EquivocationStrategy([[5.0, 6.0, 7.0]])
+        mutated = strategy.mutate(make_message(payload={"value": (0.0, 0.0)}))[0]
+        assert len(mutated.payload["value"]) == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            EquivocationStrategy([])
+
+
+class TestOutsideHullStrategy:
+    def test_values_shifted_far_away(self):
+        strategy = OutsideHullStrategy(offset=100.0, scale=2.0)
+        mutated = strategy.mutate(make_message())[0]
+        assert mutated.payload["value"] == (100.5, 101.5)
+
+    def test_metadata_untouched(self):
+        strategy = OutsideHullStrategy()
+        payload = {"round": 4, "members": [0, 1], "value": (0.5,)}
+        mutated = strategy.mutate(make_message(payload=payload))[0]
+        assert mutated.payload["round"] == 4
+        assert mutated.payload["members"] == [0, 1]
+
+
+class TestRandomNoiseStrategy:
+    def test_values_within_box(self):
+        strategy = RandomNoiseStrategy(low=-2.0, high=2.0, seed=1)
+        for _ in range(20):
+            mutated = strategy.mutate(make_message())[0]
+            values = np.asarray(mutated.payload["value"])
+            assert np.all(values >= -2.0) and np.all(values <= 2.0)
+
+    def test_deterministic_given_seed(self):
+        first = RandomNoiseStrategy(seed=5).mutate(make_message())[0]
+        second = RandomNoiseStrategy(seed=5).mutate(make_message())[0]
+        assert first.payload == second.payload
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomNoiseStrategy(low=1.0, high=0.0)
+
+
+class TestCoordinateAttackStrategy:
+    def test_vector_coordinate_overridden(self):
+        strategy = CoordinateAttackStrategy(coordinate=1, target=9.0)
+        mutated = strategy.mutate(make_message(payload={"value": (0.1, 0.2, 0.3)}))[0]
+        assert mutated.payload["value"] == (0.1, 9.0, 0.3)
+
+    def test_scalar_leaves_always_replaced(self):
+        strategy = CoordinateAttackStrategy(coordinate=0, target=9.0)
+        mutated = strategy.mutate(make_message(payload={"x": 0.5}))[0]
+        assert mutated.payload["x"] == 9.0
+
+    def test_out_of_range_coordinate_is_noop_for_vectors(self):
+        strategy = CoordinateAttackStrategy(coordinate=5, target=9.0)
+        mutated = strategy.mutate(make_message(payload={"value": (0.1, 0.2)}))[0]
+        assert mutated.payload["value"] == (0.1, 0.2)
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinateAttackStrategy(coordinate=-1, target=0.0)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import SystemConfiguration
+from repro.processes.registry import ProcessRegistry
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_registry() -> ProcessRegistry:
+    """5 processes, d = 2, f = 1: meets every bound except restricted-async."""
+    configuration = SystemConfiguration(process_count=5, dimension=2, fault_bound=1)
+    inputs = {
+        0: np.asarray([0.0, 0.0]),
+        1: np.asarray([1.0, 0.0]),
+        2: np.asarray([0.0, 1.0]),
+        3: np.asarray([1.0, 1.0]),
+        4: np.asarray([0.5, 0.5]),
+    }
+    return ProcessRegistry(configuration, inputs, faulty_ids={4})
+
+
+@pytest.fixture
+def fault_free_registry() -> ProcessRegistry:
+    """4 processes, d = 2, f = 1, but no process actually faulty."""
+    configuration = SystemConfiguration(process_count=4, dimension=2, fault_bound=1)
+    inputs = {
+        0: np.asarray([0.0, 0.0]),
+        1: np.asarray([2.0, 0.0]),
+        2: np.asarray([0.0, 2.0]),
+        3: np.asarray([2.0, 2.0]),
+    }
+    return ProcessRegistry(configuration, inputs, faulty_ids=frozenset())

@@ -1,0 +1,65 @@
+"""Unit tests for asynchronous approximate scalar consensus (Dolev-style baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.byzantine.strategies import CrashStrategy, OutsideHullStrategy
+from repro.consensus.scalar_approx import run_scalar_approx_consensus
+from repro.exceptions import ResilienceError
+from repro.network.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def spread(decisions: dict[int, float]) -> float:
+    values = list(decisions.values())
+    return max(values) - min(values)
+
+
+class TestScalarApprox:
+    def test_fault_free_convergence(self):
+        inputs = {pid: float(pid) for pid in range(6)}
+        outcome = run_scalar_approx_consensus(
+            inputs, fault_bound=1, epsilon=0.25, scheduler=RoundRobinScheduler()
+        )
+        assert spread(outcome.decisions) <= 0.25
+        for decision in outcome.decisions.values():
+            assert 0.0 <= decision <= 5.0
+
+    def test_resilience_check_requires_5f_plus_1(self):
+        inputs = {pid: float(pid) for pid in range(5)}
+        with pytest.raises(ResilienceError):
+            run_scalar_approx_consensus(inputs, fault_bound=1, epsilon=0.1)
+
+    def test_byzantine_outlier_does_not_break_validity(self):
+        inputs = {pid: float(pid) for pid in range(6)}
+        outcome = run_scalar_approx_consensus(
+            inputs,
+            fault_bound=1,
+            epsilon=0.25,
+            faulty_ids={5},
+            adversary_mutators={5: OutsideHullStrategy(offset=1000.0)},
+            scheduler=RandomScheduler(3),
+        )
+        assert spread(outcome.decisions) <= 0.25
+        for decision in outcome.decisions.values():
+            assert 0.0 <= decision <= 4.0
+
+    def test_crashed_process_tolerated(self):
+        inputs = {pid: float(pid) for pid in range(6)}
+        outcome = run_scalar_approx_consensus(
+            inputs,
+            fault_bound=1,
+            epsilon=0.5,
+            faulty_ids={0},
+            adversary_mutators={0: CrashStrategy()},
+            scheduler=RandomScheduler(4),
+        )
+        assert spread(outcome.decisions) <= 0.5
+
+    def test_round_override(self):
+        inputs = {pid: float(pid) for pid in range(6)}
+        outcome = run_scalar_approx_consensus(
+            inputs, fault_bound=1, epsilon=0.01, max_rounds_override=2,
+            scheduler=RoundRobinScheduler(),
+        )
+        assert outcome.rounds_executed == 2

@@ -1,0 +1,69 @@
+"""Unit tests for synchronous Byzantine scalar consensus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byzantine.strategies import EquivocationStrategy, OutsideHullStrategy
+from repro.consensus.scalar_exact import lower_median, run_scalar_consensus
+from repro.exceptions import ProtocolError, ResilienceError
+
+
+class TestLowerMedian:
+    def test_odd_count(self):
+        assert lower_median(np.asarray([3.0, 1.0, 2.0])) == 2.0
+
+    def test_even_count_takes_lower_of_middle_pair(self):
+        assert lower_median(np.asarray([1.0, 2.0, 3.0, 4.0])) == 2.0
+
+    def test_single_value(self):
+        assert lower_median(np.asarray([7.0])) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            lower_median(np.asarray([]))
+
+
+class TestScalarConsensus:
+    def test_fault_free_agreement_and_validity(self):
+        inputs = {0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0}
+        outcome = run_scalar_consensus(inputs, fault_bound=1)
+        values = set(outcome.decisions.values())
+        assert len(values) == 1
+        decision = values.pop()
+        assert 1.0 <= decision <= 4.0
+
+    def test_resilience_check(self):
+        with pytest.raises(ResilienceError):
+            run_scalar_consensus({0: 1.0, 1: 2.0, 2: 3.0}, fault_bound=1)
+
+    def test_byzantine_equivocation_cannot_break_agreement(self):
+        inputs = {0: 1.0, 1: 2.0, 2: 3.0, 3: 100.0}
+        outcome = run_scalar_consensus(
+            inputs,
+            fault_bound=1,
+            faulty_ids={3},
+            adversary_mutators={3: EquivocationStrategy([[0.0], [50.0]])},
+        )
+        values = set(outcome.decisions.values())
+        assert len(values) == 1
+        # Scalar validity: within the honest range [1, 3].
+        decision = values.pop()
+        assert 1.0 <= decision <= 3.0
+
+    def test_outlier_attack_bounded_by_honest_range(self):
+        inputs = {0: 0.4, 1: 0.5, 2: 0.6, 3: 0.5}
+        outcome = run_scalar_consensus(
+            inputs,
+            fault_bound=1,
+            faulty_ids={3},
+            adversary_mutators={3: OutsideHullStrategy(offset=1000.0)},
+        )
+        decision = next(iter(outcome.decisions.values()))
+        assert 0.4 <= decision <= 0.6
+
+    def test_rounds_are_f_plus_one(self):
+        inputs = {0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0, 4: 5.0, 5: 6.0, 6: 7.0}
+        outcome = run_scalar_consensus(inputs, fault_bound=2)
+        assert outcome.rounds_executed == 3

@@ -1,0 +1,88 @@
+"""Unit tests for the shared Step-2 aggregation (Equation (9))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import SafeAverageAggregator
+from repro.exceptions import ConfigurationError
+from repro.geometry.convex_hull import distance_to_hull
+
+
+HONEST = {
+    0: np.asarray([0.0, 0.0]),
+    1: np.asarray([1.0, 0.0]),
+    2: np.asarray([0.0, 1.0]),
+    3: np.asarray([1.0, 1.0]),
+}
+
+
+class TestConstruction:
+    def test_quorum_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SafeAverageAggregator(fault_bound=1, quorum=0)
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SafeAverageAggregator(fault_bound=-1, quorum=3)
+
+    def test_subset_budget(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        assert aggregator.subset_budget(5) == 5
+        assert aggregator.subset_budget(3) == 0
+
+
+class TestAggregate:
+    def test_fault_free_average_stays_in_hull(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([0.5, 0.5])
+        step = aggregator.aggregate(vectors)
+        assert step.subset_count == 5
+        honest_cloud = np.vstack(list(HONEST.values()))
+        assert distance_to_hull(honest_cloud, step.new_state) < 1e-6
+
+    def test_byzantine_outlier_excluded_from_influence(self):
+        # One of the five vectors is wildly off; the aggregate must stay inside
+        # the hull of every 4-subset, hence inside the honest hull.
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([1000.0, -1000.0])
+        step = aggregator.aggregate(vectors)
+        honest_cloud = np.vstack(list(HONEST.values()))
+        assert distance_to_hull(honest_cloud, step.new_state) < 1e-5
+
+    def test_explicit_subset_families(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([0.5, 0.5])
+        step = aggregator.aggregate(vectors, subset_families=[(0, 1, 2, 3), (1, 2, 3, 4)])
+        assert step.subset_count == 2
+
+    def test_bad_subset_families_fall_back_to_enumeration(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([0.5, 0.5])
+        step = aggregator.aggregate(vectors, subset_families=[(0, 1), (0, 1, 2, 99)])
+        assert step.subset_count == 5
+
+    def test_duplicate_families_deduplicated(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([0.5, 0.5])
+        step = aggregator.aggregate(vectors, subset_families=[(0, 1, 2, 3), (3, 2, 1, 0)])
+        assert step.subset_count == 1
+
+    def test_too_few_vectors_rejected(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        with pytest.raises(ConfigurationError):
+            aggregator.aggregate({0: np.zeros(2), 1: np.ones(2)})
+
+    def test_chosen_points_exposed(self):
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        vectors = dict(HONEST)
+        vectors[4] = np.asarray([0.5, 0.5])
+        step = aggregator.aggregate(vectors)
+        assert len(step.chosen_points) == step.subset_count
+        assert np.allclose(np.mean(np.vstack(step.chosen_points), axis=0), step.new_state)

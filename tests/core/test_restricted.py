@@ -1,0 +1,134 @@
+"""Protocol tests for the restricted-round algorithms (Theorem 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byzantine.strategies import CrashStrategy, EquivocationStrategy, OutsideHullStrategy
+from repro.core.conditions import (
+    SystemConfiguration,
+    minimum_processes_restricted_async,
+    minimum_processes_restricted_sync,
+)
+from repro.core.restricted_async import (
+    RestrictedAsyncProcess,
+    restricted_async_contraction_factor,
+    run_restricted_async_bvc,
+)
+from repro.core.restricted_sync import RestrictedSyncProcess, run_restricted_sync_bvc
+from repro.core.validity import check_approximate_outcome
+from repro.exceptions import ConfigurationError, ResilienceError
+from repro.network.scheduler import RandomScheduler
+from repro.workloads.generators import uniform_box_registry
+
+
+def sync_registry(dimension=2, fault_bound=1, seed=0):
+    n = minimum_processes_restricted_sync(dimension, fault_bound)
+    return uniform_box_registry(n, dimension, fault_bound, seed=seed)
+
+
+def async_registry(dimension=2, fault_bound=1, seed=0):
+    n = minimum_processes_restricted_async(dimension, fault_bound)
+    return uniform_box_registry(n, dimension, fault_bound, seed=seed)
+
+
+class TestConstruction:
+    def test_sync_resilience_enforced(self):
+        configuration = SystemConfiguration(4, 2, 1)  # needs 5
+        with pytest.raises(ResilienceError):
+            RestrictedSyncProcess(0, configuration, np.zeros(2), 0.1, 0.0, 1.0)
+
+    def test_async_resilience_enforced(self):
+        configuration = SystemConfiguration(6, 2, 1)  # needs 7
+        with pytest.raises(ResilienceError):
+            RestrictedAsyncProcess(0, configuration, np.zeros(2), 0.1, 0.0, 1.0)
+
+    def test_async_contraction_factor(self):
+        # gamma = 1 / (n * C(n - f, n - 3f))
+        assert restricted_async_contraction_factor(7, 1) == pytest.approx(1 / (7 * 15))
+
+    def test_async_contraction_requires_positive_quorum(self):
+        with pytest.raises(ConfigurationError):
+            restricted_async_contraction_factor(6, 2)
+
+    def test_value_bounds_validated(self):
+        configuration = SystemConfiguration(5, 2, 1)
+        with pytest.raises(ConfigurationError):
+            RestrictedSyncProcess(0, configuration, np.zeros(2), 0.1, 1.0, 0.0)
+
+
+class TestRestrictedSync:
+    def test_fault_free_convergence(self):
+        registry = uniform_box_registry(5, 2, 1, fault_count=0, seed=1)
+        outcome = run_restricted_sync_bvc(registry, epsilon=0.25, max_rounds_override=10)
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=0.25)
+        assert report.agreement_ok and report.validity_ok
+
+    @pytest.mark.parametrize("strategy_name", ["crash", "equivocate", "outside_hull"])
+    def test_under_attack_at_the_bound(self, strategy_name):
+        registry = sync_registry(seed=21)
+        honest_inputs = [registry.input_of(pid) for pid in registry.honest_ids]
+        strategies = {
+            "crash": lambda: CrashStrategy(),
+            "equivocate": lambda: EquivocationStrategy(honest_inputs),
+            "outside_hull": lambda: OutsideHullStrategy(offset=40.0),
+        }
+        mutators = {pid: strategies[strategy_name]() for pid in registry.faulty_ids}
+        outcome = run_restricted_sync_bvc(
+            registry, epsilon=0.25, adversary_mutators=mutators, max_rounds_override=12
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=0.25)
+        assert report.agreement_ok, f"disagreement {report.max_disagreement}"
+        assert report.validity_ok, f"hull distance {report.max_hull_distance}"
+
+    def test_static_round_rule_used_by_default(self):
+        registry = uniform_box_registry(4, 1, 1, fault_count=0, seed=2)
+        outcome = run_restricted_sync_bvc(registry, epsilon=0.5)
+        process = RestrictedSyncProcess(
+            0, registry.configuration, registry.input_of(0), 0.5, *registry.value_bounds()
+        )
+        assert outcome.rounds_executed == process.total_rounds
+
+    def test_state_histories_have_one_entry_per_round(self):
+        registry = uniform_box_registry(5, 2, 1, fault_count=0, seed=3)
+        outcome = run_restricted_sync_bvc(registry, epsilon=0.3, max_rounds_override=4)
+        for history in outcome.state_histories.values():
+            assert len(history) == 5
+
+
+class TestRestrictedAsync:
+    def test_fault_free_convergence(self):
+        registry = uniform_box_registry(7, 2, 1, fault_count=0, seed=4)
+        outcome = run_restricted_async_bvc(
+            registry, epsilon=0.25, max_rounds_override=8, scheduler=RandomScheduler(1)
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=0.25)
+        assert report.agreement_ok and report.validity_ok
+
+    @pytest.mark.parametrize("strategy_name", ["crash", "outside_hull"])
+    def test_under_attack_at_the_bound(self, strategy_name):
+        registry = async_registry(seed=22)
+        strategies = {
+            "crash": lambda: CrashStrategy(),
+            "outside_hull": lambda: OutsideHullStrategy(offset=40.0),
+        }
+        mutators = {pid: strategies[strategy_name]() for pid in registry.faulty_ids}
+        outcome = run_restricted_async_bvc(
+            registry, epsilon=0.3, adversary_mutators=mutators,
+            max_rounds_override=10, scheduler=RandomScheduler(2),
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=0.3)
+        assert report.agreement_ok, f"disagreement {report.max_disagreement}"
+        assert report.validity_ok, f"hull distance {report.max_hull_distance}"
+
+    def test_decisions_inside_honest_hull_even_with_equivocation(self):
+        registry = async_registry(dimension=1, fault_bound=1, seed=23)
+        honest_inputs = [registry.input_of(pid) for pid in registry.honest_ids]
+        mutators = {pid: EquivocationStrategy(honest_inputs) for pid in registry.faulty_ids}
+        outcome = run_restricted_async_bvc(
+            registry, epsilon=0.3, adversary_mutators=mutators,
+            max_rounds_override=8, scheduler=RandomScheduler(3),
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=0.3)
+        assert report.validity_ok

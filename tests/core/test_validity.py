@@ -1,0 +1,70 @@
+"""Unit tests for the independent agreement/validity verification layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validity import check_approximate_outcome, check_exact_outcome
+from repro.exceptions import AgreementViolation, ValidityViolation
+
+
+class TestExactChecks:
+    def test_all_ok(self, small_registry):
+        decisions = {pid: np.asarray([0.5, 0.5]) for pid in small_registry.honest_ids}
+        report = check_exact_outcome(small_registry, decisions)
+        assert report.all_ok
+        assert report.max_disagreement == pytest.approx(0.0)
+        assert report.max_hull_distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_disagreement_detected(self, small_registry):
+        decisions = {pid: np.asarray([0.5, 0.5]) for pid in small_registry.honest_ids}
+        decisions[small_registry.honest_ids[0]] = np.asarray([0.4, 0.5])
+        report = check_exact_outcome(small_registry, decisions)
+        assert not report.agreement_ok
+        assert report.max_disagreement == pytest.approx(0.1)
+        with pytest.raises(AgreementViolation):
+            report.raise_on_failure()
+
+    def test_validity_violation_detected(self, small_registry):
+        decisions = {pid: np.asarray([2.0, 2.0]) for pid in small_registry.honest_ids}
+        report = check_exact_outcome(small_registry, decisions)
+        assert report.agreement_ok
+        assert not report.validity_ok
+        assert report.max_hull_distance == pytest.approx(1.0, abs=1e-6)
+        with pytest.raises(ValidityViolation):
+            report.raise_on_failure()
+
+    def test_no_decisions_raises(self, small_registry):
+        with pytest.raises(AgreementViolation):
+            check_exact_outcome(small_registry, {})
+
+
+class TestApproximateChecks:
+    def test_within_epsilon(self, small_registry):
+        decisions = {
+            pid: np.asarray([0.5 + 0.01 * index, 0.5])
+            for index, pid in enumerate(small_registry.honest_ids)
+        }
+        report = check_approximate_outcome(small_registry, decisions, epsilon=0.1)
+        assert report.agreement_ok
+        assert report.validity_ok
+        assert report.epsilon == 0.1
+
+    def test_beyond_epsilon(self, small_registry):
+        decisions = {pid: np.asarray([0.0, 0.0]) for pid in small_registry.honest_ids}
+        decisions[small_registry.honest_ids[-1]] = np.asarray([0.5, 0.0])
+        report = check_approximate_outcome(small_registry, decisions, epsilon=0.1)
+        assert not report.agreement_ok
+        assert report.max_disagreement == pytest.approx(0.5)
+
+    def test_validity_checked_against_honest_inputs_only(self, small_registry):
+        # (0.9, 0.9) is in the hull of all five inputs and of the honest four.
+        decisions = {pid: np.asarray([0.9, 0.9]) for pid in small_registry.honest_ids}
+        report = check_approximate_outcome(small_registry, decisions, epsilon=0.1)
+        assert report.validity_ok
+
+    def test_invalid_epsilon_rejected(self, small_registry):
+        decisions = {pid: np.asarray([0.5, 0.5]) for pid in small_registry.honest_ids}
+        with pytest.raises(ValueError):
+            check_approximate_outcome(small_registry, decisions, epsilon=0.0)

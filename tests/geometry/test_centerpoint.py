@@ -1,0 +1,73 @@
+"""Unit tests for repro.geometry.centerpoint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.centerpoint import (
+    find_centerpoint,
+    halfspace_depth,
+    is_centerpoint,
+    required_center_depth,
+)
+
+
+class TestRequiredDepth:
+    def test_formula(self):
+        assert required_center_depth(9, 2) == 3
+        assert required_center_depth(10, 2) == 4
+        assert required_center_depth(7, 1) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GeometryError):
+            required_center_depth(0, 2)
+        with pytest.raises(GeometryError):
+            required_center_depth(5, 0)
+
+
+class TestHalfspaceDepth:
+    def test_far_outside_point_has_zero_depth(self):
+        cloud = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        assert halfspace_depth(cloud, [10.0, 10.0]) == 0
+
+    def test_center_of_square_has_full_quadrant_depth(self):
+        cloud = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        assert halfspace_depth(cloud, [0.5, 0.5]) >= 2
+
+    def test_one_dimensional_depth_is_rank(self):
+        cloud = [[0.0], [1.0], [2.0], [3.0], [4.0]]
+        assert halfspace_depth(cloud, [2.0]) == 3
+        assert halfspace_depth(cloud, [0.0]) == 1
+
+    def test_vertex_has_depth_one(self):
+        cloud = [[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]]
+        assert halfspace_depth(cloud, [0.0, 0.0]) == 1
+
+
+class TestFindCenterpoint:
+    def test_median_works_in_one_dimension(self, rng):
+        cloud = rng.uniform(-1, 1, size=(15, 1))
+        center = find_centerpoint(cloud, rng=rng)
+        assert is_centerpoint(cloud, center)
+
+    def test_square_grid_in_two_dimensions(self, rng):
+        xs, ys = np.meshgrid(np.arange(4.0), np.arange(4.0))
+        cloud = np.column_stack([xs.ravel(), ys.ravel()])
+        center = find_centerpoint(cloud, rng=rng)
+        assert is_centerpoint(cloud, center)
+
+    def test_random_cloud_in_two_dimensions(self, rng):
+        cloud = rng.normal(size=(20, 2))
+        center = find_centerpoint(cloud, rng=rng)
+        assert halfspace_depth(cloud, center) >= required_center_depth(20, 2) - 1
+
+    def test_empty_cloud_raises(self, rng):
+        with pytest.raises(GeometryError):
+            find_centerpoint(np.empty((0, 2)), rng=rng)
+
+    def test_identical_points(self, rng):
+        cloud = np.ones((6, 2))
+        center = find_centerpoint(cloud, rng=rng)
+        assert np.allclose(center, [1.0, 1.0])

@@ -1,0 +1,103 @@
+"""Unit tests for repro.geometry.halfspaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.halfspaces import Halfspace, HalfspaceRegion, separating_hyperplane
+
+
+class TestHalfspace:
+    def test_contains(self):
+        halfspace = Halfspace([1.0, 0.0], 1.0)
+        assert halfspace.contains([0.5, 7.0])
+        assert halfspace.contains([1.0, 0.0])
+        assert not halfspace.contains([1.5, 0.0])
+
+    def test_margin_sign(self):
+        halfspace = Halfspace([0.0, 1.0], 2.0)
+        assert halfspace.margin([0.0, 0.0]) == pytest.approx(2.0)
+        assert halfspace.margin([0.0, 3.0]) == pytest.approx(-1.0)
+
+    def test_flipped(self):
+        halfspace = Halfspace([1.0, 0.0], 1.0)
+        flipped = halfspace.flipped()
+        assert not flipped.contains([0.0, 0.0])
+        assert flipped.contains([2.0, 0.0])
+
+    def test_zero_normal_raises(self):
+        with pytest.raises(GeometryError):
+            Halfspace([0.0, 0.0], 1.0)
+
+
+class TestHalfspaceRegion:
+    def test_box_membership(self):
+        box = HalfspaceRegion.box([0.0, 0.0], [1.0, 2.0])
+        assert box.contains([0.5, 1.0])
+        assert not box.contains([1.5, 1.0])
+        assert not box.contains([0.5, -0.1])
+
+    def test_find_point_in_nonempty_region(self):
+        box = HalfspaceRegion.box([0.0, 0.0], [1.0, 1.0])
+        point = box.find_point()
+        assert point is not None
+        assert box.contains(point)
+
+    def test_empty_region(self):
+        empty = HalfspaceRegion([Halfspace([1.0], 0.0), Halfspace([-1.0], -1.0)])
+        assert empty.is_empty()
+        assert empty.find_point() is None
+
+    def test_chebyshev_center_of_unit_box(self):
+        box = HalfspaceRegion.box([0.0, 0.0], [2.0, 2.0])
+        result = box.chebyshev_center()
+        assert result is not None
+        center, radius = result
+        assert np.allclose(center, [1.0, 1.0], atol=1e-6)
+        assert radius == pytest.approx(1.0, abs=1e-6)
+
+    def test_chebyshev_center_of_empty_region(self):
+        empty = HalfspaceRegion([Halfspace([1.0], 0.0), Halfspace([-1.0], -1.0)])
+        assert empty.chebyshev_center() is None
+
+    def test_intersect(self):
+        left = HalfspaceRegion.box([0.0, 0.0], [2.0, 2.0])
+        right = HalfspaceRegion.box([1.0, 1.0], [3.0, 3.0])
+        both = left.intersect(right)
+        assert both.contains([1.5, 1.5])
+        assert not both.contains([0.5, 0.5])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            HalfspaceRegion([Halfspace([1.0], 0.0), Halfspace([1.0, 0.0], 0.0)])
+
+    def test_bad_box_raises(self):
+        with pytest.raises(GeometryError):
+            HalfspaceRegion.box([1.0], [0.0])
+
+    def test_empty_halfspace_list_raises(self):
+        with pytest.raises(GeometryError):
+            HalfspaceRegion([])
+
+
+class TestSeparatingHyperplane:
+    def test_separates_outside_point(self):
+        square = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        halfspace = separating_hyperplane(square, [3.0, 3.0])
+        assert halfspace is not None
+        assert all(halfspace.contains(point) for point in square)
+        assert not halfspace.contains([3.0, 3.0])
+
+    def test_none_for_inside_point(self):
+        square = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        assert separating_hyperplane(square, [0.5, 0.5]) is None
+
+    def test_none_for_boundary_point(self):
+        segment = [[0.0, 0.0], [2.0, 0.0]]
+        assert separating_hyperplane(segment, [1.0, 0.0]) is None
+
+    def test_empty_cloud_raises(self):
+        with pytest.raises(GeometryError):
+            separating_hyperplane(np.empty((0, 2)), [0.0, 0.0])

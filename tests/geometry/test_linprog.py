@@ -1,0 +1,99 @@
+"""Unit tests for repro.geometry.linprog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LinearProgramError
+from repro.geometry.linprog import feasibility_program, solve_linear_program
+
+
+class TestSolveLinearProgram:
+    def test_simple_minimisation(self):
+        # minimise x + y subject to x + y >= 1, x, y >= 0.
+        result = solve_linear_program(
+            [1.0, 1.0],
+            inequality_matrix=[[-1.0, -1.0]],
+            inequality_rhs=[-1.0],
+        )
+        assert result.feasible
+        assert result.objective == pytest.approx(1.0)
+
+    def test_infeasible_program_is_reported_not_raised(self):
+        # x >= 0 and x <= -1 simultaneously.
+        result = solve_linear_program(
+            [1.0],
+            inequality_matrix=[[1.0]],
+            inequality_rhs=[-1.0],
+            bounds=(0, None),
+        )
+        assert not result.feasible
+        assert result.solution is None
+
+    def test_unbounded_program_raises(self):
+        with pytest.raises(LinearProgramError):
+            solve_linear_program([-1.0], bounds=(0, None))
+
+    def test_equality_constraints(self):
+        result = solve_linear_program(
+            [0.0, 0.0],
+            equality_matrix=[[1.0, 1.0]],
+            equality_rhs=[2.0],
+        )
+        assert result.feasible
+        assert result.solution is not None
+        assert result.solution.sum() == pytest.approx(2.0)
+
+    def test_matrix_without_rhs_raises(self):
+        with pytest.raises(LinearProgramError):
+            solve_linear_program([1.0], inequality_matrix=[[1.0]])
+
+    def test_wrong_column_count_raises(self):
+        with pytest.raises(LinearProgramError):
+            solve_linear_program([1.0, 1.0], inequality_matrix=[[1.0]], inequality_rhs=[1.0])
+
+    def test_non_vector_objective_raises(self):
+        with pytest.raises(LinearProgramError):
+            solve_linear_program(np.zeros((2, 2)))
+
+    def test_free_variable_bounds(self):
+        result = solve_linear_program(
+            [1.0],
+            inequality_matrix=[[-1.0]],
+            inequality_rhs=[5.0],
+            bounds=(None, None),
+        )
+        assert result.feasible
+        assert result.objective == pytest.approx(-5.0)
+
+
+class TestFeasibilityProgram:
+    def test_feasible(self):
+        result = feasibility_program(
+            variable_count=2,
+            equality_matrix=[[1.0, 1.0]],
+            equality_rhs=[1.0],
+        )
+        assert result.feasible
+
+    def test_infeasible(self):
+        result = feasibility_program(
+            variable_count=1,
+            equality_matrix=[[1.0]],
+            equality_rhs=[-2.0],
+            bounds=(0, None),
+        )
+        assert not result.feasible
+
+    def test_degenerate_duplicate_columns(self):
+        # A degenerate system with duplicated columns used to trip the HiGHS
+        # presolve; the wrapper must still answer feasible.
+        column = np.asarray([1.0, -2.0])
+        matrix = np.column_stack([column, column, column])
+        result = feasibility_program(
+            variable_count=3,
+            equality_matrix=np.vstack([matrix, np.ones((1, 3))]),
+            equality_rhs=np.asarray([1.0, -2.0, 1.0]),
+        )
+        assert result.feasible

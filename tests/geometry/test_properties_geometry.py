@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the geometry substrate.
+
+These check the structural invariants the BVC algorithms rely on:
+
+* convex-combination weights, when found, really reconstruct the target;
+* the centroid of any cloud is in its hull; hull membership is preserved
+  under taking super-clouds;
+* the distance-to-hull function is zero exactly on members of the hull;
+* Radon / Tverberg partitions produce witnesses inside every block's hull;
+* ``Gamma(Y)`` is non-empty whenever ``|Y| >= (d+1)f + 1`` (Lemma 1), and any
+  point of ``Gamma`` lies in the hull of every ``(|Y|-f)``-subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.safe_area import safe_area_contains, safe_area_point
+from repro.geometry.convex_hull import (
+    contains_point,
+    convex_combination_weights,
+    distance_to_hull,
+)
+from repro.geometry.multisets import PointMultiset
+from repro.geometry.tverberg import radon_partition
+
+# Bounded, well-scaled coordinates keep the LPs numerically tame and the
+# examples meaningful.
+coordinate = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def cloud_strategy(min_points: int, max_points: int, dimension: int):
+    return st.lists(
+        st.lists(coordinate, min_size=dimension, max_size=dimension),
+        min_size=min_points,
+        max_size=max_points,
+    ).map(lambda rows: np.asarray(rows, dtype=float))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cloud=cloud_strategy(1, 6, 2))
+def test_centroid_is_in_hull(cloud):
+    centroid = cloud.mean(axis=0)
+    assert contains_point(cloud, centroid, tolerance=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cloud=cloud_strategy(1, 6, 2), extra=st.lists(coordinate, min_size=2, max_size=2))
+def test_hull_membership_monotone_under_adding_points(cloud, extra):
+    target = cloud[0]
+    bigger = np.vstack([cloud, np.asarray(extra, dtype=float)[None, :]])
+    assert contains_point(bigger, target, tolerance=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cloud=cloud_strategy(1, 6, 3),
+    weights=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=6, max_size=6),
+)
+def test_convex_combinations_are_inside_and_reconstructible(cloud, weights):
+    raw = np.asarray(weights[: cloud.shape[0]], dtype=float)
+    if raw.sum() <= 1e-9:
+        raw = np.ones(cloud.shape[0])
+    raw = raw / raw.sum()
+    target = raw @ cloud
+    found = convex_combination_weights(cloud, target)
+    assert found is not None
+    assert abs(found.sum() - 1.0) < 1e-6
+    assert np.max(np.abs(found @ cloud - target)) < 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(cloud=cloud_strategy(2, 6, 2))
+def test_distance_zero_iff_contained(cloud):
+    member = cloud[-1]
+    assert distance_to_hull(cloud, member) < 1e-6
+    far_away = cloud.max(axis=0) + 5.0
+    assert distance_to_hull(cloud, far_away) > 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(cloud=cloud_strategy(4, 6, 2))
+def test_radon_witness_lies_in_both_blocks(cloud):
+    partition = radon_partition(PointMultiset(cloud))
+    for block in partition.blocks:
+        assert contains_point(cloud[list(block)], partition.witness, tolerance=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cloud=cloud_strategy(4, 7, 2))
+def test_lemma1_gamma_nonempty_for_f1(cloud):
+    # |Y| >= 4 = (d+1)*1 + 1 in the plane, so Gamma with f = 1 is never empty.
+    point = safe_area_point(PointMultiset(cloud), fault_bound=1)
+    assert point is not None
+    assert safe_area_contains(PointMultiset(cloud), 1, point, tolerance=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cloud=cloud_strategy(4, 6, 1))
+def test_gamma_point_in_every_leave_f_out_hull_1d(cloud):
+    multiset = PointMultiset(cloud)
+    point = safe_area_point(multiset, fault_bound=1)
+    assert point is not None
+    for subset in multiset.drop_count(1):
+        assert distance_to_hull(subset, point) < 1e-5

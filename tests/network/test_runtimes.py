@@ -1,0 +1,218 @@
+"""Unit tests for the synchronous and asynchronous runtimes.
+
+The tests drive tiny purpose-built processes (an echo/flood protocol and a
+counter protocol) rather than the BVC algorithms, so that runtime semantics —
+round structure, FIFO order, termination, liveness failure detection — are
+checked in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TerminationError
+from repro.network.async_runtime import AsynchronousRuntime
+from repro.network.message import Message
+from repro.network.scheduler import RoundRobinScheduler
+from repro.network.sync_runtime import SynchronousRuntime
+from repro.processes.process import AsyncProcess, SyncProcess
+
+
+class GossipSyncProcess(SyncProcess):
+    """Each round, send the set of ids heard of; decide once all ids are known."""
+
+    def __init__(self, process_id: int, all_ids: tuple[int, ...]):
+        super().__init__(process_id)
+        self.all_ids = all_ids
+        self.known = {process_id}
+        self._decided = False
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        return [
+            Message(
+                sender=self.process_id,
+                recipient=other,
+                protocol="gossip",
+                kind="KNOWN",
+                payload=frozenset(self.known),
+                round_index=round_index,
+            )
+            for other in self.all_ids
+            if other != self.process_id
+        ]
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        for message in inbox:
+            self.known |= set(message.payload)
+        if self.known == set(self.all_ids):
+            self._decided = True
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self):
+        return frozenset(self.known)
+
+
+class SilentSyncProcess(SyncProcess):
+    """Never sends, never decides (used to exercise the round budget)."""
+
+    def outgoing(self, round_index: int) -> list[Message]:
+        return []
+
+    def deliver(self, round_index: int, inbox: list[Message]) -> None:
+        pass
+
+    def has_decided(self) -> bool:
+        return False
+
+    def decision(self):
+        return None
+
+
+class PingPongAsyncProcess(AsyncProcess):
+    """Process 0 sends PING; every process echoes until a hop budget is spent."""
+
+    def __init__(self, process_id: int, all_ids: tuple[int, ...], hops: int = 3):
+        super().__init__(process_id)
+        self.all_ids = all_ids
+        self.hops = hops
+        self.received: list[int] = []
+        self._decided = False
+
+    def on_start(self) -> None:
+        if self.process_id == 0:
+            for other in self.all_ids:
+                if other != self.process_id:
+                    self.send(Message(
+                        sender=self.process_id, recipient=other, protocol="pingpong",
+                        kind="PING", payload=self.hops,
+                    ))
+
+    def on_message(self, message: Message) -> None:
+        remaining = int(message.payload)
+        self.received.append(message.sender)
+        if remaining > 0:
+            for other in self.all_ids:
+                if other != self.process_id:
+                    self.send(Message(
+                        sender=self.process_id, recipient=other, protocol="pingpong",
+                        kind="PING", payload=remaining - 1,
+                    ))
+        if len(self.received) >= 2:
+            self._decided = True
+
+    def has_decided(self) -> bool:
+        return self._decided
+
+    def decision(self):
+        return len(self.received)
+
+
+class NeverDecidesAsyncProcess(AsyncProcess):
+    """Sends nothing and never decides (used to exercise quiescence detection)."""
+
+    def on_start(self) -> None:
+        pass
+
+    def on_message(self, message: Message) -> None:
+        pass
+
+    def has_decided(self) -> bool:
+        return False
+
+    def decision(self):
+        return None
+
+
+class TestSynchronousRuntime:
+    def test_gossip_completes_in_one_round_for_complete_graph(self):
+        ids = (0, 1, 2, 3)
+        processes = {pid: GossipSyncProcess(pid, ids) for pid in ids}
+        result = SynchronousRuntime(processes).run()
+        assert result.rounds_executed == 1
+        assert all(decision == frozenset(ids) for decision in result.decisions.values())
+
+    def test_messages_counted(self):
+        ids = (0, 1, 2)
+        processes = {pid: GossipSyncProcess(pid, ids) for pid in ids}
+        result = SynchronousRuntime(processes).run()
+        assert result.traffic.messages_sent == 6
+
+    def test_round_budget_enforced(self):
+        processes = {0: SilentSyncProcess(0), 1: SilentSyncProcess(1)}
+        with pytest.raises(TerminationError):
+            SynchronousRuntime(processes, max_rounds=3).run()
+
+    def test_honest_subset_only_needs_to_decide(self):
+        # The silent third process never decides, but only (0, 1) are honest,
+        # so the run completes as soon as they have gossiped with each other.
+        processes = {
+            0: GossipSyncProcess(0, (0, 1)),
+            1: GossipSyncProcess(1, (0, 1)),
+            2: SilentSyncProcess(2),
+        }
+        result = SynchronousRuntime(processes, honest_ids=(0, 1)).run()
+        assert set(result.decisions) == {0, 1}
+
+    def test_mismatched_process_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousRuntime({0: GossipSyncProcess(1, (0, 1)), 1: GossipSyncProcess(1, (0, 1))})
+
+    def test_unknown_honest_id_rejected(self):
+        ids = (0, 1)
+        processes = {pid: GossipSyncProcess(pid, ids) for pid in ids}
+        with pytest.raises(ConfigurationError):
+            SynchronousRuntime(processes, honest_ids=(0, 5))
+
+    def test_needs_at_least_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousRuntime({0: SilentSyncProcess(0)})
+
+
+class TestAsynchronousRuntime:
+    def test_ping_pong_terminates(self):
+        ids = (0, 1, 2)
+        processes = {pid: PingPongAsyncProcess(pid, ids) for pid in ids}
+        result = AsynchronousRuntime(processes, scheduler=RoundRobinScheduler()).run()
+        assert result.deliveries > 0
+        assert all(count >= 2 for count in result.decisions.values())
+
+    def test_quiescence_with_undecided_process_raises(self):
+        processes = {0: NeverDecidesAsyncProcess(0), 1: NeverDecidesAsyncProcess(1)}
+        with pytest.raises(TerminationError):
+            AsynchronousRuntime(processes).run()
+
+    def test_delivery_budget_enforced(self):
+        class Chatter(AsyncProcess):
+            def on_start(self):
+                self.send(Message(sender=self.process_id, recipient=1 - self.process_id,
+                                  protocol="chat", kind="X", payload=None))
+
+            def on_message(self, message):
+                self.send(Message(sender=self.process_id, recipient=message.sender,
+                                  protocol="chat", kind="X", payload=None))
+
+            def has_decided(self):
+                return False
+
+            def decision(self):
+                return None
+
+        processes = {0: Chatter(0), 1: Chatter(1)}
+        with pytest.raises(TerminationError):
+            AsynchronousRuntime(processes, max_deliveries=50).run()
+
+    def test_honest_subset_only(self):
+        ids = (0, 1, 2)
+        processes = {
+            0: PingPongAsyncProcess(0, ids),
+            1: PingPongAsyncProcess(1, ids),
+            2: NeverDecidesAsyncProcess(2),
+        }
+        result = AsynchronousRuntime(processes, honest_ids=(0, 1), scheduler=RoundRobinScheduler()).run()
+        assert set(result.decisions) == {0, 1}
+
+    def test_mismatched_process_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousRuntime({0: NeverDecidesAsyncProcess(3), 1: NeverDecidesAsyncProcess(1)})

@@ -1,0 +1,60 @@
+"""Unit tests for repro.network.scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulerError
+from repro.network.scheduler import LaggingScheduler, RandomScheduler, RoundRobinScheduler
+
+CHANNELS = [(0, 1), (1, 2), (2, 0), (3, 1)]
+
+
+class TestRandomScheduler:
+    def test_picks_only_busy_channels(self):
+        scheduler = RandomScheduler(0)
+        for _ in range(50):
+            assert scheduler.choose(CHANNELS) in CHANNELS
+
+    def test_deterministic_for_fixed_seed(self):
+        first = [RandomScheduler(7).choose(CHANNELS) for _ in range(10)]
+        second = [RandomScheduler(7).choose(CHANNELS) for _ in range(10)]
+        assert first == second
+
+    def test_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            RandomScheduler(0).choose([])
+
+
+class TestLaggingScheduler:
+    def test_starves_slow_process(self):
+        scheduler = LaggingScheduler(slow_processes=[3], seed=0)
+        for _ in range(50):
+            choice = scheduler.choose(CHANNELS)
+            assert 3 not in choice
+
+    def test_slow_channel_served_when_only_option(self):
+        scheduler = LaggingScheduler(slow_processes=[3], seed=0)
+        assert scheduler.choose([(3, 1)]) == (3, 1)
+
+    def test_slow_recipient_also_starved(self):
+        scheduler = LaggingScheduler(slow_processes=[1], seed=0)
+        for _ in range(50):
+            choice = scheduler.choose([(0, 1), (2, 0)])
+            assert choice == (2, 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            LaggingScheduler([0]).choose([])
+
+
+class TestRoundRobinScheduler:
+    def test_cycles_deterministically(self):
+        scheduler = RoundRobinScheduler()
+        choices = [scheduler.choose(CHANNELS) for _ in range(len(CHANNELS) * 2)]
+        assert choices[: len(CHANNELS)] == sorted(CHANNELS)
+        assert choices[len(CHANNELS):] == sorted(CHANNELS)
+
+    def test_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler().choose([])

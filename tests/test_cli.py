@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_REGISTRY, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_with_output(self, tmp_path):
+        arguments = build_parser().parse_args(["run", "E2", "--output", str(tmp_path / "out.txt")])
+        assert arguments.command == "run"
+        assert arguments.experiment == "E2"
+
+    def test_bounds_defaults(self):
+        arguments = build_parser().parse_args(["bounds"])
+        assert arguments.dimension == 2
+        assert arguments.faults == 1
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_REGISTRY:
+            assert experiment_id in output
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--dimension", "3", "--faults", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "11" in output  # (d+2)f+1 = 11 for d=3, f=2
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E2"]) == 0
+        output = capsys.readouterr().out
+        assert "Theorem 1" in output
+        assert "yes" in output
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "e13"]) == 0
+        assert "approx_async" in capsys.readouterr().out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "table.txt"
+        assert main(["run", "E13", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert target.exists()
+        assert "approx_async" in target.read_text()
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_design_doc_ids(self):
+        # E10 and E12 are covered by the E6/E11 runners respectively; everything
+        # else from DESIGN.md must be present.
+        for required in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14"):
+            assert required in EXPERIMENT_REGISTRY
