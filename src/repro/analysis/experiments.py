@@ -35,10 +35,11 @@ from repro.core.exact_bvc import run_exact_bvc
 from repro.core.impossibility import analyze_async_necessity, analyze_sync_necessity
 from repro.core.restricted_async import run_restricted_async_bvc
 from repro.core.restricted_sync import run_restricted_sync_bvc
-from repro.core.safe_area import safe_area_point, safe_area_subset_count
+from repro.core.safe_area import safe_area_contains, safe_area_point, safe_area_subset_count
 from repro.core.validity import check_approximate_outcome, check_exact_outcome
 from repro.analysis.convergence import measured_contraction_factors, max_range_per_round
 from repro.analysis.metrics import max_coordinate_disagreement, max_validity_violation
+from repro.geometry.kernel import GammaKernel, pruned_subset_family, safe_area_points_batch
 from repro.geometry.multisets import PointMultiset
 from repro.geometry.tverberg import figure1_instance, find_tverberg_partition, verify_tverberg_partition
 from repro.network.scheduler import LaggingScheduler, RandomScheduler
@@ -65,6 +66,7 @@ __all__ = [
     "experiment_restricted_rounds",
     "experiment_resilience_landscape",
     "experiment_applications",
+    "experiment_kernel_speedup",
 ]
 
 STRATEGY_NAMES = ("crash", "equivocate", "outside_hull", "random_noise")
@@ -246,18 +248,20 @@ def experiment_safe_area_cost(
     configurations: Sequence[tuple[int, int, int]] = ((4, 1, 1), (5, 2, 1), (6, 3, 1), (7, 2, 2), (9, 2, 2)),
     seed: int = 11,
 ) -> list[dict[str, object]]:
-    """Section 2.2 LP cost: subset count and LP feasibility across (n, d, f)."""
+    """Section 2.2 LP cost: subset count, pruned block count, LP feasibility."""
     rng = np.random.default_rng(seed)
     rows = []
     for process_count, dimension, fault_bound in configurations:
         cloud = rng.uniform(0.0, 1.0, size=(process_count, dimension))
         point = safe_area_point(PointMultiset(cloud), fault_bound)
+        pruned_blocks = len(pruned_subset_family(cloud, fault_bound))
         rows.append(
             {
                 "n": process_count,
                 "d": dimension,
                 "f": fault_bound,
                 "subsets_in_gamma": safe_area_subset_count(process_count, fault_bound),
+                "kernel_blocks": pruned_blocks,
                 "point_found": point is not None,
             }
         )
@@ -498,6 +502,76 @@ def experiment_resilience_landscape(
 ) -> list[dict[str, object]]:
     """Minimum n for every setting across (d, f) — the paper's bounds as a table."""
     return [dict(row) for row in resilience_table(list(dimensions), list(fault_bounds))]
+
+
+# ---------------------------------------------------------------------------
+# E15 — geometry kernel: pruned + cached + batched Gamma vs the literal LP
+# ---------------------------------------------------------------------------
+
+def experiment_kernel_speedup(
+    configurations: Sequence[tuple[int, int, int]] = ((7, 2, 2), (9, 2, 2), (11, 2, 3)),
+    seed: int = 17,
+    batch_size: int = 8,
+) -> list[dict[str, object]]:
+    """Kernel vs oracle: block counts, wall-clock, and answer agreement.
+
+    One row per ``(n, d, f)`` configuration: the oracle is the literal
+    Section 2.2 enumeration (``safe_area_point``), the kernel the pruned /
+    cached / batched path of :mod:`repro.geometry.kernel`.  ``batch_us_per_q``
+    amortises one fused batch of ``batch_size`` queries.  Defaults are sized
+    for the CLI (seconds); the benchmark suite passes the heavy grid where
+    the oracle alone takes tens of seconds per query.
+    """
+    import time
+
+    rng = np.random.default_rng(seed)
+    kernel = GammaKernel()
+    rows: list[dict[str, object]] = []
+    for process_count, dimension, fault_bound in configurations:
+        cloud = rng.uniform(0.0, 1.0, size=(process_count, dimension))
+        objective = np.zeros(dimension)
+        objective[0] = 1.0
+
+        start = time.perf_counter()
+        oracle_point = safe_area_point(cloud, fault_bound, objective=objective)
+        oracle_seconds = time.perf_counter() - start
+
+        kernel.point(cloud, fault_bound, objective=objective)  # warm the template
+        start = time.perf_counter()
+        kernel_point = kernel.point(cloud, fault_bound, objective=objective)
+        kernel_seconds = time.perf_counter() - start
+
+        batch_clouds = [
+            rng.uniform(0.0, 1.0, size=(process_count, dimension)) for _ in range(batch_size)
+        ]
+        start = time.perf_counter()
+        batch_points = safe_area_points_batch(batch_clouds, fault_bound, objective=objective)
+        batch_seconds = time.perf_counter() - start
+
+        full_blocks = safe_area_subset_count(process_count, fault_bound)
+        pruned_blocks = len(pruned_subset_family(cloud, fault_bound))
+        agree = (
+            oracle_point is not None
+            and kernel_point is not None
+            and bool(abs(float(oracle_point[0]) - float(kernel_point[0])) < 1e-6)
+            and safe_area_contains(cloud, fault_bound, kernel_point, tolerance=1e-5)
+        )
+        rows.append(
+            {
+                "n": process_count,
+                "d": dimension,
+                "f": fault_bound,
+                "blocks_full": full_blocks,
+                "blocks_pruned": pruned_blocks,
+                "oracle_ms": round(oracle_seconds * 1e3, 3),
+                "kernel_ms": round(kernel_seconds * 1e3, 3),
+                "speedup": round(oracle_seconds / max(kernel_seconds, 1e-9), 1),
+                "batch_us_per_q": round(batch_seconds / len(batch_clouds) * 1e6, 1),
+                "batch_all_found": all(point is not None for point in batch_points),
+                "kernel_matches_oracle": agree,
+            }
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

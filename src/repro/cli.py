@@ -7,8 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run all                   # run every experiment
     python -m repro.cli run E8 --output out.txt   # also write the table to a file
     python -m repro.cli bounds --dimension 3 --faults 2   # query the resilience bounds
+    python -m repro.cli --help                    # usage examples + documentation map
 
-The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``.
+The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``; E15 is the
+geometry-kernel speedup experiment added alongside ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -74,7 +76,28 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]
         "Application workloads (probability vectors, robots, gradients)",
         experiments.experiment_applications,
     ),
+    "E15": (
+        "Geometry kernel: pruned/cached/batched Gamma vs the literal Section 2.2 LP",
+        experiments.experiment_kernel_speedup,
+    ),
 }
+
+_EPILOG = """\
+examples:
+  python -m repro.cli list                    show every experiment id with a description
+  python -m repro.cli run E3                  Lemma 1: Gamma non-empty at (d+1)f+1 points
+  python -m repro.cli run E15                 safe-area kernel speedup vs the literal LP
+  python -m repro.cli run all --output out.txt
+  python -m repro.cli bounds --dimension 3 --faults 2
+
+documentation:
+  README.md                  install, quickstart, paper-section -> module map
+  docs/ARCHITECTURE.md       layer stack and where the geometry kernel sits
+  docs/PERFORMANCE.md        measured before/after numbers for the kernel
+
+verify the installation with the tier-1 test suite:
+  PYTHONPATH=src python -m pytest -x -q
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,13 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Byzantine Vector Consensus in Complete Graphs' (PODC 2013)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
 
-    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", help="experiment id (E1..E14) or 'all'")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run one experiment (or 'all')",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    run_parser.add_argument("experiment", help="experiment id (E1..E15) or 'all'")
     run_parser.add_argument(
         "--output", type=Path, default=None, help="also write the rendered table(s) to this file"
     )

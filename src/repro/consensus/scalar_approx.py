@@ -15,6 +15,12 @@ round-``t`` values from ``n - f - 1`` other processes; discard the ``f``
 smallest and ``f`` largest of the collected ``n - f`` values and move to the
 midpoint of the remaining extremes.  The honest-value range halves every
 round, so ``ceil(log2(range / epsilon))`` rounds give epsilon-agreement.
+
+The trimmed interval *is* the one-dimensional safe area ``Gamma`` of the
+collected values (drop the ``f`` smallest for the lower end, the ``f``
+largest for the upper end), so the state update routes through the geometry
+kernel's closed form :func:`repro.geometry.kernel.safe_area_interval_1d`,
+making the connection to the vector algorithms explicit.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 
 from repro.byzantine.adversary import ByzantineAsyncProcess, MessageMutator
 from repro.exceptions import ConfigurationError, ProtocolError, ResilienceError
+from repro.geometry.kernel import safe_area_interval_1d
 from repro.network.async_runtime import AsynchronousRuntime
 from repro.network.message import Message
 from repro.network.scheduler import DeliveryScheduler
@@ -141,10 +148,13 @@ class ScalarApproxProcess(AsyncProcess):
         if len(others) < self._wait_for:
             return
         collected = sorted(list(others.values()) + [self._state])
-        trimmed = collected[self.fault_bound : len(collected) - self.fault_bound]
-        if not trimmed:
-            trimmed = collected
-        self._state = (trimmed[0] + trimmed[-1]) / 2.0
+        # The f-trimmed interval is the scalar safe area Gamma(collected);
+        # when it is empty (fewer than 2f + 1 values) fall back to the full
+        # range, preserving the legacy update rule.
+        interval = safe_area_interval_1d(collected, self.fault_bound)
+        if interval is None:
+            interval = (collected[0], collected[-1])
+        self._state = (interval[0] + interval[1]) / 2.0
         self.state_history.append(self._state)
         finished_round = self._current_round
         self._received_by_round.pop(finished_round, None)

@@ -31,7 +31,7 @@ import numpy as np
 from repro.broadcast.witness import RoundExchangeResult, WitnessExchange
 from repro.byzantine.adversary import ByzantineAsyncProcess, MessageMutator
 from repro.core.conditions import SystemConfiguration, check_approx_async
-from repro.core.safe_area import SafeAreaCalculator
+from repro.core.safe_area import SafeAreaCalculator, SafeAreaEngine
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.geometry.multisets import PointMultiset
 from repro.network.async_runtime import AsynchronousRuntime, AsyncRunResult
@@ -100,6 +100,7 @@ class ApproxBVCProcess(AsyncProcess):
         subset_mode: SubsetMode = "witness_subsets",
         max_rounds_override: int | None = None,
         allow_insufficient: bool = False,
+        safe_area_engine: SafeAreaEngine = "kernel",
     ) -> None:
         super().__init__(process_id)
         check_approx_async(configuration, allow_insufficient=allow_insufficient)
@@ -122,7 +123,9 @@ class ApproxBVCProcess(AsyncProcess):
         )
         if self.total_rounds < 1:
             raise ConfigurationError("the algorithm must run at least one round")
-        self._chooser = SafeAreaCalculator(fault_bound=configuration.fault_bound)
+        self._chooser = SafeAreaCalculator(
+            fault_bound=configuration.fault_bound, engine=safe_area_engine
+        )
         self._state = self.input_vector.copy()
         self.state_history: list[np.ndarray] = [self._state.copy()]
         self._current_round = 0
@@ -190,14 +193,16 @@ class ApproxBVCProcess(AsyncProcess):
     def _compute_new_state(self, result: RoundExchangeResult) -> np.ndarray:
         quorum = self.configuration.process_count - self.configuration.fault_bound
         subset_families = self._subset_families(result, quorum)
-        points: list[np.ndarray] = []
-        for family in subset_families:
-            vectors = [result.tuples[member] for member in family]
-            chosen = self._chooser.choose(PointMultiset(np.vstack(vectors)))
-            points.append(chosen)
-        if not points:
+        # All queries share the (quorum, d) shape, so they are assembled in one
+        # numpy pass and solved as a single block-diagonal LP by the kernel.
+        clouds = [
+            PointMultiset(np.vstack([result.tuples[member] for member in family]))
+            for family in subset_families
+        ]
+        if not clouds:
             # Cannot happen when the exchange met its quorum, but stay total.
             return self._state.copy()
+        points = self._chooser.choose_batch(clouds)
         return np.mean(np.vstack(points), axis=0)
 
     def _subset_families(self, result: RoundExchangeResult, quorum: int) -> list[tuple[int, ...]]:
@@ -260,6 +265,7 @@ def run_approx_bvc(
     max_rounds_override: int | None = None,
     allow_insufficient: bool = False,
     max_deliveries: int = 2_000_000,
+    safe_area_engine: SafeAreaEngine = "kernel",
 ) -> ApproxBVCOutcome:
     """Run the Approximate BVC algorithm end-to-end on a simulated asynchronous system.
 
@@ -277,6 +283,9 @@ def run_approx_bvc(
             threshold (used by convergence-rate experiments).
         allow_insufficient: run even when ``n`` is below the resilience bound.
         max_deliveries: safety budget for the asynchronous runtime.
+        safe_area_engine: ``Gamma`` solver backend — the batched kernel
+            (default) or the literal oracle enumeration (cross-checks only;
+            dramatically slower at scale).
     """
     adversary_mutators = adversary_mutators or {}
     configuration = registry.configuration
@@ -297,6 +306,7 @@ def run_approx_bvc(
             subset_mode=subset_mode,
             max_rounds_override=max_rounds_override,
             allow_insufficient=allow_insufficient,
+            safe_area_engine=safe_area_engine,
         )
         cores[process_id] = core
         if registry.is_faulty(process_id) and process_id in adversary_mutators:

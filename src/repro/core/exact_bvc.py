@@ -30,7 +30,7 @@ import numpy as np
 from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
 from repro.consensus.eig import EigBroadcastInstance, eig_round_count
 from repro.core.conditions import SystemConfiguration, check_exact_sync
-from repro.core.safe_area import SafeAreaCalculator
+from repro.core.safe_area import SafeAreaCalculator, SafeAreaEngine
 from repro.exceptions import ProtocolError
 from repro.geometry.multisets import PointMultiset
 from repro.network.message import Message
@@ -56,6 +56,8 @@ class ExactBVCProcess(SyncProcess):
             the full vector, which exchanges fewer, larger messages.
         allow_insufficient: skip the resilience check (used only by the
             impossibility experiments).
+        safe_area_engine: ``Gamma`` solver backend for the decision step —
+            the batched kernel (default) or the literal oracle enumeration.
     """
 
     PROTOCOL = "exact_bvc"
@@ -67,6 +69,7 @@ class ExactBVCProcess(SyncProcess):
         input_vector: np.ndarray,
         broadcast_mode: BroadcastMode = "whole_vector",
         allow_insufficient: bool = False,
+        safe_area_engine: SafeAreaEngine = "kernel",
     ) -> None:
         super().__init__(process_id)
         check_exact_sync(configuration, allow_insufficient=allow_insufficient)
@@ -77,7 +80,9 @@ class ExactBVCProcess(SyncProcess):
                 f"input vector has shape {self.input_vector.shape}, expected ({configuration.dimension},)"
             )
         self.broadcast_mode: BroadcastMode = broadcast_mode
-        self._chooser = SafeAreaCalculator(fault_bound=configuration.fault_bound)
+        self._chooser = SafeAreaCalculator(
+            fault_bound=configuration.fault_bound, engine=safe_area_engine
+        )
         self._decided = False
         self._decision: np.ndarray | None = None
         self._received_multiset: PointMultiset | None = None
@@ -235,6 +240,7 @@ def run_exact_bvc(
     broadcast_mode: BroadcastMode = "whole_vector",
     allow_insufficient: bool = False,
     max_rounds: int | None = None,
+    safe_area_engine: SafeAreaEngine = "kernel",
 ) -> ExactBVCOutcome:
     """Run the Exact BVC algorithm end-to-end on a simulated synchronous system.
 
@@ -246,6 +252,8 @@ def run_exact_bvc(
         allow_insufficient: run even when ``n`` is below the resilience bound
             (for impossibility experiments).
         max_rounds: optional override of the runtime's round budget.
+        safe_area_engine: ``Gamma`` solver backend — the batched kernel
+            (default) or the literal oracle enumeration (cross-checks only).
     """
     adversary_mutators = adversary_mutators or {}
     configuration = registry.configuration
@@ -257,6 +265,7 @@ def run_exact_bvc(
             input_vector=registry.input_of(process_id),
             broadcast_mode=broadcast_mode,
             allow_insufficient=allow_insufficient,
+            safe_area_engine=safe_area_engine,
         )
         if registry.is_faulty(process_id) and process_id in adversary_mutators:
             processes[process_id] = ByzantineSyncProcess(core, adversary_mutators[process_id])

@@ -24,6 +24,13 @@ This module implements:
 * :class:`SafeAreaCalculator` — a deterministic, configurable chooser used by
   the protocol code (all non-faulty processes must pick the *same* point, so
   determinism is part of the algorithm's correctness argument).
+
+Production queries route through the batched, cached
+:class:`~repro.geometry.kernel.GammaKernel` (``engine="kernel"``, the
+default), which prunes the subset family and reuses cached sparse constraint
+templates across rounds; :func:`safe_area_point` here remains the literal,
+unoptimised Section 2.2 program and serves as the cross-check oracle for the
+kernel's equivalence tests.
 """
 
 from __future__ import annotations
@@ -31,18 +38,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 from math import comb
-from typing import Iterable, Sequence
+from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
 from repro.exceptions import EmptyIntersectionError, GeometryError
 from repro.geometry.convex_hull import distance_to_hull
+from repro.geometry.kernel import default_kernel
 from repro.geometry.linprog import solve_linear_program
 from repro.geometry.multisets import PointMultiset
 from repro.geometry.points import as_cloud
 from repro.geometry.tverberg import find_tverberg_partition
 
 __all__ = [
+    "SafeAreaEngine",
     "safe_area_subset_count",
     "safe_area_point",
     "safe_area_point_via_tverberg",
@@ -50,6 +59,11 @@ __all__ = [
     "safe_area_is_empty",
     "SafeAreaCalculator",
 ]
+
+#: ``"kernel"`` is the pruned/cached/batched production path
+#: (:mod:`repro.geometry.kernel`); ``"oracle"`` is the literal Section 2.2
+#: program below, kept as the cross-validation reference.
+SafeAreaEngine = Literal["kernel", "oracle"]
 
 
 def _as_multiset(points: PointMultiset | np.ndarray | Iterable[Sequence[float]]) -> PointMultiset:
@@ -292,8 +306,16 @@ def safe_area_contains(
 def safe_area_is_empty(
     points: PointMultiset | np.ndarray | Iterable[Sequence[float]],
     fault_bound: int,
+    engine: SafeAreaEngine = "kernel",
 ) -> bool:
-    """Return True when ``Gamma(points)`` is empty."""
+    """Return True when ``Gamma(points)`` is empty.
+
+    Emptiness is decided by the kernel by default (the pruned family has the
+    same intersection, so the answer is identical to the oracle's); pass
+    ``engine="oracle"`` to force the literal enumeration.
+    """
+    if engine == "kernel":
+        return default_kernel.point(_as_multiset(points).points, fault_bound) is None
     return safe_area_point(points, fault_bound) is None
 
 
@@ -311,10 +333,28 @@ class SafeAreaCalculator:
     Attributes:
         fault_bound: the ``f`` used in the ``Gamma`` definition.
         tie_break_objective: optional explicit objective over ``z``.
+        engine: ``"kernel"`` (default) routes through the pruned, cached
+            :class:`~repro.geometry.kernel.GammaKernel`; ``"oracle"`` runs
+            the literal Section 2.2 enumeration.  Determinism holds either
+            way — but all processes of one execution must use the same
+            engine, since the two may pick different (equally valid) points
+            of a non-degenerate ``Gamma``.
+        prune: apply the Appendix F-style subset pruning (kernel engine only).
     """
 
     fault_bound: int
     tie_break_objective: tuple[float, ...] | None = None
+    engine: SafeAreaEngine = "kernel"
+    prune: bool = True
+
+    def _objective_for(self, dimension: int) -> np.ndarray | None:
+        if self.tie_break_objective is not None:
+            return np.asarray(self.tie_break_objective, dtype=float)
+        if dimension >= 1:
+            objective = np.zeros(dimension)
+            objective[0] = 1.0
+            return objective
+        return None
 
     def choose(
         self,
@@ -328,22 +368,71 @@ class SafeAreaCalculator:
         which Lemma 1 guarantees cannot happen for ``|points| >= (d+1)f + 1``.
         """
         multiset = _as_multiset(points)
-        objective: np.ndarray | None
-        if self.tie_break_objective is not None:
-            objective = np.asarray(self.tie_break_objective, dtype=float)
-        elif multiset.dimension >= 1:
-            objective = np.zeros(multiset.dimension)
-            objective[0] = 1.0
+        objective = self._objective_for(multiset.dimension)
+        if self.engine == "kernel":
+            point = default_kernel.point(
+                multiset.points,
+                self.fault_bound,
+                objective=objective,
+                subset_indices=subset_indices,
+                prune=self.prune,
+            )
         else:
-            objective = None
-        point = safe_area_point(
-            multiset,
-            self.fault_bound,
-            subset_indices=subset_indices,
-            objective=objective,
-        )
+            point = safe_area_point(
+                multiset,
+                self.fault_bound,
+                subset_indices=subset_indices,
+                objective=objective,
+            )
         if point is None:
             raise EmptyIntersectionError(
                 f"Gamma is empty for |Y|={len(multiset)}, f={self.fault_bound}, d={multiset.dimension}"
             )
         return point
+
+    def choose_batch(
+        self,
+        point_sets: Sequence[PointMultiset | np.ndarray | Iterable[Sequence[float]]],
+        *,
+        subset_indices: Sequence[Sequence[Sequence[int]]] | None = None,
+    ) -> list[np.ndarray]:
+        """Deterministically choose one ``Gamma`` point per query multiset.
+
+        All queries must share one ``(m, d)`` shape (the Approximate BVC round
+        update satisfies this: every witness family has quorum size).  With the
+        kernel engine the queries are assembled in one pass and solved as a
+        single block-diagonal LP; the oracle engine loops :meth:`choose`.
+
+        Raises :class:`EmptyIntersectionError` naming the first empty query.
+        """
+        multisets = [_as_multiset(points) for points in point_sets]
+        if subset_indices is not None and len(subset_indices) != len(multisets):
+            raise GeometryError(
+                f"subset_indices covers {len(subset_indices)} queries, "
+                f"but {len(multisets)} were given"
+            )
+        if not multisets:
+            return []
+        if self.engine != "kernel":
+            if subset_indices is None:
+                return [self.choose(multiset) for multiset in multisets]
+            return [
+                self.choose(multiset, subset_indices=family)
+                for multiset, family in zip(multisets, subset_indices)
+            ]
+        objective = self._objective_for(multisets[0].dimension)
+        chosen = default_kernel.points_batch(
+            [multiset.points for multiset in multisets],
+            self.fault_bound,
+            objective=objective,
+            subset_indices=subset_indices,
+            prune=self.prune,
+        )
+        for index, point in enumerate(chosen):
+            if point is None:
+                multiset = multisets[index]
+                raise EmptyIntersectionError(
+                    f"Gamma is empty for batch query {index}: |Y|={len(multiset)}, "
+                    f"f={self.fault_bound}, d={multiset.dimension}"
+                )
+        return chosen  # type: ignore[return-value]

@@ -19,6 +19,16 @@ from repro.geometry.points import (
 )
 from repro.geometry.multisets import PointMultiset, iter_index_partitions, iter_index_subsets
 from repro.geometry.linprog import LinearProgramResult, solve_linear_program, feasibility_program
+from repro.geometry.kernel import (
+    GammaKernel,
+    KernelStats,
+    default_kernel,
+    full_subset_family,
+    pruned_subset_family,
+    safe_area_interval_1d,
+    safe_area_point_kernel,
+    safe_area_points_batch,
+)
 from repro.geometry.convex_hull import (
     ConvexHullRegion,
     contains_point,
@@ -60,6 +70,14 @@ __all__ = [
     "LinearProgramResult",
     "solve_linear_program",
     "feasibility_program",
+    "GammaKernel",
+    "KernelStats",
+    "default_kernel",
+    "full_subset_family",
+    "pruned_subset_family",
+    "safe_area_interval_1d",
+    "safe_area_point_kernel",
+    "safe_area_points_batch",
     "ConvexHullRegion",
     "contains_point",
     "convex_combination_weights",

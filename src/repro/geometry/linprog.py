@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 from scipy.optimize import linprog
+from scipy.sparse import issparse
 
 from repro.exceptions import LinearProgramError
 
@@ -55,11 +56,29 @@ def _normalise_block(
     variable_count: int,
     label: str,
 ) -> tuple[np.ndarray | None, np.ndarray | None]:
-    """Validate one (matrix, rhs) constraint block, allowing it to be absent."""
+    """Validate one (matrix, rhs) constraint block, allowing it to be absent.
+
+    Accepts dense array-likes and scipy sparse matrices alike; the batched
+    safe-area kernel passes CSC matrices, which HiGHS consumes natively and
+    which must not be densified here.
+    """
     if matrix is None and vector is None:
         return None, None
     if matrix is None or vector is None:
         raise LinearProgramError(f"{label}: matrix and vector must be given together")
+    if issparse(matrix):
+        vector = np.atleast_1d(np.asarray(vector, dtype=float))
+        if matrix.shape[0] == 0:
+            return None, None
+        if matrix.shape[1] != variable_count:
+            raise LinearProgramError(
+                f"{label}: matrix has {matrix.shape[1]} columns, expected {variable_count}"
+            )
+        if matrix.shape[0] != vector.shape[0]:
+            raise LinearProgramError(
+                f"{label}: {matrix.shape[0]} rows but {vector.shape[0]} right-hand sides"
+            )
+        return matrix, vector
     matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
     vector = np.atleast_1d(np.asarray(vector, dtype=float))
     if matrix.shape[0] == 0:

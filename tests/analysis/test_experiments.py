@@ -43,6 +43,17 @@ class TestCheapExperiments:
         rows = experiments.experiment_safe_area_cost(configurations=((4, 1, 1), (5, 2, 1)))
         assert all(row["point_found"] for row in rows)
         assert rows[0]["subsets_in_gamma"] == 4
+        # The kernel never assembles more blocks than the full enumeration.
+        assert all(row["kernel_blocks"] <= row["subsets_in_gamma"] for row in rows)
+
+    def test_e15_kernel_speedup(self):
+        rows = experiments.experiment_kernel_speedup(
+            configurations=((5, 2, 1), (7, 2, 2)), batch_size=3
+        )
+        for row in rows:
+            assert row["kernel_matches_oracle"] is True
+            assert row["batch_all_found"] is True
+            assert row["blocks_pruned"] <= row["blocks_full"]
 
     def test_e4_figure1(self):
         rows = experiments.experiment_figure1_tverberg()

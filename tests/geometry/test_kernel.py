@@ -1,0 +1,349 @@
+"""Equivalence tests for the batched safe-area kernel against the oracle LP.
+
+The kernel (:mod:`repro.geometry.kernel`) must agree with the literal
+Section 2.2 enumeration (:func:`repro.core.safe_area.safe_area_point`) on
+
+* emptiness — ``Gamma`` is empty for the kernel iff it is for the oracle,
+* the optimal objective value — pruning removes only redundant hulls, so
+  the minimum of the tie-break objective over ``Gamma`` is unchanged,
+* membership — every kernel answer lies in ``Gamma`` by the oracle's own
+  exponential membership check,
+
+across randomized ``(n, f, d)`` instances including degenerate (collinear,
+duplicate-point, fully collapsed) multisets.  Batched answers must match the
+corresponding single-query answers bit-for-bit on the loop path and to
+solver precision on the fused path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.safe_area import (
+    SafeAreaCalculator,
+    safe_area_contains,
+    safe_area_is_empty,
+    safe_area_point,
+    safe_area_subset_count,
+)
+from repro.exceptions import EmptyIntersectionError, GeometryError
+from repro.geometry.kernel import (
+    GammaKernel,
+    full_subset_family,
+    pruned_subset_family,
+    safe_area_interval_1d,
+    safe_area_point_kernel,
+    safe_area_points_batch,
+)
+
+
+def _random_instance(rng: np.random.Generator, trial: int) -> tuple[np.ndarray, int]:
+    """A randomized (cloud, f) pair, degenerate every few trials."""
+    dimension = int(rng.integers(1, 4))
+    fault_bound = int(rng.integers(1, 3))
+    point_count = (dimension + 1) * fault_bound + 1 + int(rng.integers(0, 3))
+    cloud = rng.uniform(-3.0, 3.0, size=(point_count, dimension))
+    if trial % 3 == 0:
+        # Duplicate members (the paper works over multisets on purpose).
+        cloud[1] = cloud[0]
+        if point_count > 4:
+            cloud[3] = cloud[2]
+    if trial % 4 == 0 and dimension >= 2:
+        # Collinear members: everything on one affine line.
+        direction = rng.uniform(-1.0, 1.0, size=dimension)
+        cloud = np.outer(cloud[:, 0], direction) + rng.uniform(-1.0, 1.0, size=dimension)
+    return cloud, fault_bound
+
+
+class TestSingleQueryEquivalence:
+    def test_randomized_instances_match_oracle(self):
+        rng = np.random.default_rng(2024)
+        kernel = GammaKernel()
+        for trial in range(40):
+            cloud, fault_bound = _random_instance(rng, trial)
+            objective = np.zeros(cloud.shape[1])
+            objective[0] = 1.0
+            oracle = safe_area_point(cloud, fault_bound, objective=objective)
+            pruned = kernel.point(cloud, fault_bound, objective=objective, prune=True)
+            unpruned = kernel.point(cloud, fault_bound, objective=objective, prune=False)
+            assert (oracle is None) == (pruned is None) == (unpruned is None), (
+                f"emptiness mismatch on trial {trial}: {cloud.shape}, f={fault_bound}"
+            )
+            if oracle is None:
+                continue
+            # Same optimal objective value: pruning only removes redundant hulls.
+            assert float(pruned[0]) == pytest.approx(float(oracle[0]), abs=1e-6)
+            assert float(unpruned[0]) == pytest.approx(float(oracle[0]), abs=1e-6)
+            # Every kernel answer lies in Gamma by the oracle's own membership LP.
+            assert safe_area_contains(cloud, fault_bound, pruned, tolerance=1e-5)
+            assert safe_area_contains(cloud, fault_bound, unpruned, tolerance=1e-5)
+
+    def test_empty_gamma_matches_oracle(self):
+        # Theorem 1's construction: d + 1 points in R^d, f = 1.
+        for dimension in (1, 2, 3):
+            cloud = np.vstack([np.eye(dimension), np.zeros((1, dimension))])
+            assert safe_area_point_kernel(cloud, 1) is None
+            assert safe_area_point(cloud, 1) is None
+            assert safe_area_is_empty(cloud, 1, engine="kernel")
+            assert safe_area_is_empty(cloud, 1, engine="oracle")
+
+    def test_fully_collapsed_multiset(self):
+        cloud = np.asarray([[2.0, -3.0]] * 5)
+        point = safe_area_point_kernel(cloud, 2)
+        assert np.allclose(point, [2.0, -3.0], atol=1e-6)
+
+    def test_zero_faults_returns_centroid(self):
+        cloud = np.asarray([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        assert np.allclose(safe_area_point_kernel(cloud, 0), cloud.mean(axis=0))
+
+    def test_edge_cases_mirror_oracle(self):
+        assert safe_area_point_kernel(np.empty((0, 2)), 1) is None
+        assert safe_area_point_kernel(np.asarray([[0.0], [1.0]]), 3) is None
+        with pytest.raises(GeometryError):
+            safe_area_point_kernel(np.asarray([[0.0], [1.0]]), -1)
+        with pytest.raises(GeometryError):
+            safe_area_point_kernel(
+                np.asarray([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5]]),
+                1,
+                objective=[1.0, 2.0, 3.0],
+            )
+
+    def test_explicit_subset_family_honoured(self):
+        cloud = np.asarray([[0.0], [1.0], [2.0], [3.0], [4.0]])
+        families = [(0, 1, 2, 3), (1, 2, 3, 4)]
+        kernel_point = safe_area_point_kernel(
+            cloud, 1, subset_indices=families, objective=[1.0]
+        )
+        oracle_point = safe_area_point(
+            cloud, 1, subset_indices=families, objective=np.asarray([1.0])
+        )
+        assert float(kernel_point[0]) == pytest.approx(float(oracle_point[0]), abs=1e-8)
+        with pytest.raises(GeometryError):
+            safe_area_point_kernel(cloud, 1, subset_indices=[(0, 1)])
+        with pytest.raises(GeometryError):
+            safe_area_point_kernel(cloud, 1, subset_indices=[])
+
+    def test_one_dimensional_interval_semantics(self):
+        cloud = np.asarray([[0.0], [1.0], [2.0], [3.0], [4.0]])
+        low = safe_area_point_kernel(cloud, 1, objective=[1.0])
+        high = safe_area_point_kernel(cloud, 1, objective=[-1.0])
+        assert float(low[0]) == pytest.approx(1.0, abs=1e-6)
+        assert float(high[0]) == pytest.approx(3.0, abs=1e-6)
+
+
+class TestPrunedFamilies:
+    def test_full_family_enumeration(self):
+        assert len(full_subset_family(5, 1)) == safe_area_subset_count(5, 1)
+        assert full_subset_family(3, 4) == ()
+
+    def test_one_dimensional_pruning_is_two_subsets(self):
+        cloud = np.asarray([[4.0], [0.0], [2.0], [1.0], [3.0]])
+        families = pruned_subset_family(cloud, 1)
+        assert len(families) == 2
+        # Drop the largest member (index 0) and the smallest (index 1).
+        assert (1, 2, 3, 4) in families and (0, 2, 3, 4) in families
+
+    def test_planar_pruning_is_quadratic_not_binomial(self):
+        rng = np.random.default_rng(7)
+        cloud = rng.uniform(0.0, 1.0, size=(13, 2))
+        families = pruned_subset_family(cloud, 4)
+        assert len(families) < 13 * 12  # O(n^2) sweep arcs
+        assert safe_area_subset_count(13, 4) == 715  # versus the full family
+
+    def test_interior_member_never_binds(self):
+        # Triangle + strictly interior centroid: the drop-the-centroid subset
+        # has the largest hull and must be pruned away.
+        triangle = np.asarray([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        cloud = np.vstack([triangle, triangle.mean(axis=0, keepdims=True)])
+        families = pruned_subset_family(cloud, 1)
+        assert (0, 1, 2) not in families
+        assert len(families) == 3
+
+    def test_duplicate_collapse_in_higher_dimensions(self):
+        cloud = np.asarray([[0.0, 0.0, 0.0]] * 6)
+        families = pruned_subset_family(cloud, 1)
+        assert len(families) == 1
+
+    def test_pruned_intersection_equals_gamma(self):
+        # The pruned family must define the same region: a point of the pruned
+        # LP lies in full Gamma, and the pruned optimum equals the full one.
+        rng = np.random.default_rng(99)
+        kernel = GammaKernel()
+        for trial in range(12):
+            dimension = 2
+            fault_bound = int(rng.integers(1, 4))
+            point_count = 3 * fault_bound + 1 + int(rng.integers(0, 3))
+            cloud = rng.uniform(-1.0, 1.0, size=(point_count, dimension))
+            for objective in ([1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.3, -0.7]):
+                pruned = kernel.point(cloud, fault_bound, objective=objective, prune=True)
+                unpruned = kernel.point(cloud, fault_bound, objective=objective, prune=False)
+                assert pruned is not None and unpruned is not None
+                value_pruned = float(np.dot(objective, pruned))
+                value_full = float(np.dot(objective, unpruned))
+                assert value_pruned == pytest.approx(value_full, abs=1e-6)
+                assert safe_area_contains(cloud, fault_bound, pruned, tolerance=1e-5)
+
+
+class TestBatchedQueries:
+    def test_loop_batch_is_bit_identical_to_single_queries(self):
+        rng = np.random.default_rng(5)
+        kernel = GammaKernel()
+        clouds = [rng.uniform(0.0, 1.0, size=(7, 2)) for _ in range(6)]
+        objective = np.asarray([1.0, 0.0])
+        singles = [kernel.point(cloud, 2, objective=objective) for cloud in clouds]
+        looped = kernel.points_batch(clouds, 2, objective=objective, fused=False)
+        for single, from_batch in zip(singles, looped):
+            assert np.array_equal(single, from_batch)
+
+    def test_fused_batch_matches_singles_to_solver_precision(self):
+        rng = np.random.default_rng(6)
+        clouds = [rng.uniform(0.0, 1.0, size=(9, 2)) for _ in range(5)]
+        objective = np.asarray([1.0, 0.0])
+        fused = safe_area_points_batch(clouds, 2, objective=objective, fused=True)
+        for cloud, point in zip(clouds, fused):
+            single = safe_area_point_kernel(cloud, 2, objective=objective)
+            assert float(point[0]) == pytest.approx(float(single[0]), abs=1e-8)
+            assert safe_area_contains(cloud, 2, point, tolerance=1e-5)
+
+    def test_fused_batch_with_one_empty_gamma_falls_back(self):
+        # One query has empty Gamma (Theorem 1 construction); the fused LP is
+        # infeasible and the kernel must fall back to attribute emptiness to
+        # exactly that query.  The good query is 3 collinear points, whose
+        # Gamma with f = 1 is the single middle point.
+        triangle = np.vstack([np.eye(2), np.zeros((1, 2))])  # d+1 points, f=1
+        good = np.asarray([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        points = safe_area_points_batch([good, triangle], 1)
+        assert points[0] is not None
+        assert points[1] is None
+
+    def test_empty_batch_and_shape_validation(self):
+        assert safe_area_points_batch([], 1) == []
+        rng = np.random.default_rng(9)
+        with pytest.raises(GeometryError):
+            safe_area_points_batch(
+                [rng.uniform(size=(5, 2)), rng.uniform(size=(6, 2))], 1
+            )
+
+    def test_subset_indices_must_cover_every_query(self):
+        rng = np.random.default_rng(21)
+        clouds = [rng.uniform(size=(5, 2)) for _ in range(3)]
+        families = [[(0, 1, 2, 3), (1, 2, 3, 4)]] * 2  # one family list short
+        with pytest.raises(GeometryError):
+            safe_area_points_batch(clouds, 1, subset_indices=families)
+        for engine in ("kernel", "oracle"):
+            with pytest.raises(GeometryError):
+                SafeAreaCalculator(fault_bound=1, engine=engine).choose_batch(
+                    clouds, subset_indices=families
+                )
+
+    def test_batch_zero_faults_returns_centroids(self):
+        rng = np.random.default_rng(10)
+        clouds = [rng.uniform(size=(4, 2)) for _ in range(3)]
+        points = safe_area_points_batch(clouds, 0)
+        for cloud, point in zip(clouds, points):
+            assert np.allclose(point, cloud.mean(axis=0))
+
+
+class TestTemplateCacheAndStats:
+    def test_templates_are_reused_across_rounds(self):
+        rng = np.random.default_rng(11)
+        kernel = GammaKernel()
+        # Unpruned queries share the exact (C(7,5), 5, 2) LP shape, so after
+        # the first assembly every later round hits the cached template.
+        for _ in range(5):
+            kernel.point(rng.uniform(size=(7, 2)), 2, prune=False)
+        assert kernel.stats.template_misses == 1
+        assert kernel.stats.template_hits == 4
+        assert kernel.stats.lp_solves == 5
+        # Pruned queries may land on per-cloud shapes, but always record the
+        # number of constraint blocks they avoided assembling.
+        kernel.point(rng.uniform(size=(7, 2)), 2, prune=True)
+        assert kernel.stats.blocks_pruned_away > 0
+
+    def test_cache_eviction_is_bounded(self):
+        rng = np.random.default_rng(12)
+        kernel = GammaKernel(max_cached_templates=2)
+        for point_count in (5, 6, 7, 8):
+            kernel.point(rng.uniform(size=(point_count, 2)), 1)
+        assert len(kernel._templates) <= 2
+        with pytest.raises(GeometryError):
+            GammaKernel(max_cached_templates=0)
+
+    def test_reset_and_clear(self):
+        rng = np.random.default_rng(13)
+        kernel = GammaKernel()
+        kernel.point(rng.uniform(size=(5, 2)), 1)
+        assert kernel.stats.single_queries == 1
+        kernel.reset_stats()
+        assert kernel.stats.single_queries == 0
+        kernel.clear_cache()
+        assert len(kernel._templates) == 0
+
+    def test_stats_as_dict_round_trip(self):
+        stats = GammaKernel().stats.as_dict()
+        assert set(stats) >= {"single_queries", "lp_solves", "template_hits"}
+
+
+class TestScalarInterval:
+    def test_trimmed_interval(self):
+        assert safe_area_interval_1d([0.0, 1.0, 2.0, 3.0, 4.0], 1) == (1.0, 3.0)
+        assert safe_area_interval_1d([4.0, 0.0, 2.0, 1.0, 3.0], 2) == (2.0, 2.0)
+
+    def test_zero_faults_full_range(self):
+        assert safe_area_interval_1d([5.0, -1.0, 2.0], 0) == (-1.0, 5.0)
+
+    def test_empty_cases(self):
+        assert safe_area_interval_1d([], 1) is None
+        assert safe_area_interval_1d([1.0, 2.0], 1) is None
+        assert safe_area_interval_1d([1.0], 2) is None
+
+    def test_invalid_fault_bound(self):
+        with pytest.raises(GeometryError):
+            safe_area_interval_1d([1.0, 2.0], -1)
+
+    def test_matches_lp_route(self):
+        values = np.asarray([[0.5], [1.5], [2.5], [3.5], [4.5], [5.5], [6.5]])
+        interval = safe_area_interval_1d(values, 2)
+        low = safe_area_point_kernel(values, 2, objective=[1.0])
+        high = safe_area_point_kernel(values, 2, objective=[-1.0])
+        assert float(low[0]) == pytest.approx(interval[0], abs=1e-6)
+        assert float(high[0]) == pytest.approx(interval[1], abs=1e-6)
+
+
+class TestCalculatorEngines:
+    def test_kernel_and_oracle_engines_agree_on_objective_value(self):
+        rng = np.random.default_rng(14)
+        cloud = rng.uniform(0.0, 1.0, size=(7, 2))
+        kernel_choice = SafeAreaCalculator(fault_bound=2, engine="kernel").choose(cloud)
+        oracle_choice = SafeAreaCalculator(fault_bound=2, engine="oracle").choose(cloud)
+        # Default objective minimises the first coordinate; the minimum over
+        # Gamma is formulation independent.
+        assert float(kernel_choice[0]) == pytest.approx(float(oracle_choice[0]), abs=1e-7)
+        assert safe_area_contains(cloud, 2, kernel_choice, tolerance=1e-5)
+
+    def test_choose_batch_matches_choose(self):
+        rng = np.random.default_rng(16)
+        calculator = SafeAreaCalculator(fault_bound=1)
+        clouds = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(4)]
+        batched = calculator.choose_batch(clouds)
+        for cloud, from_batch in zip(clouds, batched):
+            single = calculator.choose(cloud)
+            assert np.allclose(single, from_batch, atol=1e-8)
+
+    def test_choose_batch_raises_on_empty_gamma(self):
+        triangle = np.vstack([np.eye(2), np.zeros((1, 2))])
+        with pytest.raises(EmptyIntersectionError):
+            SafeAreaCalculator(fault_bound=1).choose_batch([triangle])
+
+    def test_choose_batch_oracle_engine_loops(self):
+        rng = np.random.default_rng(17)
+        calculator = SafeAreaCalculator(fault_bound=1, engine="oracle")
+        clouds = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(2)]
+        batched = calculator.choose_batch(clouds)
+        assert len(batched) == 2
+        assert all(safe_area_contains(cloud, 1, point, tolerance=1e-5)
+                   for cloud, point in zip(clouds, batched))
+
+    def test_empty_choose_batch(self):
+        assert SafeAreaCalculator(fault_bound=1).choose_batch([]) == []

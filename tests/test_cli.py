@@ -62,6 +62,25 @@ class TestMain:
 
     def test_registry_covers_design_doc_ids(self):
         # E10 and E12 are covered by the E6/E11 runners respectively; everything
-        # else from DESIGN.md must be present.
-        for required in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14"):
+        # else from DESIGN.md must be present, plus the E15 kernel experiment.
+        for required in (
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14", "E15",
+        ):
             assert required in EXPERIMENT_REGISTRY
+
+    def test_help_renders_examples_and_docs_epilog(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "examples:" in output
+        assert "python -m repro.cli run E15" in output
+        assert "docs/ARCHITECTURE.md" in output
+        assert "docs/PERFORMANCE.md" in output
+        assert "PYTHONPATH=src python -m pytest -x -q" in output
+
+    def test_run_help_carries_the_epilog_too(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        assert "examples:" in capsys.readouterr().out
