@@ -1,0 +1,60 @@
+"""Campaign engine throughput: trials/second at workers ∈ {1, 4}.
+
+Not a paper experiment — this benchmarks the execution layer itself: a fixed
+Exact-BVC grid (the protocol's minimum ``n`` at each ``(d, f)``, all four
+attack strategies) is expanded once and run through
+:func:`repro.engine.run_campaign` sequentially and on a 4-worker pool.  The
+recorded table is the trials/second number the scaling PRs build on; the
+worker-count-invariance assertion is the engine's core guarantee (same seed →
+same rows, any pool size).
+
+The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import Campaign, read_jsonl, run_campaign, strip_timing
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+REPEATS = 3 if SMOKE else 25
+DIMENSIONS = (1, 2) if SMOKE else (1, 2, 3)
+
+
+def _campaign() -> Campaign:
+    return Campaign.from_grid(
+        "bench-campaign",
+        protocols=("exact",),
+        adversaries=("crash", "equivocate", "outside_hull", "random_noise"),
+        dimensions=DIMENSIONS,
+        fault_bounds=(1,),
+        repeats=REPEATS,
+        base_seed=42,
+    )
+
+
+def test_campaign_throughput(benchmark, record_table, tmp_path):
+    campaign = _campaign()
+
+    def run_both() -> list[dict[str, object]]:
+        rows = []
+        for workers in (1, 4):
+            jsonl_path = tmp_path / f"w{workers}.jsonl"
+            summary, _ = run_campaign(campaign, workers=workers, jsonl_path=jsonl_path)
+            rows.append(summary.to_row() | {"jsonl_rows": len(read_jsonl(jsonl_path))})
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table(
+        "E16_campaign_throughput", rows, "Campaign engine — trials/second at workers 1 vs 4"
+    )
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == len(campaign)
+    # Same seed, different pool sizes: the streamed rows must be identical
+    # modulo the timing field.
+    assert strip_timing(read_jsonl(tmp_path / "w1.jsonl")) == strip_timing(
+        read_jsonl(tmp_path / "w4.jsonl")
+    )

@@ -17,6 +17,9 @@ synchronous and asynchronous message-passing systems:
   (EIG Byzantine broadcast, Bracha reliable broadcast, the AAD witness
   exchange);
 * :mod:`repro.byzantine` — adversary strategies;
+* :mod:`repro.engine` — the unified simulation engine: declarative trial
+  specs, campaign grids with deterministic seed derivation, and a
+  worker-pool executor streaming JSONL results;
 * :mod:`repro.workloads`, :mod:`repro.analysis` — input generators,
   experiment runners, metrics and reporting.
 
@@ -56,6 +59,7 @@ from repro.core import (
     run_restricted_sync_bvc,
     safe_area_point,
 )
+from repro.engine import Campaign, TrialResult, TrialSpec, run_campaign, run_trial
 from repro.processes import ProcessRegistry
 
 __version__ = "1.0.0"
@@ -84,6 +88,11 @@ __all__ = [
     "run_restricted_async_bvc",
     "run_restricted_sync_bvc",
     "safe_area_point",
+    "Campaign",
+    "TrialResult",
+    "TrialSpec",
+    "run_campaign",
+    "run_trial",
     "ProcessRegistry",
     "__version__",
 ]

@@ -1,10 +1,19 @@
 """Experiment runners: one function per experiment id in ``DESIGN.md``.
 
-Each function runs the protocols / analyses for one experiment (E1-E14) and
-returns a list of row dictionaries; the benchmark harness in ``benchmarks/``
-times and prints them, and ``EXPERIMENTS.md`` records the expected shape.
-Default parameters are sized so that every experiment completes in seconds on
-a laptop; the benchmarks pass larger sweeps where appropriate.
+Each function declares its experiment against the unified simulation engine
+(:mod:`repro.engine`) and reduces the results to a list of row dictionaries;
+the benchmark harness in ``benchmarks/`` times and prints them, and
+``EXPERIMENTS.md`` records the expected shape.
+
+Protocol experiments (E1, E5, E8, E9, E11, E14) are
+:class:`~repro.engine.Campaign` declarations — lists of
+:class:`~repro.engine.TrialSpec` whose results are mapped to table rows.
+Analytic experiments (the impossibility constructions, safe-area geometry and
+bound tables) declare their sweeps with
+:func:`~repro.engine.parameter_grid` and compute each row directly.  Default
+parameters are sized so that every experiment completes in seconds on a
+laptop; the benchmarks pass larger sweeps, and ``python -m repro.cli
+campaign`` scales the same trial shape to arbitrary grids.
 """
 
 from __future__ import annotations
@@ -13,44 +22,30 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.byzantine.adversary import MessageMutator
-from repro.byzantine.strategies import (
-    CoordinateAttackStrategy,
-    CrashStrategy,
-    EquivocationStrategy,
-    OutsideHullStrategy,
-    RandomNoiseStrategy,
-)
-from repro.core.approx_bvc import contraction_factor, round_threshold, run_approx_bvc
-from repro.core.baselines import run_coordinatewise_consensus
+from repro.core.approx_bvc import contraction_factor
 from repro.core.conditions import (
-    SystemConfiguration,
     minimum_processes_approx_async,
     minimum_processes_exact_sync,
     minimum_processes_restricted_async,
     minimum_processes_restricted_sync,
     resilience_table,
 )
-from repro.core.exact_bvc import run_exact_bvc
 from repro.core.impossibility import analyze_async_necessity, analyze_sync_necessity
-from repro.core.restricted_async import run_restricted_async_bvc
-from repro.core.restricted_sync import run_restricted_sync_bvc
 from repro.core.safe_area import safe_area_contains, safe_area_point, safe_area_subset_count
-from repro.core.validity import check_approximate_outcome, check_exact_outcome
 from repro.analysis.convergence import measured_contraction_factors, max_range_per_round
-from repro.analysis.metrics import max_coordinate_disagreement, max_validity_violation
+from repro.engine import (
+    Campaign,
+    STRATEGY_NAMES,
+    TrialResult,
+    TrialSpec,
+    make_strategy,
+    parameter_grid,
+    run_campaign,
+)
 from repro.geometry.kernel import GammaKernel, pruned_subset_family, safe_area_points_batch
 from repro.geometry.multisets import PointMultiset
 from repro.geometry.tverberg import figure1_instance, find_tverberg_partition, verify_tverberg_partition
-from repro.network.scheduler import LaggingScheduler, RandomScheduler
-from repro.processes.registry import ProcessRegistry
-from repro.workloads.generators import (
-    gradient_registry,
-    intro_counterexample_registry,
-    probability_vector_registry,
-    robot_position_registry,
-    uniform_box_registry,
-)
+from repro.workloads.generators import intro_counterexample_registry
 
 __all__ = [
     "make_strategy",
@@ -69,30 +64,19 @@ __all__ = [
     "experiment_kernel_speedup",
 ]
 
-STRATEGY_NAMES = ("crash", "equivocate", "outside_hull", "random_noise")
 
+def _run(campaign: Campaign) -> list[TrialResult]:
+    """Execute a campaign inline and return its results in trial order.
 
-def make_strategy(name: str, registry: ProcessRegistry, seed: int = 0) -> MessageMutator:
-    """Build one of the named adversary strategies against the given registry."""
-    honest_inputs = [registry.input_of(pid) for pid in registry.honest_ids]
-    if name == "crash":
-        return CrashStrategy(crash_round=1)
-    if name == "equivocate":
-        return EquivocationStrategy(value_pool=honest_inputs)
-    if name == "outside_hull":
-        return OutsideHullStrategy(offset=50.0, scale=5.0)
-    if name == "random_noise":
-        lower, upper = registry.value_bounds()
-        spread = max(1.0, upper - lower)
-        return RandomNoiseStrategy(low=lower - 5 * spread, high=upper + 5 * spread, seed=seed)
-    raise ValueError(f"unknown strategy name: {name}")
-
-
-def _mutators_for(registry: ProcessRegistry, strategy_name: str, seed: int = 0) -> dict[int, MessageMutator]:
-    return {
-        faulty_id: make_strategy(strategy_name, registry, seed=seed + faulty_id)
-        for faulty_id in registry.faulty_ids
-    }
+    Experiments are small by construction (the CLI ``campaign`` command is the
+    parallel path for big sweeps), so they run single-worker; any trial error
+    is a bug in the experiment declaration and is surfaced immediately.
+    """
+    _, results = run_campaign(campaign, workers=1, collect=True)
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(f"trial {result.spec.trial_index} failed: {result.error}")
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -109,55 +93,43 @@ def experiment_baseline_validity() -> list[dict[str, object]]:
     """
     # The faulty process pushes every coordinate towards 1/6, the value that
     # makes the per-coordinate medians land outside the honest hull.
-    def attack_for(registry: ProcessRegistry) -> dict[int, MessageMutator]:
-        return {
-            pid: CoordinateAttackStrategy(coordinate=0, target=1.0 / 6.0)
-            for pid in registry.faulty_ids
-        }
+    attack = {"coordinate": 0, "target": 1.0 / 6.0}
 
-    rows: list[dict[str, object]] = []
+    def intro_spec(protocol: str, extended: bool) -> TrialSpec:
+        return TrialSpec(
+            protocol=protocol,
+            workload="intro_counterexample",
+            workload_params={"extended": extended},
+            adversary="coordinate_attack",
+            adversary_params=attack,
+            process_count=5 if extended else 4,
+            dimension=3,
+            fault_bound=1,
+        )
 
-    literal = intro_counterexample_registry()
-    baseline = run_coordinatewise_consensus(literal, adversary_mutators=attack_for(literal))
-    baseline_report = check_exact_outcome(literal, baseline.decisions)
-    sample_decision = baseline.decisions[literal.honest_ids[0]]
-    rows.append(
-        {
-            "algorithm": "coordinate-wise scalar consensus (n=4, paper example)",
-            "decision_sum": float(np.sum(sample_decision)),
-            "agreement": baseline_report.agreement_ok,
-            "vector_validity": baseline_report.validity_ok,
-            "hull_distance": baseline_report.max_hull_distance,
-        }
+    campaign = Campaign.from_specs(
+        "E1-baseline-validity",
+        [
+            intro_spec("coordinatewise", extended=False),
+            intro_spec("coordinatewise", extended=True),
+            intro_spec("exact", extended=True),
+        ],
     )
-
-    extended = intro_counterexample_registry(extended=True)
-    baseline5 = run_coordinatewise_consensus(extended, adversary_mutators=attack_for(extended))
-    baseline5_report = check_exact_outcome(extended, baseline5.decisions)
-    sample_decision = baseline5.decisions[extended.honest_ids[0]]
-    rows.append(
-        {
-            "algorithm": "coordinate-wise scalar consensus (n=5)",
-            "decision_sum": float(np.sum(sample_decision)),
-            "agreement": baseline5_report.agreement_ok,
-            "vector_validity": baseline5_report.validity_ok,
-            "hull_distance": baseline5_report.max_hull_distance,
-        }
+    labels = (
+        "coordinate-wise scalar consensus (n=4, paper example)",
+        "coordinate-wise scalar consensus (n=5)",
+        "Exact BVC (Gamma decision, n=5)",
     )
-
-    exact = run_exact_bvc(extended, adversary_mutators=attack_for(extended))
-    exact_report = check_exact_outcome(extended, exact.decisions)
-    sample_decision = exact.decisions[extended.honest_ids[0]]
-    rows.append(
+    return [
         {
-            "algorithm": "Exact BVC (Gamma decision, n=5)",
-            "decision_sum": float(np.sum(sample_decision)),
-            "agreement": exact_report.agreement_ok,
-            "vector_validity": exact_report.validity_ok,
-            "hull_distance": exact_report.max_hull_distance,
+            "algorithm": label,
+            "decision_sum": float(np.sum(result.decision)),
+            "agreement": result.agreement,
+            "vector_validity": result.validity,
+            "hull_distance": result.max_hull_distance,
         }
-    )
-    return rows
+        for label, result in zip(labels, _run(campaign))
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -167,7 +139,8 @@ def experiment_baseline_validity() -> list[dict[str, object]]:
 def experiment_sync_impossibility(dimensions: Sequence[int] = (1, 2, 3, 4, 5)) -> list[dict[str, object]]:
     """Theorem 1 necessity: Gamma emptiness at n = d + 1 versus n = d + 2 (f = 1)."""
     rows = []
-    for dimension in dimensions:
+    for point in parameter_grid(dimension=dimensions):
+        dimension = point["dimension"]
         below = analyze_sync_necessity(dimension, process_count=dimension + 1)
         at_bound = analyze_sync_necessity(dimension, process_count=dimension + 2)
         rows.append(
@@ -188,7 +161,8 @@ def experiment_async_impossibility(
 ) -> list[dict[str, object]]:
     """Theorem 4 necessity: forced decisions 4*epsilon apart at n = d + 2 (f = 1)."""
     rows = []
-    for dimension in dimensions:
+    for point in parameter_grid(dimension=dimensions):
+        dimension = point["dimension"]
         witness = analyze_async_necessity(dimension, epsilon=epsilon)
         rows.append(
             {
@@ -216,31 +190,31 @@ def experiment_safe_area_existence(
     """Lemma 1: Gamma is non-empty on random multisets of size (d+1)f + 1."""
     rng = np.random.default_rng(seed)
     rows = []
-    for dimension in dimensions:
-        for fault_bound in fault_bounds:
-            size = (dimension + 1) * fault_bound + 1
-            non_empty = 0
-            tverberg_agree = 0
-            for _ in range(samples):
-                cloud = rng.uniform(-1.0, 1.0, size=(size, dimension))
-                multiset = PointMultiset(cloud)
-                point = safe_area_point(multiset, fault_bound)
-                if point is not None:
-                    non_empty += 1
-                if dimension <= 2 and size <= 7:
-                    partition = find_tverberg_partition(multiset, parts=fault_bound + 1)
-                    if partition is not None:
-                        tverberg_agree += 1
-            rows.append(
-                {
-                    "dimension": dimension,
-                    "fault_bound": fault_bound,
-                    "multiset_size": size,
-                    "samples": samples,
-                    "gamma_nonempty": non_empty,
-                    "tverberg_partition_found": tverberg_agree if dimension <= 2 and size <= 7 else None,
-                }
-            )
+    for point in parameter_grid(dimension=dimensions, fault_bound=fault_bounds):
+        dimension, fault_bound = point["dimension"], point["fault_bound"]
+        size = (dimension + 1) * fault_bound + 1
+        non_empty = 0
+        tverberg_agree = 0
+        for _ in range(samples):
+            cloud = rng.uniform(-1.0, 1.0, size=(size, dimension))
+            multiset = PointMultiset(cloud)
+            gamma_point = safe_area_point(multiset, fault_bound)
+            if gamma_point is not None:
+                non_empty += 1
+            if dimension <= 2 and size <= 7:
+                partition = find_tverberg_partition(multiset, parts=fault_bound + 1)
+                if partition is not None:
+                    tverberg_agree += 1
+        rows.append(
+            {
+                "dimension": dimension,
+                "fault_bound": fault_bound,
+                "multiset_size": size,
+                "samples": samples,
+                "gamma_nonempty": non_empty,
+                "tverberg_partition_found": tverberg_agree if dimension <= 2 and size <= 7 else None,
+            }
+        )
     return rows
 
 
@@ -251,9 +225,10 @@ def experiment_safe_area_cost(
     """Section 2.2 LP cost: subset count, pruned block count, LP feasibility."""
     rng = np.random.default_rng(seed)
     rows = []
-    for process_count, dimension, fault_bound in configurations:
+    for point in parameter_grid(configuration=configurations):
+        process_count, dimension, fault_bound = point["configuration"]
         cloud = rng.uniform(0.0, 1.0, size=(process_count, dimension))
-        point = safe_area_point(PointMultiset(cloud), fault_bound)
+        gamma_point = safe_area_point(PointMultiset(cloud), fault_bound)
         pruned_blocks = len(pruned_subset_family(cloud, fault_bound))
         rows.append(
             {
@@ -262,7 +237,7 @@ def experiment_safe_area_cost(
                 "f": fault_bound,
                 "subsets_in_gamma": safe_area_subset_count(process_count, fault_bound),
                 "kernel_blocks": pruned_blocks,
-                "point_found": point is not None,
+                "point_found": gamma_point is not None,
             }
         )
     return rows
@@ -306,29 +281,36 @@ def experiment_exact_bvc(
     seed: int = 3,
 ) -> list[dict[str, object]]:
     """Theorem 3: Exact BVC satisfies agreement + validity at n = max(3f+1,(d+1)f+1)."""
-    rows = []
-    for dimension, fault_bound in configurations:
-        process_count = minimum_processes_exact_sync(dimension, fault_bound)
-        for strategy_name in strategies:
-            registry = uniform_box_registry(
-                process_count, dimension, fault_bound, seed=seed + dimension * 10 + fault_bound
+    campaign = Campaign.from_specs(
+        "E5-exact-bvc",
+        [
+            TrialSpec(
+                protocol="exact",
+                workload="uniform_box",
+                adversary=strategy_name,
+                process_count=minimum_processes_exact_sync(dimension, fault_bound),
+                dimension=dimension,
+                fault_bound=fault_bound,
+                workload_seed=seed + dimension * 10 + fault_bound,
+                adversary_seed=seed,
             )
-            mutators = _mutators_for(registry, strategy_name, seed=seed)
-            outcome = run_exact_bvc(registry, adversary_mutators=mutators)
-            report = check_exact_outcome(registry, outcome.decisions)
-            rows.append(
-                {
-                    "n": process_count,
-                    "d": dimension,
-                    "f": fault_bound,
-                    "attack": strategy_name,
-                    "agreement": report.agreement_ok,
-                    "validity": report.validity_ok,
-                    "rounds": outcome.rounds_executed,
-                    "messages": outcome.messages_sent,
-                }
-            )
-    return rows
+            for dimension, fault_bound in configurations
+            for strategy_name in strategies
+        ],
+    )
+    return [
+        {
+            "n": result.spec.process_count,
+            "d": result.spec.dimension,
+            "f": result.spec.fault_bound,
+            "attack": result.spec.adversary,
+            "agreement": result.agreement,
+            "validity": result.validity,
+            "rounds": result.rounds,
+            "messages": result.messages_sent,
+        }
+        for result in _run(campaign)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -343,41 +325,41 @@ def experiment_approx_bvc(
     lagging: bool = False,
 ) -> list[dict[str, object]]:
     """Theorem 5: the asynchronous algorithm achieves epsilon-agreement and validity."""
-    rows = []
-    for dimension, fault_bound in configurations:
-        process_count = minimum_processes_approx_async(dimension, fault_bound)
-        for strategy_name in strategies:
-            registry = uniform_box_registry(
-                process_count, dimension, fault_bound, seed=seed + dimension * 10 + fault_bound
-            )
-            mutators = _mutators_for(registry, strategy_name, seed=seed)
-            scheduler = (
-                LaggingScheduler(slow_processes=[registry.honest_ids[-1]], seed=seed)
-                if lagging
-                else RandomScheduler(seed)
-            )
-            outcome = run_approx_bvc(
-                registry,
+    campaign = Campaign.from_specs(
+        "E8-approx-bvc",
+        [
+            TrialSpec(
+                protocol="approx",
+                workload="uniform_box",
+                adversary=strategy_name,
+                scheduler="lagging" if lagging else "random",
+                process_count=minimum_processes_approx_async(dimension, fault_bound),
+                dimension=dimension,
+                fault_bound=fault_bound,
                 epsilon=epsilon,
-                adversary_mutators=mutators,
-                scheduler=scheduler,
+                workload_seed=seed + dimension * 10 + fault_bound,
+                adversary_seed=seed,
+                scheduler_seed=seed,
             )
-            report = check_approximate_outcome(registry, outcome.decisions, epsilon=epsilon)
-            rows.append(
-                {
-                    "n": process_count,
-                    "d": dimension,
-                    "f": fault_bound,
-                    "attack": strategy_name,
-                    "epsilon": epsilon,
-                    "eps_agreement": report.agreement_ok,
-                    "validity": report.validity_ok,
-                    "max_disagreement": report.max_disagreement,
-                    "rounds": outcome.rounds_executed,
-                    "deliveries": outcome.deliveries,
-                }
-            )
-    return rows
+            for dimension, fault_bound in configurations
+            for strategy_name in strategies
+        ],
+    )
+    return [
+        {
+            "n": result.spec.process_count,
+            "d": result.spec.dimension,
+            "f": result.spec.fault_bound,
+            "attack": result.spec.adversary,
+            "epsilon": epsilon,
+            "eps_agreement": result.agreement,
+            "validity": result.validity,
+            "max_disagreement": result.max_disagreement,
+            "rounds": result.rounds,
+            "deliveries": result.deliveries,
+        }
+        for result in _run(campaign)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -393,18 +375,30 @@ def experiment_contraction_rate(
 ) -> list[dict[str, object]]:
     """Equation (12): measured per-round contraction of the honest-state range."""
     process_count = minimum_processes_approx_async(dimension, fault_bound)
-    registry = uniform_box_registry(process_count, dimension, fault_bound, seed=seed)
-    mutators = _mutators_for(registry, "outside_hull", seed=seed)
-    outcome = run_approx_bvc(
-        registry,
-        epsilon=epsilon,
-        adversary_mutators=mutators,
-        max_rounds_override=rounds,
-        scheduler=RandomScheduler(seed),
+    campaign = Campaign.from_specs(
+        "E9-contraction-rate",
+        [
+            TrialSpec(
+                protocol="approx",
+                workload="uniform_box",
+                adversary="outside_hull",
+                scheduler="random",
+                process_count=process_count,
+                dimension=dimension,
+                fault_bound=fault_bound,
+                epsilon=epsilon,
+                max_rounds_override=rounds,
+                workload_seed=seed,
+                adversary_seed=seed,
+                scheduler_seed=seed,
+                record_history=True,
+            )
+        ],
     )
+    (result,) = _run(campaign)
     gamma = contraction_factor(process_count, fault_bound, "witness_subsets")
-    ranges = max_range_per_round(outcome.state_histories)
-    factors = measured_contraction_factors(outcome.state_histories)
+    ranges = max_range_per_round(result.state_histories)
+    factors = measured_contraction_factors(result.state_histories)
     rows = []
     for round_index in range(1, len(ranges)):
         rows.append(
@@ -441,55 +435,51 @@ def experiment_restricted_rounds(
     benchmark reports.  Pass ``async_rounds_override=None`` to run the full
     static rule.
     """
-    rows = []
     sync_n = minimum_processes_restricted_sync(dimension, fault_bound)
     async_n = minimum_processes_restricted_async(dimension, fault_bound)
-    for strategy_name in strategies:
-        registry = uniform_box_registry(sync_n, dimension, fault_bound, seed=seed)
-        mutators = _mutators_for(registry, strategy_name, seed=seed)
-        outcome = run_restricted_sync_bvc(
-            registry,
+
+    def restricted_spec(structure: str, strategy_name: str) -> TrialSpec:
+        synchronous = structure == "restricted synchronous"
+        return TrialSpec(
+            protocol="restricted_sync" if synchronous else "restricted_async",
+            workload="uniform_box",
+            adversary=strategy_name,
+            scheduler="random",
+            process_count=sync_n if synchronous else async_n,
+            dimension=dimension,
+            fault_bound=fault_bound,
             epsilon=epsilon,
-            adversary_mutators=mutators,
-            max_rounds_override=sync_rounds_override,
+            max_rounds_override=sync_rounds_override if synchronous else async_rounds_override,
+            workload_seed=seed if synchronous else seed + 1,
+            adversary_seed=seed,
+            scheduler_seed=seed,
         )
-        report = check_approximate_outcome(registry, outcome.decisions, epsilon=epsilon)
-        rows.append(
-            {
-                "structure": "restricted synchronous",
-                "n": sync_n,
-                "d": dimension,
-                "f": fault_bound,
-                "attack": strategy_name,
-                "eps_agreement": report.agreement_ok,
-                "validity": report.validity_ok,
-                "rounds": outcome.rounds_executed,
-            }
+
+    structures = ("restricted synchronous", "restricted asynchronous")
+    campaign = Campaign.from_specs(
+        "E11-restricted-rounds",
+        [
+            restricted_spec(structure, strategy_name)
+            for structure in structures
+            for strategy_name in strategies
+        ],
+    )
+    results = _run(campaign)
+    return [
+        {
+            "structure": structure,
+            "n": result.spec.process_count,
+            "d": dimension,
+            "f": fault_bound,
+            "attack": result.spec.adversary,
+            "eps_agreement": result.agreement,
+            "validity": result.validity,
+            "rounds": result.rounds,
+        }
+        for structure, result in zip(
+            [structure for structure in structures for _ in strategies], results
         )
-    for strategy_name in strategies:
-        registry = uniform_box_registry(async_n, dimension, fault_bound, seed=seed + 1)
-        mutators = _mutators_for(registry, strategy_name, seed=seed)
-        outcome = run_restricted_async_bvc(
-            registry,
-            epsilon=epsilon,
-            adversary_mutators=mutators,
-            scheduler=RandomScheduler(seed),
-            max_rounds_override=async_rounds_override,
-        )
-        report = check_approximate_outcome(registry, outcome.decisions, epsilon=epsilon)
-        rows.append(
-            {
-                "structure": "restricted asynchronous",
-                "n": async_n,
-                "d": dimension,
-                "f": fault_bound,
-                "attack": strategy_name,
-                "eps_agreement": report.agreement_ok,
-                "validity": report.validity_ok,
-                "rounds": outcome.rounds_executed,
-            }
-        )
-    return rows
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -527,7 +517,8 @@ def experiment_kernel_speedup(
     rng = np.random.default_rng(seed)
     kernel = GammaKernel()
     rows: list[dict[str, object]] = []
-    for process_count, dimension, fault_bound in configurations:
+    for point in parameter_grid(configuration=configurations):
+        process_count, dimension, fault_bound = point["configuration"]
         cloud = rng.uniform(0.0, 1.0, size=(process_count, dimension))
         objective = np.zeros(dimension)
         objective[0] = 1.0
@@ -580,69 +571,76 @@ def experiment_kernel_speedup(
 
 def experiment_applications(epsilon: float = 0.2, seed: int = 21) -> list[dict[str, object]]:
     """The intro's application workloads run end-to-end under attack."""
+    campaign = Campaign.from_specs(
+        "E14-applications",
+        [
+            # Probability vectors: exact synchronous agreement on a distribution.
+            TrialSpec(
+                protocol="exact",
+                workload="probability_vector",
+                adversary="outside_hull",
+                process_count=5,
+                dimension=3,
+                fault_bound=1,
+                workload_seed=seed,
+                adversary_seed=seed,
+            ),
+            # Robot rendezvous: approximate asynchronous agreement on a meeting
+            # point; n = (d+2)f + 1 = 6 for d = 3, f = 1.  The static round
+            # threshold is very conservative for the arena-sized value range;
+            # 15 rounds are ample in practice and epsilon-agreement is verified
+            # on the measured decisions below.
+            TrialSpec(
+                protocol="approx",
+                workload="robot_position",
+                adversary="outside_hull",
+                scheduler="random",
+                process_count=6,
+                dimension=3,
+                fault_bound=1,
+                epsilon=epsilon,
+                max_rounds_override=15,
+                workload_seed=seed,
+                adversary_seed=seed,
+                scheduler_seed=seed,
+            ),
+            # Gradient aggregation: restricted synchronous rounds, larger n.
+            TrialSpec(
+                protocol="restricted_sync",
+                workload="gradient",
+                adversary="random_noise",
+                process_count=5,
+                dimension=2,
+                fault_bound=1,
+                epsilon=epsilon,
+                max_rounds_override=8,
+                workload_seed=seed,
+                adversary_seed=seed,
+            ),
+        ],
+    )
+    labels = (
+        "probability vectors (exact, sync)",
+        "robot rendezvous (approx, async)",
+        "gradient aggregation (restricted, sync)",
+    )
     rows: list[dict[str, object]] = []
-
-    # Probability vectors: exact synchronous agreement on a distribution.
-    prob_registry = probability_vector_registry(process_count=5, dimension=3, fault_bound=1, seed=seed)
-    mutators = _mutators_for(prob_registry, "outside_hull", seed=seed)
-    outcome = run_exact_bvc(prob_registry, adversary_mutators=mutators)
-    report = check_exact_outcome(prob_registry, outcome.decisions)
-    decision = outcome.decisions[prob_registry.honest_ids[0]]
-    rows.append(
-        {
-            "workload": "probability vectors (exact, sync)",
-            "n": 5,
-            "d": 3,
-            "f": 1,
-            "agreement": report.agreement_ok,
-            "validity": report.validity_ok,
-            "decision_is_distribution": bool(abs(float(np.sum(decision)) - 1.0) < 1e-6 and np.all(decision >= -1e-9)),
-        }
-    )
-
-    # Robot rendezvous: approximate asynchronous agreement on a meeting point.
-    # n = (d+2)f + 1 = 6 for d = 3, f = 1.
-    robot_registry = robot_position_registry(process_count=6, fault_bound=1, dimension=3, seed=seed)
-    mutators = _mutators_for(robot_registry, "outside_hull", seed=seed)
-    # The static round threshold is very conservative for the arena-sized value
-    # range; 15 rounds are ample in practice and epsilon-agreement is verified
-    # on the measured decisions below.
-    outcome_async = run_approx_bvc(
-        robot_registry,
-        epsilon=epsilon,
-        adversary_mutators=mutators,
-        scheduler=RandomScheduler(seed),
-        max_rounds_override=15,
-    )
-    report_async = check_approximate_outcome(robot_registry, outcome_async.decisions, epsilon=epsilon)
-    rows.append(
-        {
-            "workload": "robot rendezvous (approx, async)",
-            "n": 6,
-            "d": 3,
-            "f": 1,
-            "agreement": report_async.agreement_ok,
-            "validity": report_async.validity_ok,
-            "decision_is_distribution": None,
-        }
-    )
-
-    # Gradient aggregation: restricted synchronous rounds, larger n.
-    gradient_reg = gradient_registry(process_count=5, dimension=2, fault_bound=1, seed=seed)
-    mutators = _mutators_for(gradient_reg, "random_noise", seed=seed)
-    outcome_grad = run_restricted_sync_bvc(
-        gradient_reg, epsilon=epsilon, adversary_mutators=mutators, max_rounds_override=8
-    )
-    report_grad = check_approximate_outcome(gradient_reg, outcome_grad.decisions, epsilon=epsilon)
-    rows.append(
-        {
-            "workload": "gradient aggregation (restricted, sync)",
-            "n": 5,
-            "d": 2,
-            "f": 1,
-            "agreement": report_grad.agreement_ok,
-            "validity": report_grad.validity_ok,
-            "decision_is_distribution": None,
-        }
-    )
+    for label, result in zip(labels, _run(campaign)):
+        decision = np.asarray(result.decision)
+        is_distribution = (
+            bool(abs(float(np.sum(decision)) - 1.0) < 1e-6 and np.all(decision >= -1e-9))
+            if result.spec.workload == "probability_vector"
+            else None
+        )
+        rows.append(
+            {
+                "workload": label,
+                "n": result.spec.process_count,
+                "d": result.spec.dimension,
+                "f": result.spec.fault_bound,
+                "agreement": result.agreement,
+                "validity": result.validity,
+                "decision_is_distribution": is_distribution,
+            }
+        )
     return rows

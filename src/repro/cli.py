@@ -7,10 +7,15 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run all                   # run every experiment
     python -m repro.cli run E8 --output out.txt   # also write the table to a file
     python -m repro.cli bounds --dimension 3 --faults 2   # query the resilience bounds
+    python -m repro.cli campaign --workers 4 --jsonl out.jsonl   # parallel trial sweep
     python -m repro.cli --help                    # usage examples + documentation map
 
 The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``; E15 is the
 geometry-kernel speedup experiment added alongside ``docs/PERFORMANCE.md``.
+The ``campaign`` command is the scale path: it expands a (protocol, workload,
+adversary, scheduler, n/d/f, epsilon, repeat) grid — from flags or a JSON
+file — into deterministic trials and fans them out over a worker pool,
+streaming one JSON line per trial.
 """
 
 from __future__ import annotations
@@ -23,6 +28,14 @@ from typing import Callable, Sequence
 from repro.analysis import experiments
 from repro.analysis.report import render_table
 from repro.core.conditions import resilience_table
+from repro.engine import (
+    PROTOCOLS,
+    SCHEDULER_NAMES,
+    STRATEGY_NAMES,
+    WORKLOAD_NAMES,
+    Campaign,
+    run_campaign,
+)
 
 __all__ = ["EXPERIMENT_REGISTRY", "build_parser", "main"]
 
@@ -82,6 +95,17 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]
     ),
 }
 
+
+def _experiment_order(experiment_id: str) -> tuple[int, str]:
+    """Sort key putting ids in numeric order (E2 before E11, not after)."""
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    return (int(digits) if digits else 0, experiment_id)
+
+
+def _ordered_experiment_ids() -> list[str]:
+    return sorted(EXPERIMENT_REGISTRY, key=_experiment_order)
+
+
 _EPILOG = """\
 examples:
   python -m repro.cli list                    show every experiment id with a description
@@ -89,10 +113,19 @@ examples:
   python -m repro.cli run E15                 safe-area kernel speedup vs the literal LP
   python -m repro.cli run all --output out.txt
   python -m repro.cli bounds --dimension 3 --faults 2
+  python -m repro.cli campaign --repeats 25 --workers 4 --jsonl sweep.jsonl
+                                              100-trial Exact-BVC sweep on 4 workers
+  python -m repro.cli campaign --protocols exact approx \\
+      --adversaries crash outside_hull random_noise \\
+      --dimensions 1 2 3 --repeats 5 --seed 7 --workers 4 --jsonl sweep.jsonl
+  python -m repro.cli campaign --grid-file campaign.json --workers 8
+
+campaigns are deterministic: the same --seed produces byte-identical JSONL
+rows (modulo the elapsed_ms timing field) for any --workers value.
 
 documentation:
   README.md                  install, quickstart, paper-section -> module map
-  docs/ARCHITECTURE.md       layer stack and where the geometry kernel sits
+  docs/ARCHITECTURE.md       layer stack: geometry kernel, runtimes, engine/campaigns
   docs/PERFORMANCE.md        measured before/after numbers for the kernel
 
 verify the installation with the tier-1 test suite:
@@ -127,6 +160,69 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_parser.add_argument("--dimension", type=int, default=2, help="vector dimension d")
     bounds_parser.add_argument("--faults", type=int, default=1, help="fault bound f")
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="expand a trial grid and run it on a worker pool",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    campaign_parser.add_argument(
+        "--grid-file",
+        type=Path,
+        default=None,
+        help="JSON campaign file ({'grid': {...}} or {'trials': [...]}); overrides the grid flags",
+    )
+    campaign_parser.add_argument(
+        "--name", default="cli-campaign", help="campaign name (used in the summary row)"
+    )
+    campaign_parser.add_argument(
+        "--protocols", nargs="+", default=["exact"], choices=sorted(PROTOCOLS),
+        help="protocols to sweep",
+    )
+    campaign_parser.add_argument(
+        "--workloads", nargs="+", default=["uniform_box"], choices=WORKLOAD_NAMES,
+        help="input workload generators",
+    )
+    campaign_parser.add_argument(
+        "--adversaries", nargs="+",
+        default=list(STRATEGY_NAMES),
+        choices=("none",) + STRATEGY_NAMES + ("coordinate_attack",),
+        help="adversary strategies",
+    )
+    campaign_parser.add_argument(
+        "--schedulers", nargs="+", default=["random"], choices=SCHEDULER_NAMES,
+        help="delivery schedulers (asynchronous protocols)",
+    )
+    campaign_parser.add_argument(
+        "--dimensions", nargs="+", type=int, default=[2], help="vector dimensions d"
+    )
+    campaign_parser.add_argument(
+        "--faults", nargs="+", type=int, default=[1], help="fault bounds f"
+    )
+    campaign_parser.add_argument(
+        "--process-counts", nargs="+", type=int, default=None,
+        help="process counts n (default: each protocol's minimum at its (d, f))",
+    )
+    campaign_parser.add_argument(
+        "--epsilons", nargs="+", type=float, default=[0.2],
+        help="epsilon-agreement parameters (approximate protocols)",
+    )
+    campaign_parser.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="cap approximate protocols at this many rounds instead of the static rule",
+    )
+    campaign_parser.add_argument(
+        "--repeats", type=int, default=25,
+        help="repeat the grid this many times with fresh derived seeds",
+    )
+    campaign_parser.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    campaign_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = run inline)"
+    )
+    campaign_parser.add_argument(
+        "--jsonl", type=Path, default=None, help="stream one JSON line per trial to this file"
+    )
+
     return parser
 
 
@@ -139,6 +235,40 @@ def _run_experiments(ids: Sequence[str]) -> str:
     return "\n\n".join(sections)
 
 
+def _build_campaign(arguments: argparse.Namespace) -> Campaign:
+    if arguments.grid_file is not None:
+        return Campaign.from_file(arguments.grid_file)
+    return Campaign.from_grid(
+        arguments.name,
+        protocols=arguments.protocols,
+        workloads=arguments.workloads,
+        adversaries=arguments.adversaries,
+        schedulers=arguments.schedulers,
+        dimensions=arguments.dimensions,
+        fault_bounds=arguments.faults,
+        process_counts=arguments.process_counts,
+        epsilons=arguments.epsilons,
+        repeats=arguments.repeats,
+        base_seed=arguments.seed,
+        max_rounds_override=arguments.max_rounds,
+    )
+
+
+def _run_campaign_command(arguments: argparse.Namespace) -> int:
+    campaign = _build_campaign(arguments)
+    shape = campaign.describe()
+    print(
+        f"campaign '{shape['name']}': {shape['trials']} trials "
+        f"(protocols={','.join(shape['protocols'])} adversaries={','.join(shape['adversaries'])}) "
+        f"on {arguments.workers} worker(s)"
+    )
+    summary, _ = run_campaign(campaign, workers=arguments.workers, jsonl_path=arguments.jsonl)
+    print(render_table([summary.to_row()], title="Campaign summary"))
+    if arguments.jsonl is not None:
+        print(f"wrote {summary.trials} rows to {arguments.jsonl}")
+    return 0 if summary.errors == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     parser = build_parser()
@@ -146,8 +276,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "list":
         rows = [
-            {"id": experiment_id, "description": description}
-            for experiment_id, (description, _) in sorted(EXPERIMENT_REGISTRY.items())
+            {"id": experiment_id, "description": EXPERIMENT_REGISTRY[experiment_id][0]}
+            for experiment_id in _ordered_experiment_ids()
         ]
         print(render_table(rows, title="Available experiments"))
         return 0
@@ -157,14 +287,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_table(rows, title="Minimum number of processes"))
         return 0
 
+    if arguments.command == "campaign":
+        return _run_campaign_command(arguments)
+
     # command == "run"
     requested = arguments.experiment.upper()
     if requested == "ALL":
-        ids: list[str] = sorted(EXPERIMENT_REGISTRY)
+        ids: list[str] = _ordered_experiment_ids()
     elif requested in EXPERIMENT_REGISTRY:
         ids = [requested]
     else:
-        known = ", ".join(sorted(EXPERIMENT_REGISTRY))
+        known = ", ".join(_ordered_experiment_ids())
         print(f"unknown experiment '{arguments.experiment}'; known ids: {known}, or 'all'", file=sys.stderr)
         return 2
 

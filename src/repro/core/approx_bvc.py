@@ -244,6 +244,7 @@ class ApproxBVCOutcome:
         state_histories: per honest process, its state after every round
             (index 0 is the input) — the raw series behind the convergence
             figures.
+        messages_dropped: undeliverable messages refused by the runtime.
     """
 
     registry: ProcessRegistry
@@ -253,6 +254,7 @@ class ApproxBVCOutcome:
     deliveries: int
     messages_sent: int
     state_histories: dict[int, list[np.ndarray]]
+    messages_dropped: int = 0
 
 
 def run_approx_bvc(
@@ -331,4 +333,5 @@ def run_approx_bvc(
         deliveries=result.deliveries,
         messages_sent=result.traffic.messages_sent,
         state_histories={pid: cores[pid].state_history for pid in registry.honest_ids},
+        messages_dropped=result.traffic.messages_dropped,
     )

@@ -89,6 +89,7 @@ def run_coordinatewise_consensus(
     registry: ProcessRegistry,
     adversary_mutators: dict[int, MessageMutator] | None = None,
     broadcast_mode: BroadcastMode = "per_coordinate",
+    max_rounds: int | None = None,
 ) -> ExactBVCOutcome:
     """Run the coordinate-wise scalar-consensus baseline end-to-end.
 
@@ -115,7 +116,7 @@ def run_coordinatewise_consensus(
     runtime = SynchronousRuntime(
         processes,
         honest_ids=registry.honest_ids,
-        max_rounds=configuration.fault_bound + 2,
+        max_rounds=max_rounds if max_rounds is not None else configuration.fault_bound + 2,
     )
     result = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}
@@ -124,4 +125,5 @@ def run_coordinatewise_consensus(
         decisions=decisions,
         rounds_executed=result.rounds_executed,
         messages_sent=result.traffic.messages_sent,
+        messages_dropped=result.traffic.messages_dropped,
     )

@@ -222,12 +222,15 @@ class ExactBVCOutcome:
         decisions: decision vector per honest process id.
         rounds_executed: synchronous rounds used.
         messages_sent: total messages put on the network.
+        messages_dropped: undeliverable messages (self-addressed or unknown
+            recipient, typically Byzantine output) refused by the runtime.
     """
 
     registry: ProcessRegistry
     decisions: dict[int, np.ndarray]
     rounds_executed: int
     messages_sent: int
+    messages_dropped: int = 0
 
     def honest_decisions(self) -> dict[int, np.ndarray]:
         """Alias kept for symmetry with the asynchronous outcome object."""
@@ -283,4 +286,5 @@ def run_exact_bvc(
         decisions=decisions,
         rounds_executed=result.rounds_executed,
         messages_sent=result.traffic.messages_sent,
+        messages_dropped=result.traffic.messages_dropped,
     )

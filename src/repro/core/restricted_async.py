@@ -238,4 +238,5 @@ def run_restricted_async_bvc(
         rounds_executed=rounds_executed,
         messages_sent=result.traffic.messages_sent,
         state_histories={pid: cores[pid].state_history for pid in registry.honest_ids},
+        messages_dropped=result.traffic.messages_dropped,
     )

@@ -151,6 +151,7 @@ class RestrictedRoundOutcome:
         rounds_executed: rounds each honest process ran.
         messages_sent: total messages put on the network.
         state_histories: per honest process, its state after every round.
+        messages_dropped: undeliverable messages refused by the runtime.
     """
 
     registry: ProcessRegistry
@@ -159,6 +160,7 @@ class RestrictedRoundOutcome:
     rounds_executed: int
     messages_sent: int
     state_histories: dict[int, list[np.ndarray]]
+    messages_dropped: int = 0
 
 
 def run_restricted_sync_bvc(
@@ -206,4 +208,5 @@ def run_restricted_sync_bvc(
         rounds_executed=result.rounds_executed,
         messages_sent=result.traffic.messages_sent,
         state_histories={pid: cores[pid].state_history for pid in registry.honest_ids},
+        messages_dropped=result.traffic.messages_dropped,
     )

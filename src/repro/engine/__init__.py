@@ -1,0 +1,61 @@
+"""Unified simulation engine: declarative trials, campaigns, parallel sweeps.
+
+The engine turns "run this protocol once" into "run thousands of (protocol,
+workload, adversary, scheduler, seed) configurations fast and reproducibly":
+
+* :class:`~repro.engine.spec.TrialSpec` — one execution as plain data;
+* :func:`~repro.engine.trial.run_trial` — spec in, flat
+  :class:`~repro.engine.spec.TrialResult` out (a pure function of the spec);
+* :class:`~repro.engine.campaign.Campaign` — grid declarations expanded into
+  deterministic trial lists with ``SeedSequence.spawn`` seed derivation;
+* :func:`~repro.engine.executor.run_campaign` — sequential or worker-pool
+  execution streaming into a JSONL sink.
+
+The experiment runners in :mod:`repro.analysis.experiments` and the
+``python -m repro.cli campaign`` command are thin layers over this module.
+"""
+
+from repro.engine.campaign import Campaign, parameter_grid
+from repro.engine.executor import (
+    CampaignSummary,
+    JsonlSink,
+    execute_specs,
+    read_jsonl,
+    run_campaign,
+    strip_timing,
+)
+from repro.engine.factories import (
+    SCHEDULER_NAMES,
+    STRATEGY_NAMES,
+    WORKLOAD_NAMES,
+    build_mutators,
+    build_registry,
+    build_scheduler,
+    make_strategy,
+    minimum_processes_for,
+)
+from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
+from repro.engine.trial import run_trial
+
+__all__ = [
+    "PROTOCOLS",
+    "SCHEDULER_NAMES",
+    "STRATEGY_NAMES",
+    "WORKLOAD_NAMES",
+    "Campaign",
+    "CampaignSummary",
+    "JsonlSink",
+    "TrialResult",
+    "TrialSpec",
+    "build_mutators",
+    "build_registry",
+    "build_scheduler",
+    "execute_specs",
+    "make_strategy",
+    "minimum_processes_for",
+    "parameter_grid",
+    "read_jsonl",
+    "run_campaign",
+    "run_trial",
+    "strip_timing",
+]

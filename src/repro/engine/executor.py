@@ -1,0 +1,193 @@
+"""Campaign execution: sequential or worker-pool, streaming into a JSONL sink.
+
+The executor maps :func:`~repro.engine.trial.run_trial` over a campaign's
+specs.  With ``workers > 1`` it uses a ``concurrent.futures``
+``ProcessPoolExecutor`` (trials are CPU-bound: each one is a full protocol
+simulation plus LP solves) and consumes results with ``Executor.map``, which
+yields in submission order — so rows stream to the sink in trial order while
+workers run ahead, large sweeps never accumulate in memory, and the output is
+byte-identical for any worker count (every trial is a pure function of its
+spec; only the ``elapsed_ms`` timing field varies run to run).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.engine.campaign import Campaign
+from repro.engine.spec import TrialResult, TrialSpec
+from repro.engine.trial import run_trial
+
+__all__ = [
+    "CampaignSummary",
+    "JsonlSink",
+    "execute_specs",
+    "run_campaign",
+    "read_jsonl",
+    "strip_timing",
+]
+
+
+class JsonlSink:
+    """Append trial rows to a JSON-lines file, one row per trial, as they arrive."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.rows_written = 0
+        self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        return self
+
+    def write(self, result: TrialResult) -> None:
+        if self._handle is None:
+            raise RuntimeError("JsonlSink must be entered before writing")
+        self._handle.write(result.to_json() + "\n")
+        self.rows_written += 1
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load every row of a campaign JSONL file back into dictionaries."""
+    rows = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def strip_timing(rows: Iterable[dict[str, Any]]) -> list[str]:
+    """Canonicalise rows for determinism comparison: drop timing fields, sort keys.
+
+    Two campaign runs with the same seed must produce equal ``strip_timing``
+    output regardless of worker count; ``TrialResult.TIMING_FIELDS`` is the
+    single list of fields allowed to differ.
+    """
+    canonical = []
+    for row in rows:
+        kept = {key: value for key, value in row.items() if key not in TrialResult.TIMING_FIELDS}
+        canonical.append(json.dumps(kept, sort_keys=True))
+    return canonical
+
+
+def execute_specs(
+    specs: Sequence[TrialSpec],
+    workers: int = 1,
+    chunksize: int | None = None,
+) -> Iterator[TrialResult]:
+    """Yield one :class:`TrialResult` per spec, in spec order.
+
+    ``workers <= 1`` runs inline (no subprocess overhead, simplest debugging);
+    otherwise a process pool fans the trials out while this iterator yields
+    them back in order.
+    """
+    if workers <= 1 or len(specs) <= 1:
+        for spec in specs:
+            yield run_trial(spec)
+        return
+    if chunksize is None:
+        chunksize = max(1, len(specs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(run_trial, specs, chunksize=chunksize)
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate view of a finished campaign run."""
+
+    name: str
+    trials: int
+    ok: int
+    errors: int
+    agreement_failures: int
+    validity_failures: int
+    elapsed_seconds: float
+    workers: int
+    jsonl_path: str | None
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.trials / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+
+    def to_row(self) -> dict[str, Any]:
+        """One table row for the CLI / benchmarks."""
+        return {
+            "campaign": self.name,
+            "trials": self.trials,
+            "ok": self.ok,
+            "errors": self.errors,
+            "agreement_failures": self.agreement_failures,
+            "validity_failures": self.validity_failures,
+            "workers": self.workers,
+            "seconds": round(self.elapsed_seconds, 3),
+            "trials_per_s": round(self.trials_per_second, 1),
+        }
+
+
+def run_campaign(
+    campaign: Campaign,
+    workers: int = 1,
+    jsonl_path: str | Path | None = None,
+    on_result: Callable[[TrialResult], None] | None = None,
+    collect: bool = False,
+) -> tuple[CampaignSummary, list[TrialResult]]:
+    """Run every trial of the campaign, streaming rows to the optional sink.
+
+    Returns the summary and — only when ``collect=True`` — the full result
+    list (large sweeps should rely on the JSONL sink instead and keep
+    ``collect`` off).
+    """
+    start = time.perf_counter()
+    ok = errors = agreement_failures = validity_failures = 0
+    collected: list[TrialResult] = []
+
+    def _consume(results: Iterable[TrialResult]) -> None:
+        nonlocal ok, errors, agreement_failures, validity_failures
+        for result in results:
+            if result.ok:
+                ok += 1
+                if result.agreement is False:
+                    agreement_failures += 1
+                if result.validity is False:
+                    validity_failures += 1
+            else:
+                errors += 1
+            if sink is not None:
+                sink.write(result)
+            if on_result is not None:
+                on_result(result)
+            if collect:
+                collected.append(result)
+
+    if jsonl_path is not None:
+        with JsonlSink(jsonl_path) as sink:
+            _consume(execute_specs(campaign.specs, workers=workers))
+    else:
+        sink = None
+        _consume(execute_specs(campaign.specs, workers=workers))
+
+    summary = CampaignSummary(
+        name=campaign.name,
+        trials=len(campaign.specs),
+        ok=ok,
+        errors=errors,
+        agreement_failures=agreement_failures,
+        validity_failures=validity_failures,
+        elapsed_seconds=time.perf_counter() - start,
+        workers=workers,
+        jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
+    )
+    return summary, collected

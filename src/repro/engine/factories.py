@@ -1,0 +1,216 @@
+"""Name -> object factories for workloads, adversaries, schedulers, protocols.
+
+The engine's :class:`~repro.engine.spec.TrialSpec` refers to every moving part
+of a trial by name so that specs stay plain data.  This module is the single
+place those names are resolved: input-workload generators
+(:mod:`repro.workloads.generators`), adversary strategies
+(:mod:`repro.byzantine.strategies`), delivery schedulers
+(:mod:`repro.network.scheduler`) and protocol runners (:mod:`repro.core`).
+
+:func:`make_strategy` predates the engine (it started life in
+``analysis/experiments.py``, which still re-exports it) and keeps its exact
+behaviour for the original four strategy names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.byzantine.adversary import MessageMutator
+from repro.byzantine.strategies import (
+    CoordinateAttackStrategy,
+    CrashStrategy,
+    EquivocationStrategy,
+    HonestStrategy,
+    OutsideHullStrategy,
+    RandomNoiseStrategy,
+)
+from repro.core.conditions import (
+    minimum_processes_approx_async,
+    minimum_processes_exact_sync,
+    minimum_processes_restricted_async,
+    minimum_processes_restricted_sync,
+    minimum_processes_scalar,
+)
+from repro.engine.spec import TrialSpec
+from repro.exceptions import ConfigurationError
+from repro.network.scheduler import (
+    DeliveryScheduler,
+    LaggingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.processes.registry import ProcessRegistry
+from repro.workloads.generators import (
+    gradient_registry,
+    intro_counterexample_registry,
+    probability_vector_registry,
+    robot_position_registry,
+    uniform_box_registry,
+)
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "STRATEGY_NAMES",
+    "SCHEDULER_NAMES",
+    "make_strategy",
+    "build_registry",
+    "build_mutators",
+    "build_scheduler",
+    "minimum_processes_for",
+]
+
+STRATEGY_NAMES = ("crash", "equivocate", "outside_hull", "random_noise")
+
+WORKLOAD_NAMES = (
+    "uniform_box",
+    "probability_vector",
+    "robot_position",
+    "gradient",
+    "intro_counterexample",
+)
+
+SCHEDULER_NAMES = ("random", "lagging", "round_robin")
+
+
+# -- adversaries ---------------------------------------------------------------
+
+def make_strategy(
+    name: str,
+    registry: ProcessRegistry,
+    seed: int = 0,
+    params: dict[str, Any] | None = None,
+) -> MessageMutator:
+    """Build one of the named adversary strategies against the given registry."""
+    params = params or {}
+    if name == "none" or name == "honest":
+        return HonestStrategy()
+    if name == "crash":
+        return CrashStrategy(crash_round=int(params.get("crash_round", 1)))
+    if name == "equivocate":
+        honest_inputs = [registry.input_of(pid) for pid in registry.honest_ids]
+        return EquivocationStrategy(value_pool=honest_inputs)
+    if name == "outside_hull":
+        return OutsideHullStrategy(
+            offset=float(params.get("offset", 50.0)), scale=float(params.get("scale", 5.0))
+        )
+    if name == "random_noise":
+        lower, upper = registry.value_bounds()
+        spread = max(1.0, upper - lower)
+        return RandomNoiseStrategy(low=lower - 5 * spread, high=upper + 5 * spread, seed=seed)
+    if name == "coordinate_attack":
+        return CoordinateAttackStrategy(
+            coordinate=int(params.get("coordinate", 0)), target=float(params.get("target", 0.0))
+        )
+    raise ValueError(f"unknown strategy name: {name}")
+
+
+def build_mutators(spec: TrialSpec, registry: ProcessRegistry) -> dict[int, MessageMutator]:
+    """One mutator per faulty id, seeded ``adversary_seed + faulty_id``.
+
+    The per-id offset keeps seeded strategies (e.g. random noise) from
+    emitting identical streams on every faulty process, and matches the
+    seeding the original experiment runners used.
+    """
+    if spec.adversary in ("none", "honest"):
+        return {}
+    _, adversary_seed, _ = spec.resolved_seeds()
+    params = spec.params("adversary")
+    return {
+        faulty_id: make_strategy(spec.adversary, registry, seed=adversary_seed + faulty_id, params=params)
+        for faulty_id in registry.faulty_ids
+    }
+
+
+# -- workloads ----------------------------------------------------------------
+
+def build_registry(spec: TrialSpec) -> ProcessRegistry:
+    """Instantiate the spec's workload into a concrete process registry.
+
+    The registry's configuration must match the spec's ``(n, d, f)`` fields —
+    fixed-instance workloads like ``intro_counterexample`` ignore those fields
+    when building, so the check keeps result rows from recording a
+    configuration that was never executed.
+    """
+    registry = _build_registry(spec)
+    configuration = registry.configuration
+    actual = (configuration.process_count, configuration.dimension, configuration.fault_bound)
+    declared = (spec.process_count, spec.dimension, spec.fault_bound)
+    if actual != declared:
+        raise ConfigurationError(
+            f"workload {spec.workload!r} builds (n, d, f) = {actual}, "
+            f"but the spec declares {declared}"
+        )
+    return registry
+
+
+def _build_registry(spec: TrialSpec) -> ProcessRegistry:
+    workload_seed, _, _ = spec.resolved_seeds()
+    params = spec.params("workload")
+    if spec.workload == "uniform_box":
+        return uniform_box_registry(
+            spec.process_count, spec.dimension, spec.fault_bound, seed=workload_seed, **params
+        )
+    if spec.workload == "probability_vector":
+        return probability_vector_registry(
+            spec.process_count, spec.dimension, spec.fault_bound, seed=workload_seed, **params
+        )
+    if spec.workload == "robot_position":
+        return robot_position_registry(
+            spec.process_count,
+            spec.fault_bound,
+            dimension=spec.dimension,
+            seed=workload_seed,
+            **params,
+        )
+    if spec.workload == "gradient":
+        return gradient_registry(
+            spec.process_count, spec.dimension, spec.fault_bound, seed=workload_seed, **params
+        )
+    if spec.workload == "intro_counterexample":
+        return intro_counterexample_registry(**params)
+    raise ConfigurationError(
+        f"unknown workload {spec.workload!r}; known: {', '.join(WORKLOAD_NAMES)}"
+    )
+
+
+# -- schedulers ---------------------------------------------------------------
+
+def build_scheduler(spec: TrialSpec, registry: ProcessRegistry) -> DeliveryScheduler:
+    """Instantiate the spec's delivery scheduler (asynchronous protocols)."""
+    _, _, scheduler_seed = spec.resolved_seeds()
+    params = spec.params("scheduler")
+    if spec.scheduler == "random":
+        return RandomScheduler(scheduler_seed)
+    if spec.scheduler == "round_robin":
+        return RoundRobinScheduler()
+    if spec.scheduler == "lagging":
+        slow = params.get("slow_processes")
+        if slow is None:
+            # Default to starving the last honest process — the classical
+            # "correct but slow" scenario of the Theorem 4 argument.
+            slow = [registry.honest_ids[-1]]
+        return LaggingScheduler(slow_processes=list(slow), seed=scheduler_seed)
+    raise ConfigurationError(
+        f"unknown scheduler {spec.scheduler!r}; known: {', '.join(SCHEDULER_NAMES)}"
+    )
+
+
+# -- resilience bounds --------------------------------------------------------
+
+_MINIMUM_PROCESSES: dict[str, Callable[[int, int], int]] = {
+    "exact": minimum_processes_exact_sync,
+    "approx": minimum_processes_approx_async,
+    "restricted_sync": minimum_processes_restricted_sync,
+    "restricted_async": minimum_processes_restricted_async,
+    "coordinatewise": lambda dimension, fault_bound: minimum_processes_scalar(fault_bound),
+}
+
+
+def minimum_processes_for(protocol: str, dimension: int, fault_bound: int) -> int:
+    """The paper's minimum ``n`` for the protocol at ``(d, f)``."""
+    try:
+        bound = _MINIMUM_PROCESSES[protocol]
+    except KeyError as error:
+        raise ConfigurationError(f"unknown protocol {protocol!r}") from error
+    return bound(dimension, fault_bound)

@@ -1,0 +1,222 @@
+"""Declarative trial specifications and results.
+
+A :class:`TrialSpec` fully describes one protocol execution — protocol,
+workload generator, adversary strategy, delivery scheduler, the ``(n, d, f)``
+configuration, ``epsilon`` and seeds — as plain picklable data, so trials can
+be expanded from grids, shipped to worker processes, and replayed exactly.
+:class:`TrialResult` is the corresponding flat record: the spec fields plus
+the measured outcome (agreement/validity verdicts, round/message/drop
+counters, the first honest decision) in a JSON-serialisable shape.
+
+Seed discipline: a spec carries one root ``seed``.  Unless explicitly
+overridden, the workload, adversary and scheduler seeds are derived from it
+with ``np.random.SeedSequence(seed).spawn(3)``, so (a) the three randomness
+consumers are statistically independent and (b) a trial is a pure function of
+its spec — the same spec produces the same result on any worker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PROTOCOLS", "TrialSpec", "TrialResult"]
+
+# Protocol name -> (model, needs_epsilon).  The model decides which runtime
+# (and therefore which result counters) a trial uses.
+PROTOCOLS: dict[str, tuple[str, bool]] = {
+    "exact": ("sync", False),
+    "coordinatewise": ("sync", False),
+    "approx": ("async", True),
+    "restricted_sync": ("sync", True),
+    "restricted_async": ("async", True),
+}
+
+_PARAM_FIELDS = ("workload_params", "adversary_params", "scheduler_params")
+
+
+def _freeze_params(params: Mapping[str, Any] | tuple | None) -> tuple[tuple[str, Any], ...]:
+    """Normalise a parameter mapping into a sorted, hashable tuple of pairs."""
+    if not params:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One protocol execution, described declaratively.
+
+    Attributes:
+        protocol: one of :data:`PROTOCOLS`.
+        workload: input-generator name (see :mod:`repro.engine.factories`).
+        adversary: strategy name, or ``"none"`` for a fault-free run.
+        scheduler: delivery-scheduler name (asynchronous protocols only).
+        process_count / dimension / fault_bound: the (n, d, f) configuration.
+        epsilon: agreement parameter for approximate protocols.
+        seed: root seed; workload/adversary/scheduler seeds derive from it
+            via ``SeedSequence.spawn`` unless overridden below.
+        workload_seed / adversary_seed / scheduler_seed: explicit overrides.
+        max_rounds_override: cap the protocol's round count (approximate
+            protocols; ``None`` runs the static termination rule).
+        workload_params / adversary_params / scheduler_params: extra keyword
+            arguments for the respective factory, as sorted ``(key, value)``
+            pairs so that specs stay hashable and picklable.
+        record_history: keep per-round state histories on the result (memory
+            heavy; used by convergence experiments).
+        trial_index: position of this trial within its campaign.
+    """
+
+    protocol: str
+    workload: str
+    adversary: str = "none"
+    scheduler: str = "random"
+    process_count: int = 4
+    dimension: int = 1
+    fault_bound: int = 1
+    epsilon: float = 0.2
+    seed: int = 0
+    workload_seed: int | None = None
+    adversary_seed: int | None = None
+    scheduler_seed: int | None = None
+    max_rounds_override: int | None = None
+    workload_params: tuple[tuple[str, Any], ...] = ()
+    adversary_params: tuple[tuple[str, Any], ...] = ()
+    scheduler_params: tuple[tuple[str, Any], ...] = ()
+    record_history: bool = False
+    trial_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; known: {', '.join(sorted(PROTOCOLS))}"
+            )
+        for name in _PARAM_FIELDS:
+            object.__setattr__(self, name, _freeze_params(getattr(self, name)))
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def model(self) -> str:
+        """``"sync"`` or ``"async"``."""
+        return PROTOCOLS[self.protocol][0]
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when the protocol targets epsilon-agreement rather than exact."""
+        return PROTOCOLS[self.protocol][1]
+
+    def resolved_seeds(self) -> tuple[int, int, int]:
+        """Return ``(workload_seed, adversary_seed, scheduler_seed)``.
+
+        Unset seeds are derived deterministically from the root ``seed`` with
+        ``SeedSequence.spawn``, so they are independent streams but a pure
+        function of the spec.
+        """
+        children = np.random.SeedSequence(self.seed).spawn(3)
+        derived = [int(child.generate_state(1, dtype=np.uint32)[0]) for child in children]
+        explicit = (self.workload_seed, self.adversary_seed, self.scheduler_seed)
+        resolved = tuple(
+            value if value is not None else fallback
+            for value, fallback in zip(explicit, derived)
+        )
+        return resolved  # type: ignore[return-value]
+
+    def params(self, which: str) -> dict[str, Any]:
+        """Return the ``which`` parameter pairs (``"workload"`` etc.) as a dict."""
+        return dict(getattr(self, f"{which}_params"))
+
+    # -- (de)serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-serialisable dict (parameter tuples become dicts)."""
+        record: dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name in _PARAM_FIELDS:
+                value = dict(value)
+            record[spec_field.name] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TrialSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(record) - known
+        if unknown:
+            raise ConfigurationError(f"unknown TrialSpec fields: {sorted(unknown)}")
+        return cls(**dict(record))
+
+    def with_index(self, trial_index: int) -> "TrialSpec":
+        """Return a copy at a different campaign position."""
+        return replace(self, trial_index=trial_index)
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce numpy scalars/arrays into plain Python so rows serialise stably."""
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Flat outcome record of one executed trial.
+
+    Fields that do not apply to a protocol (e.g. ``deliveries`` for a
+    synchronous run) are ``None``.  ``state_histories`` is kept in memory for
+    reductions but excluded from the serialised row; ``elapsed_ms`` is the
+    only non-deterministic field, so determinism comparisons strip it.
+    """
+
+    spec: TrialSpec
+    status: str  # "ok" | "error"
+    error: str | None = None
+    agreement: bool | None = None
+    validity: bool | None = None
+    max_disagreement: float | None = None
+    max_hull_distance: float | None = None
+    rounds: int | None = None
+    deliveries: int | None = None
+    messages_sent: int | None = None
+    messages_dropped: int | None = None
+    decision: tuple[float, ...] | None = None
+    state_histories: dict[int, list[np.ndarray]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    elapsed_ms: float = 0.0
+
+    TIMING_FIELDS = ("elapsed_ms",)
+
+    @property
+    def ok(self) -> bool:
+        """True when the trial executed without raising."""
+        return self.status == "ok"
+
+    def to_row(self) -> dict[str, Any]:
+        """Flatten spec + outcome into one JSON-serialisable row."""
+        row = {f"spec_{key}": _jsonify(value) for key, value in self.spec.to_dict().items()}
+        for result_field in fields(self):
+            if result_field.name in ("spec", "state_histories"):
+                continue
+            row[result_field.name] = _jsonify(getattr(self, result_field.name))
+        return row
+
+    def to_json(self) -> str:
+        """One deterministic JSONL line (keys sorted, timing field included)."""
+        return json.dumps(self.to_row(), sort_keys=True)

@@ -1,0 +1,105 @@
+"""Execute one :class:`~repro.engine.spec.TrialSpec` into a ``TrialResult``.
+
+:func:`run_trial` is a pure function of its spec (all randomness flows through
+the spec's seeds), which is what makes campaign results independent of worker
+count and execution order.  It is a module-level function so worker processes
+can receive it by name.
+
+Protocol failures (liveness violations, resilience-check rejections, …) are
+*data*, not crashes: campaigns deliberately sweep regions where the paper says
+an algorithm must fail, so exceptions are captured into ``status="error"``
+rows instead of tearing down the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.baselines import run_coordinatewise_consensus
+from repro.core.approx_bvc import run_approx_bvc
+from repro.core.exact_bvc import run_exact_bvc
+from repro.core.restricted_async import run_restricted_async_bvc
+from repro.core.restricted_sync import run_restricted_sync_bvc
+from repro.core.validity import check_approximate_outcome, check_exact_outcome
+from repro.engine.factories import build_mutators, build_registry, build_scheduler
+from repro.engine.spec import TrialResult, TrialSpec
+
+__all__ = ["run_trial"]
+
+
+def run_trial(spec: TrialSpec) -> TrialResult:
+    """Run the protocol execution the spec describes and measure its outcome."""
+    start = time.perf_counter()
+    try:
+        result = _execute(spec)
+    except Exception as error:  # noqa: BLE001 — failures are campaign data
+        result = TrialResult(spec=spec, status="error", error=f"{type(error).__name__}: {error}")
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    return dataclasses.replace(result, elapsed_ms=elapsed_ms)
+
+
+def _execute(spec: TrialSpec) -> TrialResult:
+    registry = build_registry(spec)
+    mutators = build_mutators(spec, registry)
+
+    deliveries = None
+    state_histories = None
+    if spec.protocol == "exact":
+        outcome = run_exact_bvc(
+            registry, adversary_mutators=mutators, max_rounds=spec.max_rounds_override
+        )
+        report = check_exact_outcome(registry, outcome.decisions)
+    elif spec.protocol == "coordinatewise":
+        outcome = run_coordinatewise_consensus(
+            registry, adversary_mutators=mutators, max_rounds=spec.max_rounds_override
+        )
+        report = check_exact_outcome(registry, outcome.decisions)
+    elif spec.protocol == "approx":
+        outcome = run_approx_bvc(
+            registry,
+            epsilon=spec.epsilon,
+            adversary_mutators=mutators,
+            scheduler=build_scheduler(spec, registry),
+            max_rounds_override=spec.max_rounds_override,
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
+        deliveries = outcome.deliveries
+        state_histories = outcome.state_histories if spec.record_history else None
+    elif spec.protocol == "restricted_sync":
+        outcome = run_restricted_sync_bvc(
+            registry,
+            epsilon=spec.epsilon,
+            adversary_mutators=mutators,
+            max_rounds_override=spec.max_rounds_override,
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
+        state_histories = outcome.state_histories if spec.record_history else None
+    elif spec.protocol == "restricted_async":
+        outcome = run_restricted_async_bvc(
+            registry,
+            epsilon=spec.epsilon,
+            adversary_mutators=mutators,
+            scheduler=build_scheduler(spec, registry),
+            max_rounds_override=spec.max_rounds_override,
+        )
+        report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
+        state_histories = outcome.state_histories if spec.record_history else None
+    else:  # pragma: no cover — TrialSpec validates the protocol name
+        raise ValueError(f"unknown protocol {spec.protocol!r}")
+
+    first_honest = registry.honest_ids[0]
+    return TrialResult(
+        spec=spec,
+        status="ok",
+        agreement=report.agreement_ok,
+        validity=report.validity_ok,
+        max_disagreement=float(report.max_disagreement),
+        max_hull_distance=float(report.max_hull_distance),
+        rounds=outcome.rounds_executed,
+        deliveries=deliveries,
+        messages_sent=outcome.messages_sent,
+        messages_dropped=outcome.messages_dropped,
+        decision=tuple(float(x) for x in outcome.decisions[first_honest]),
+        state_histories=state_histories,
+    )

@@ -9,10 +9,12 @@ from repro.network.scheduler import (
     RandomScheduler,
     RoundRobinScheduler,
 )
+from repro.network.runtime_core import RuntimeCore
 from repro.network.sync_runtime import SynchronousRuntime, SyncRunResult
 from repro.network.async_runtime import AsynchronousRuntime, AsyncRunResult
 
 __all__ = [
+    "RuntimeCore",
     "Message",
     "FifoChannel",
     "CompleteGraphNetwork",

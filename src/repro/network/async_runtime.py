@@ -8,6 +8,10 @@ flight, a :class:`~repro.network.scheduler.DeliveryScheduler` picks a channel
 and its oldest message is handed to the recipient, which may react by sending
 further messages.
 
+The runtime is a thin scheduler-driven delivery strategy over
+:class:`~repro.network.runtime_core.RuntimeCore`, which owns the process
+table, the network and all decision/traffic bookkeeping.
+
 Because the scheduler may only reorder (never drop) messages, every execution
 the runtime can produce is an admissible asynchronous execution; conversely,
 adversarial schedulers (e.g. :class:`~repro.network.scheduler.LaggingScheduler`)
@@ -19,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.exceptions import ConfigurationError, TerminationError
-from repro.network.network import CompleteGraphNetwork, TrafficStats
+from repro.exceptions import TerminationError
+from repro.network.network import TrafficStats
+from repro.network.runtime_core import RuntimeCore
 from repro.network.scheduler import DeliveryScheduler, RandomScheduler
 from repro.processes.process import AsyncProcess
 
@@ -34,7 +39,8 @@ class AsyncRunResult:
     Attributes:
         deliveries: how many messages were delivered in total.
         decisions: decision value per honest process id.
-        traffic: network traffic counters.
+        traffic: network traffic counters, including the count of
+            undeliverable (dropped) messages.
         undelivered: messages still in flight when the run stopped (honest
             processes had all decided; the remaining traffic is irrelevant to
             correctness but reported for completeness).
@@ -56,22 +62,15 @@ class AsynchronousRuntime:
         scheduler: DeliveryScheduler | None = None,
         max_deliveries: int = 2_000_000,
     ) -> None:
-        if len(processes) < 2:
-            raise ConfigurationError("an asynchronous run needs at least two processes")
-        for process_id, process in processes.items():
-            if process.process_id != process_id:
-                raise ConfigurationError(
-                    f"process registered under id {process_id} reports id {process.process_id}"
-                )
-        self._processes = dict(processes)
-        self._honest_ids = tuple(honest_ids) if honest_ids is not None else tuple(sorted(processes))
-        unknown = set(self._honest_ids) - set(self._processes)
-        if unknown:
-            raise ConfigurationError(f"honest ids {sorted(unknown)} have no registered process")
+        self._core = RuntimeCore(processes, honest_ids=honest_ids, kind="asynchronous")
         self._scheduler = scheduler if scheduler is not None else RandomScheduler(0)
         self._max_deliveries = max_deliveries
-        self.network = CompleteGraphNetwork(sorted(self._processes))
         self._started = False
+
+    @property
+    def network(self):
+        """The underlying complete-graph network (exposed for inspection)."""
+        return self._core.network
 
     # -- execution -----------------------------------------------------------------
 
@@ -83,45 +82,36 @@ class AsynchronousRuntime:
         process is still undecided — both are liveness failures of the protocol
         under test.
         """
+        core = self._core
         self._start_processes()
         deliveries = 0
-        while not self._all_honest_decided():
-            busy = self.network.busy_channels()
+        while not core.all_honest_decided():
+            busy = core.network.busy_channels()
             if not busy:
-                undecided = [pid for pid in self._honest_ids if not self._processes[pid].has_decided()]
                 raise TerminationError(
-                    f"asynchronous run went quiescent with undecided honest processes {undecided}"
+                    "asynchronous run went quiescent with undecided honest processes "
+                    f"{core.undecided_honest()}"
                 )
             if deliveries >= self._max_deliveries:
                 raise TerminationError(
                     f"asynchronous run exceeded the {self._max_deliveries}-delivery budget"
                 )
             sender, recipient = self._scheduler.choose(busy)
-            message = self.network.deliver_from(sender, recipient)
+            message = core.network.deliver_from(sender, recipient)
             deliveries += 1
-            self._processes[recipient].on_message(message)
+            core.processes[recipient].on_message(message)
         return AsyncRunResult(
             deliveries=deliveries,
-            decisions={pid: self._processes[pid].decision() for pid in self._honest_ids},
-            traffic=self.network.stats(),
-            undelivered=self.network.in_flight_count(),
+            decisions=core.collect_decisions(),
+            traffic=core.traffic(),
+            undelivered=core.network.in_flight_count(),
         )
 
     def _start_processes(self) -> None:
         if self._started:
             return
         self._started = True
-        for process in self._processes.values():
-            process.bind_transport(self._accept_outgoing)
-        for process in self._processes.values():
+        for process in self._core.processes.values():
+            process.bind_transport(self._core.route)
+        for process in self._core.processes.values():
             process.on_start()
-
-    def _accept_outgoing(self, message) -> None:
-        if message.recipient == message.sender:
-            return
-        if message.recipient not in self._processes:
-            return
-        self.network.send(message)
-
-    def _all_honest_decided(self) -> bool:
-        return all(self._processes[pid].has_decided() for pid in self._honest_ids)

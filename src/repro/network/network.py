@@ -25,11 +25,17 @@ __all__ = ["CompleteGraphNetwork", "TrafficStats"]
 
 @dataclass(frozen=True)
 class TrafficStats:
-    """Aggregate traffic counters for a finished run."""
+    """Aggregate traffic counters for a finished run.
+
+    ``messages_dropped`` counts messages a runtime refused to put on the
+    network (self-addressed or to an unknown recipient — typically Byzantine
+    output); the network itself never drops a message once sent.
+    """
 
     messages_sent: int
     messages_delivered: int
     messages_in_flight: int
+    messages_dropped: int = 0
 
 
 @dataclass

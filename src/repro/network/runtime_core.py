@@ -1,0 +1,99 @@
+"""Shared core of the synchronous and asynchronous runtimes.
+
+Both runtimes drive a set of processes over a complete-graph FIFO network and
+differ only in their *delivery strategy* (lock-step rounds versus
+scheduler-chosen single deliveries).  Everything else — process validation,
+honest-id bookkeeping, outgoing-message routing, decision collection and
+traffic/termination accounting — lives here, so the two runtimes stay thin
+and cannot drift apart.
+
+The core also owns the drop accounting: a message whose recipient is the
+sender itself, or is not a registered process, is never put on the network.
+Honest protocol code does not emit such messages, but Byzantine mutators may;
+rather than silently vanishing, every such message is counted and reported as
+``TrafficStats.messages_dropped`` in the run result.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.network.message import Message
+from repro.network.network import CompleteGraphNetwork, TrafficStats
+
+__all__ = ["RuntimeCore"]
+
+
+class RuntimeCore:
+    """Process table, network and bookkeeping shared by both runtimes.
+
+    Args:
+        processes: process object per id; each must report the id it is
+            registered under.
+        honest_ids: ids whose decisions terminate the run (defaults to all).
+        kind: human-readable model name used in error messages
+            (``"synchronous"`` / ``"asynchronous"``).
+    """
+
+    def __init__(
+        self,
+        processes: Mapping[int, object],
+        honest_ids: tuple[int, ...] | None = None,
+        kind: str = "simulation",
+    ) -> None:
+        if len(processes) < 2:
+            raise ConfigurationError(f"a {kind} run needs at least two processes")
+        for process_id, process in processes.items():
+            if process.process_id != process_id:
+                raise ConfigurationError(
+                    f"process registered under id {process_id} reports id {process.process_id}"
+                )
+        self.processes = dict(processes)
+        self.honest_ids = (
+            tuple(honest_ids) if honest_ids is not None else tuple(sorted(self.processes))
+        )
+        unknown = set(self.honest_ids) - set(self.processes)
+        if unknown:
+            raise ConfigurationError(f"honest ids {sorted(unknown)} have no registered process")
+        self.network = CompleteGraphNetwork(sorted(self.processes))
+        self.messages_dropped = 0
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self, message: Message) -> bool:
+        """Put ``message`` in flight, or count it as dropped if undeliverable.
+
+        Returns True when the message was accepted onto the network.
+        """
+        if message.recipient == message.sender or message.recipient not in self.processes:
+            self.messages_dropped += 1
+            return False
+        self.network.send(message)
+        return True
+
+    # -- decision bookkeeping -------------------------------------------------
+
+    def all_honest_decided(self) -> bool:
+        """True once every honest process has fixed a decision."""
+        return all(self.processes[pid].has_decided() for pid in self.honest_ids)
+
+    def undecided_honest(self) -> list[int]:
+        """The honest ids still lacking a decision (for liveness diagnostics)."""
+        return [pid for pid in self.honest_ids if not self.processes[pid].has_decided()]
+
+    def collect_decisions(self) -> dict[int, object]:
+        """Decision value per honest process id."""
+        return {pid: self.processes[pid].decision() for pid in self.honest_ids}
+
+    # -- accounting -----------------------------------------------------------
+
+    def traffic(self) -> TrafficStats:
+        """Network counters plus the runtime-level drop count."""
+        stats = self.network.stats()
+        return TrafficStats(
+            messages_sent=stats.messages_sent,
+            messages_delivered=stats.messages_delivered,
+            messages_in_flight=stats.messages_in_flight,
+            messages_dropped=self.messages_dropped,
+        )

@@ -7,9 +7,11 @@ begins.  Byzantine processes may send arbitrary messages (or none) — they are
 ordinary :class:`~repro.processes.process.SyncProcess` objects, typically
 produced by an adversary strategy.
 
-The runtime stops when every *honest* process reports a decision, or when the
-round budget is exhausted (which the verification layer reports as a
-termination failure).
+The runtime is a thin round-delivery strategy over
+:class:`~repro.network.runtime_core.RuntimeCore`, which owns the process
+table, the network and all decision/traffic bookkeeping.  It stops when every
+*honest* process reports a decision, or when the round budget is exhausted
+(which the verification layer reports as a termination failure).
 """
 
 from __future__ import annotations
@@ -17,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.exceptions import ConfigurationError, TerminationError
-from repro.network.network import CompleteGraphNetwork, TrafficStats
+from repro.exceptions import TerminationError
+from repro.network.network import TrafficStats
+from repro.network.runtime_core import RuntimeCore
 from repro.processes.process import SyncProcess
 
 __all__ = ["SyncRunResult", "SynchronousRuntime"]
@@ -31,7 +34,8 @@ class SyncRunResult:
     Attributes:
         rounds_executed: how many rounds ran before every honest process decided.
         decisions: decision value per process id (honest processes only).
-        traffic: network traffic counters for the whole run.
+        traffic: network traffic counters for the whole run, including the
+            count of undeliverable (dropped) messages.
     """
 
     rounds_executed: int
@@ -48,20 +52,13 @@ class SynchronousRuntime:
         honest_ids: tuple[int, ...] | None = None,
         max_rounds: int = 10_000,
     ) -> None:
-        if len(processes) < 2:
-            raise ConfigurationError("a synchronous run needs at least two processes")
-        for process_id, process in processes.items():
-            if process.process_id != process_id:
-                raise ConfigurationError(
-                    f"process registered under id {process_id} reports id {process.process_id}"
-                )
-        self._processes = dict(processes)
-        self._honest_ids = tuple(honest_ids) if honest_ids is not None else tuple(sorted(processes))
-        unknown = set(self._honest_ids) - set(self._processes)
-        if unknown:
-            raise ConfigurationError(f"honest ids {sorted(unknown)} have no registered process")
+        self._core = RuntimeCore(processes, honest_ids=honest_ids, kind="synchronous")
         self._max_rounds = max_rounds
-        self.network = CompleteGraphNetwork(sorted(self._processes))
+
+    @property
+    def network(self):
+        """The underlying complete-graph network (exposed for inspection)."""
+        return self._core.network
 
     # -- execution -----------------------------------------------------------------
 
@@ -72,8 +69,9 @@ class SynchronousRuntime:
         signals a liveness failure of the protocol under test (or an
         impossibility scenario doing its job).
         """
+        core = self._core
         round_index = 0
-        while not self._all_honest_decided():
+        while not core.all_honest_decided():
             round_index += 1
             if round_index > self._max_rounds:
                 raise TerminationError(
@@ -82,25 +80,20 @@ class SynchronousRuntime:
             self._execute_round(round_index)
         return SyncRunResult(
             rounds_executed=round_index,
-            decisions={pid: self._processes[pid].decision() for pid in self._honest_ids},
-            traffic=self.network.stats(),
+            decisions=core.collect_decisions(),
+            traffic=core.traffic(),
         )
 
     def _execute_round(self, round_index: int) -> None:
-        # Collect phase: every process hands over the messages it sends this round.
-        for process in self._processes.values():
+        core = self._core
+        # Collect phase: every process hands over the messages it sends this
+        # round; undeliverable ones are counted as dropped by the core.
+        for process in core.processes.values():
             for message in process.outgoing(round_index):
-                if message.recipient == message.sender:
-                    continue
-                if message.recipient not in self._processes:
-                    continue
-                self.network.send(message)
+                core.route(message)
         # Delivery phase: each process receives everything addressed to it.
-        delivered = self.network.drain_all()
+        delivered = core.network.drain_all()
         for process_id, inbox in delivered.items():
             # Deterministic delivery order within the round: by sender, then sequence.
             inbox.sort(key=lambda message: (message.sender, message.sequence))
-            self._processes[process_id].deliver(round_index, inbox)
-
-    def _all_honest_decided(self) -> bool:
-        return all(self._processes[pid].has_decided() for pid in self._honest_ids)
+            core.processes[process_id].deliver(round_index, inbox)

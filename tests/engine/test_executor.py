@@ -1,0 +1,200 @@
+"""Tests for run_trial and the campaign executor (including worker-pool paths).
+
+The worker-count invariance test here is the unit-level version of the
+engine's central guarantee: a trial is a pure function of its spec, so JSONL
+output is byte-identical (modulo the ``elapsed_ms`` timing field) for any
+``workers`` value.
+"""
+
+from __future__ import annotations
+
+from repro.engine import (
+    Campaign,
+    TrialSpec,
+    execute_specs,
+    read_jsonl,
+    run_campaign,
+    run_trial,
+    strip_timing,
+)
+
+
+class TestRunTrial:
+    def test_exact_trial_succeeds_at_the_bound(self):
+        result = run_trial(
+            TrialSpec(
+                protocol="exact",
+                workload="uniform_box",
+                adversary="outside_hull",
+                process_count=5,
+                dimension=2,
+                fault_bound=1,
+                seed=42,
+            )
+        )
+        assert result.ok
+        assert result.agreement and result.validity
+        assert result.rounds == 2  # f + 1 EIG rounds
+        assert result.messages_sent > 0
+        assert result.deliveries is None  # synchronous run
+        assert len(result.decision) == 2
+        assert result.elapsed_ms > 0
+
+    def test_approx_trial_reports_async_counters(self):
+        result = run_trial(
+            TrialSpec(
+                protocol="approx",
+                workload="uniform_box",
+                adversary="crash",
+                scheduler="round_robin",
+                process_count=4,
+                dimension=1,
+                fault_bound=1,
+                epsilon=0.3,
+                seed=1,
+            )
+        )
+        assert result.ok
+        assert result.agreement and result.validity
+        assert result.deliveries > 0
+
+    def test_is_pure_function_of_spec(self):
+        spec = TrialSpec(
+            protocol="approx",
+            workload="uniform_box",
+            adversary="random_noise",
+            process_count=4,
+            dimension=1,
+            fault_bound=1,
+            epsilon=0.3,
+            seed=77,
+        )
+        first, second = run_trial(spec), run_trial(spec)
+        assert first.decision == second.decision
+        assert first.deliveries == second.deliveries
+        assert first.messages_sent == second.messages_sent
+
+    def test_protocol_failure_becomes_error_row(self):
+        # n = 3 is below every vector resilience bound: the protocol's own
+        # precondition check must surface as campaign data, not a crash.
+        result = run_trial(
+            TrialSpec(
+                protocol="exact",
+                workload="uniform_box",
+                process_count=3,
+                dimension=2,
+                fault_bound=1,
+            )
+        )
+        assert result.status == "error"
+        assert "ResilienceError" in result.error
+        assert result.decision is None
+
+    def test_fixed_instance_workload_must_match_declared_configuration(self):
+        # intro_counterexample always builds the paper's d=3 instance; a spec
+        # declaring a different configuration is an error row, not a silently
+        # mislabelled trial.
+        result = run_trial(
+            TrialSpec(
+                protocol="exact",
+                workload="intro_counterexample",
+                process_count=4,
+                dimension=2,
+                fault_bound=1,
+            )
+        )
+        assert result.status == "error"
+        assert "declares" in result.error
+
+    def test_coordinatewise_honours_round_cap(self):
+        # A 1-round cap is below the f + 1 = 2 rounds EIG needs, so the
+        # runtime's budget must trip — proving the override reaches the runner.
+        result = run_trial(
+            TrialSpec(
+                protocol="coordinatewise",
+                workload="uniform_box",
+                process_count=4,
+                dimension=2,
+                fault_bound=1,
+                max_rounds_override=1,
+                seed=3,
+            )
+        )
+        assert result.status == "error"
+        assert "round budget" in result.error
+
+    def test_record_history_keeps_per_round_states(self):
+        spec = TrialSpec(
+            protocol="approx",
+            workload="uniform_box",
+            process_count=4,
+            dimension=1,
+            fault_bound=1,
+            epsilon=0.3,
+            max_rounds_override=3,
+            seed=5,
+            record_history=True,
+        )
+        result = run_trial(spec)
+        assert result.ok
+        assert len(result.state_histories) == 3  # one of the four processes is faulty
+        assert all(len(history) == 4 for history in result.state_histories.values())
+        assert "state_histories" not in result.to_row()
+
+
+class TestExecutor:
+    GRID = dict(
+        protocols=("exact",),
+        adversaries=("crash", "outside_hull", "random_noise"),
+        dimensions=(1, 2),
+        repeats=2,
+        base_seed=31,
+    )
+
+    def test_worker_count_does_not_change_rows(self, tmp_path):
+        campaign = Campaign.from_grid("invariance", **self.GRID)
+        sequential = tmp_path / "w1.jsonl"
+        pooled = tmp_path / "w2.jsonl"
+        summary_one, _ = run_campaign(campaign, workers=1, jsonl_path=sequential)
+        summary_two, _ = run_campaign(campaign, workers=2, jsonl_path=pooled)
+        assert summary_one.trials == summary_two.trials == len(campaign)
+        rows_one = strip_timing(read_jsonl(sequential))
+        rows_two = strip_timing(read_jsonl(pooled))
+        assert rows_one == rows_two
+
+    def test_results_arrive_in_spec_order(self):
+        campaign = Campaign.from_grid("order", **self.GRID)
+        results = list(execute_specs(campaign.specs, workers=2))
+        assert [result.spec.trial_index for result in results] == list(range(len(campaign)))
+
+    def test_summary_counts_errors_and_streams_jsonl(self, tmp_path):
+        # One good trial and one under-provisioned (error) trial.
+        campaign = Campaign.from_specs(
+            "mixed",
+            [
+                TrialSpec(protocol="exact", workload="uniform_box",
+                          process_count=5, dimension=2, fault_bound=1, seed=1),
+                TrialSpec(protocol="exact", workload="uniform_box",
+                          process_count=3, dimension=2, fault_bound=1, seed=2),
+            ],
+        )
+        path = tmp_path / "mixed.jsonl"
+        summary, results = run_campaign(campaign, workers=1, jsonl_path=path, collect=True)
+        assert (summary.ok, summary.errors) == (1, 1)
+        assert summary.trials_per_second > 0
+        rows = read_jsonl(path)
+        assert len(rows) == 2
+        assert [row["status"] for row in rows] == ["ok", "error"]
+        assert [result.status for result in results] == ["ok", "error"]
+
+    def test_summary_row_renders(self):
+        campaign = Campaign.from_specs(
+            "tiny",
+            [TrialSpec(protocol="exact", workload="uniform_box",
+                       process_count=5, dimension=2, fault_bound=1)],
+        )
+        summary, _ = run_campaign(campaign, workers=1)
+        row = summary.to_row()
+        assert row["campaign"] == "tiny"
+        assert row["trials"] == 1
+        assert row["errors"] == 0

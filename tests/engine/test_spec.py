@@ -1,0 +1,105 @@
+"""Unit tests for repro.engine.spec: TrialSpec and TrialResult."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import TrialResult, TrialSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestTrialSpec:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            TrialSpec(protocol="does_not_exist", workload="uniform_box")
+
+    def test_model_and_approximation_flags(self):
+        assert TrialSpec(protocol="exact", workload="uniform_box").model == "sync"
+        assert TrialSpec(protocol="approx", workload="uniform_box").model == "async"
+        assert TrialSpec(protocol="approx", workload="uniform_box").is_approximate
+        assert not TrialSpec(protocol="exact", workload="uniform_box").is_approximate
+
+    def test_params_are_frozen_and_sorted(self):
+        spec = TrialSpec(
+            protocol="exact",
+            workload="uniform_box",
+            workload_params={"upper": 2.0, "lower": -1.0},
+        )
+        assert spec.workload_params == (("lower", -1.0), ("upper", 2.0))
+        assert spec.params("workload") == {"lower": -1.0, "upper": 2.0}
+
+    def test_dict_roundtrip(self):
+        spec = TrialSpec(
+            protocol="approx",
+            workload="robot_position",
+            adversary="outside_hull",
+            scheduler="lagging",
+            process_count=6,
+            dimension=3,
+            fault_bound=1,
+            epsilon=0.1,
+            seed=99,
+            adversary_params={"offset": 10.0},
+            max_rounds_override=7,
+        )
+        record = spec.to_dict()
+        assert json.loads(json.dumps(record)) == record  # JSON-serialisable
+        assert TrialSpec.from_dict(record) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            TrialSpec.from_dict({"protocol": "exact", "workload": "uniform_box", "bogus": 1})
+
+    def test_resolved_seeds_deterministic_and_independent(self):
+        spec = TrialSpec(protocol="exact", workload="uniform_box", seed=123)
+        first = spec.resolved_seeds()
+        second = spec.resolved_seeds()
+        assert first == second
+        # Three distinct derived streams, none equal to the root seed.
+        assert len(set(first)) == 3
+        assert 123 not in first
+
+    def test_explicit_seed_overrides_derivation(self):
+        spec = TrialSpec(
+            protocol="exact", workload="uniform_box", seed=123, workload_seed=7, adversary_seed=8
+        )
+        workload_seed, adversary_seed, scheduler_seed = spec.resolved_seeds()
+        assert (workload_seed, adversary_seed) == (7, 8)
+        assert scheduler_seed not in (7, 8, 123)
+
+    def test_different_root_seeds_derive_different_streams(self):
+        seeds_a = TrialSpec(protocol="exact", workload="uniform_box", seed=1).resolved_seeds()
+        seeds_b = TrialSpec(protocol="exact", workload="uniform_box", seed=2).resolved_seeds()
+        assert seeds_a != seeds_b
+
+
+class TestTrialResult:
+    def test_row_is_flat_json_and_excludes_histories(self):
+        spec = TrialSpec(protocol="exact", workload="uniform_box", seed=5)
+        result = TrialResult(
+            spec=spec,
+            status="ok",
+            agreement=True,
+            validity=True,
+            rounds=2,
+            messages_sent=40,
+            messages_dropped=0,
+            decision=(0.25, 0.75),
+            state_histories={0: []},
+            elapsed_ms=1.5,
+        )
+        row = result.to_row()
+        assert row["spec_protocol"] == "exact"
+        assert row["spec_seed"] == 5
+        assert row["agreement"] is True
+        assert row["decision"] == [0.25, 0.75]
+        assert "state_histories" not in row
+        # The serialised line is valid JSON with sorted keys.
+        line = result.to_json()
+        assert json.loads(line) == row
+        assert list(json.loads(line)) == sorted(row)
+
+    def test_timing_fields_named(self):
+        assert TrialResult.TIMING_FIELDS == ("elapsed_ms",)

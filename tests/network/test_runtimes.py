@@ -169,6 +169,35 @@ class TestSynchronousRuntime:
         with pytest.raises(ConfigurationError):
             SynchronousRuntime({0: SilentSyncProcess(0)})
 
+    def test_undeliverable_messages_counted_as_dropped(self):
+        class MisaddressingProcess(GossipSyncProcess):
+            """Gossips normally but also sends to itself and to a ghost id."""
+
+            def outgoing(self, round_index: int) -> list[Message]:
+                messages = super().outgoing(round_index)
+                for bad_recipient in (self.process_id, 99):
+                    messages.append(Message(
+                        sender=self.process_id, recipient=bad_recipient,
+                        protocol="gossip", kind="KNOWN",
+                        payload=frozenset(self.known), round_index=round_index,
+                    ))
+                return messages
+
+        ids = (0, 1, 2)
+        processes = {pid: MisaddressingProcess(pid, ids) for pid in ids}
+        result = SynchronousRuntime(processes).run()
+        # One round: 6 real messages delivered, 6 undeliverable ones dropped.
+        assert result.rounds_executed == 1
+        assert result.traffic.messages_sent == 6
+        assert result.traffic.messages_dropped == 6
+        assert all(decision == frozenset(ids) for decision in result.decisions.values())
+
+    def test_clean_run_reports_zero_dropped(self):
+        ids = (0, 1, 2)
+        processes = {pid: GossipSyncProcess(pid, ids) for pid in ids}
+        result = SynchronousRuntime(processes).run()
+        assert result.traffic.messages_dropped == 0
+
 
 class TestAsynchronousRuntime:
     def test_ping_pong_terminates(self):
@@ -216,3 +245,21 @@ class TestAsynchronousRuntime:
     def test_mismatched_process_id_rejected(self):
         with pytest.raises(ConfigurationError):
             AsynchronousRuntime({0: NeverDecidesAsyncProcess(3), 1: NeverDecidesAsyncProcess(1)})
+
+    def test_undeliverable_messages_counted_as_dropped(self):
+        class MisaddressingAsyncProcess(PingPongAsyncProcess):
+            """Ping-pongs normally but also misaddresses one message on start."""
+
+            def on_start(self) -> None:
+                super().on_start()
+                self.send(Message(sender=self.process_id, recipient=99,
+                                  protocol="pingpong", kind="PING", payload=0))
+                self.send(Message(sender=self.process_id, recipient=self.process_id,
+                                  protocol="pingpong", kind="PING", payload=0))
+
+        ids = (0, 1, 2)
+        processes = {pid: MisaddressingAsyncProcess(pid, ids) for pid in ids}
+        result = AsynchronousRuntime(processes, scheduler=RoundRobinScheduler()).run()
+        # Two misaddressed messages per process were refused by the runtime.
+        assert result.traffic.messages_dropped == 2 * len(ids)
+        assert all(count >= 2 for count in result.decisions.values())

@@ -1,11 +1,26 @@
-"""Unit tests for repro.network.scheduler."""
+"""Unit tests for repro.network.scheduler.
+
+Beyond the choose-level unit tests, the ``TestSchedulersDriveRuntime`` section
+checks the properties the asynchronous model relies on against a real
+:class:`~repro.network.async_runtime.AsynchronousRuntime`: eventual delivery
+under the starving :class:`LaggingScheduler`, cross-run determinism of
+:class:`RoundRobinScheduler`, and seed-stability of :class:`RandomScheduler`.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.exceptions import SchedulerError
-from repro.network.scheduler import LaggingScheduler, RandomScheduler, RoundRobinScheduler
+from repro.network.async_runtime import AsynchronousRuntime
+from repro.network.message import Message
+from repro.network.scheduler import (
+    DeliveryScheduler,
+    LaggingScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.processes.process import AsyncProcess
 
 CHANNELS = [(0, 1), (1, 2), (2, 0), (3, 1)]
 
@@ -58,3 +73,91 @@ class TestRoundRobinScheduler:
     def test_empty_raises(self):
         with pytest.raises(SchedulerError):
             RoundRobinScheduler().choose([])
+
+
+# ---------------------------------------------------------------------------
+# Scheduler properties against a real asynchronous runtime
+# ---------------------------------------------------------------------------
+
+class RecordingScheduler(DeliveryScheduler):
+    """Delegate to an inner scheduler, recording every delivery choice."""
+
+    def __init__(self, inner: DeliveryScheduler) -> None:
+        self.inner = inner
+        self.choices: list[tuple[int, int]] = []
+
+    def choose(self, busy_channels):
+        choice = self.inner.choose(busy_channels)
+        self.choices.append(choice)
+        return choice
+
+
+class BroadcastOnceProcess(AsyncProcess):
+    """Broadcast one message on start; decide after hearing from everyone else."""
+
+    def __init__(self, process_id: int, all_ids: tuple[int, ...]):
+        super().__init__(process_id)
+        self.all_ids = all_ids
+        self.heard_from: list[int] = []
+
+    def on_start(self) -> None:
+        for other in self.all_ids:
+            if other != self.process_id:
+                self.send(Message(sender=self.process_id, recipient=other,
+                                  protocol="bcast", kind="HELLO", payload=None))
+
+    def on_message(self, message: Message) -> None:
+        self.heard_from.append(message.sender)
+
+    def has_decided(self) -> bool:
+        return len(set(self.heard_from)) == len(self.all_ids) - 1
+
+    def decision(self):
+        return tuple(self.heard_from)
+
+
+def _run_broadcast(scheduler: DeliveryScheduler, ids=(0, 1, 2, 3)):
+    processes = {pid: BroadcastOnceProcess(pid, ids) for pid in ids}
+    result = AsynchronousRuntime(processes, scheduler=scheduler).run()
+    return result
+
+
+class TestSchedulersDriveRuntime:
+    def test_lagging_scheduler_still_delivers_eventually(self):
+        # Every process must hear from every other one, including the starved
+        # process 3: the run can only terminate if the lagging scheduler
+        # eventually serves the slow channels too (eventual delivery).
+        recorder = RecordingScheduler(LaggingScheduler(slow_processes=[3], seed=0))
+        result = _run_broadcast(recorder)
+        assert set(result.decisions) == {0, 1, 2, 3}
+        assert result.traffic.messages_in_flight == 0
+
+    def test_lagging_scheduler_serves_slow_channels_last(self):
+        recorder = RecordingScheduler(LaggingScheduler(slow_processes=[3], seed=0))
+        _run_broadcast(recorder)
+        touches_slow = [3 in choice for choice in recorder.choices]
+        # All fast-only deliveries strictly precede the first slow delivery.
+        first_slow = touches_slow.index(True)
+        assert all(touches_slow[first_slow:])
+
+    def test_round_robin_is_deterministic_across_runs(self):
+        first = RecordingScheduler(RoundRobinScheduler())
+        second = RecordingScheduler(RoundRobinScheduler())
+        result_one = _run_broadcast(first)
+        result_two = _run_broadcast(second)
+        assert first.choices == second.choices
+        assert result_one.decisions == result_two.decisions
+        assert result_one.deliveries == result_two.deliveries
+
+    def test_random_scheduler_is_seed_stable_across_runs(self):
+        first = RecordingScheduler(RandomScheduler(42))
+        second = RecordingScheduler(RandomScheduler(42))
+        result_one = _run_broadcast(first)
+        result_two = _run_broadcast(second)
+        assert first.choices == second.choices
+        assert result_one.decisions == result_two.decisions
+
+    def test_random_scheduler_seed_changes_the_schedule(self):
+        draws_a = [RandomScheduler(1).choose(CHANNELS) for _ in range(20)]
+        draws_b = [RandomScheduler(2).choose(CHANNELS) for _ in range(20)]
+        assert draws_a != draws_b

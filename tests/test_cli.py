@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENT_REGISTRY, build_parser, main
+from repro.cli import EXPERIMENT_REGISTRY, _ordered_experiment_ids, build_parser, main
+from repro.engine import read_jsonl, strip_timing
 
 
 class TestParser:
@@ -25,6 +28,27 @@ class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        arguments = build_parser().parse_args(["campaign"])
+        assert arguments.command == "campaign"
+        assert arguments.protocols == ["exact"]
+        assert arguments.workers == 1
+        assert arguments.repeats == 25
+
+    def test_campaign_grid_flags(self):
+        arguments = build_parser().parse_args(
+            ["campaign", "--protocols", "exact", "approx", "--dimensions", "1", "2",
+             "--workers", "4", "--jsonl", "out.jsonl", "--seed", "9"]
+        )
+        assert arguments.protocols == ["exact", "approx"]
+        assert arguments.dimensions == [1, 2]
+        assert arguments.workers == 4
+        assert arguments.seed == 9
+
+    def test_campaign_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--protocols", "bogus"])
 
 
 class TestMain:
@@ -68,6 +92,18 @@ class TestMain:
         ):
             assert required in EXPERIMENT_REGISTRY
 
+    def test_experiments_ordered_numerically(self):
+        # Lexicographic sorting would put E11/E13/E14/E15 between E1 and E2.
+        assert _ordered_experiment_ids() == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14", "E15",
+        ]
+
+    def test_list_output_in_numeric_order(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        ids = [line.split()[0] for line in lines if line.startswith("E")]
+        assert ids == _ordered_experiment_ids()
+
     def test_help_renders_examples_and_docs_epilog(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
@@ -84,3 +120,45 @@ class TestMain:
             main(["run", "--help"])
         assert excinfo.value.code == 0
         assert "examples:" in capsys.readouterr().out
+
+    def test_help_documents_the_campaign_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "campaign --repeats 25 --workers 4" in output
+        assert "byte-identical JSONL" in output
+
+
+class TestCampaignCommand:
+    ARGS = ["campaign", "--repeats", "2", "--adversaries", "crash", "outside_hull",
+            "--dimensions", "1", "2", "--seed", "17"]
+
+    def test_runs_grid_and_writes_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "sweep.jsonl"
+        assert main(self.ARGS + ["--jsonl", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "Campaign summary" in output
+        assert "wrote 8 rows" in output
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert len(rows) == 8
+        assert all(row["status"] == "ok" for row in rows)
+
+    def test_same_seed_same_rows_for_any_worker_count(self, tmp_path, capsys):
+        one = tmp_path / "w1.jsonl"
+        two = tmp_path / "w2.jsonl"
+        assert main(self.ARGS + ["--jsonl", str(one), "--workers", "1"]) == 0
+        assert main(self.ARGS + ["--jsonl", str(two), "--workers", "2"]) == 0
+        capsys.readouterr()
+        assert strip_timing(read_jsonl(one)) == strip_timing(read_jsonl(two))
+
+    def test_grid_file(self, tmp_path, capsys):
+        grid = tmp_path / "campaign.json"
+        grid.write_text(json.dumps({
+            "name": "filed",
+            "grid": {"protocols": ["exact"], "adversaries": ["crash"], "repeats": 2},
+        }))
+        target = tmp_path / "filed.jsonl"
+        assert main(["campaign", "--grid-file", str(grid), "--jsonl", str(target)]) == 0
+        assert "filed" in capsys.readouterr().out
+        assert len(target.read_text().splitlines()) == 2
