@@ -1,0 +1,53 @@
+"""Scenario-fuzz throughput: sampled compositions/second at workers ∈ {1, 4}.
+
+Not a paper experiment — this benchmarks the scenario-fuzz harness
+(`repro.engine.fuzz`): a fixed-seed sample of random protocol × workload ×
+adversary (independent *and* coordinated) × scheduler compositions is
+executed sequentially and on a 4-worker pool, asserting the paper's
+agreement/validity invariants on every run.  The recorded table tracks how
+many randomized scenarios per second the adversary layer sustains, and the
+worker-count-invariance assertion extends the engine's determinism guarantee
+to fuzz runs.
+
+The sample shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import read_jsonl, run_fuzz, strip_timing
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+COUNT = 8 if SMOKE else 60
+SEED = 31
+
+
+def test_fuzz_throughput(benchmark, record_table, tmp_path):
+    def run_both() -> list[dict[str, object]]:
+        rows = []
+        for workers in (1, 4):
+            jsonl_path = tmp_path / f"w{workers}.jsonl"
+            report = run_fuzz(count=COUNT, seed=SEED, workers=workers, jsonl_path=jsonl_path)
+            rows.append(
+                report.to_row()
+                | {
+                    "scenarios_per_s": round(report.runs / max(report.elapsed_seconds, 1e-9), 2),
+                    "jsonl_rows": len(read_jsonl(jsonl_path)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_table(
+        "E17_fuzz_throughput", rows, "Scenario fuzz — compositions/second at workers 1 vs 4"
+    )
+    for row in rows:
+        assert row["violations"] == 0
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == COUNT
+    # Same seed, different pool sizes: identical rows modulo the timing field.
+    assert strip_timing(read_jsonl(tmp_path / "w1.jsonl")) == strip_timing(
+        read_jsonl(tmp_path / "w4.jsonl")
+    )

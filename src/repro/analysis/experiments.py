@@ -5,7 +5,7 @@ Each function declares its experiment against the unified simulation engine
 the benchmark harness in ``benchmarks/`` times and prints them, and
 ``EXPERIMENTS.md`` records the expected shape.
 
-Protocol experiments (E1, E5, E8, E9, E11, E14) are
+Protocol experiments (E1, E5, E8, E9, E11, E14, E16) are
 :class:`~repro.engine.Campaign` declarations — lists of
 :class:`~repro.engine.TrialSpec` whose results are mapped to table rows.
 Analytic experiments (the impossibility constructions, safe-area geometry and
@@ -34,6 +34,7 @@ from repro.core.impossibility import analyze_async_necessity, analyze_sync_neces
 from repro.core.safe_area import safe_area_contains, safe_area_point, safe_area_subset_count
 from repro.analysis.convergence import measured_contraction_factors, max_range_per_round
 from repro.engine import (
+    COORDINATED_STRATEGY_NAMES,
     Campaign,
     STRATEGY_NAMES,
     TrialResult,
@@ -62,6 +63,7 @@ __all__ = [
     "experiment_resilience_landscape",
     "experiment_applications",
     "experiment_kernel_speedup",
+    "experiment_adversary_coordination",
 ]
 
 
@@ -563,6 +565,81 @@ def experiment_kernel_speedup(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# E16 — independent vs coordinated adversaries at the bound
+# ---------------------------------------------------------------------------
+
+def experiment_adversary_coordination(
+    dimension: int = 2,
+    fault_bound: int = 1,
+    epsilon: float = 0.25,
+    seed: int = 29,
+) -> list[dict[str, object]]:
+    """Independent vs coordinated attack success at the resilience bound.
+
+    One row per adversary strategy: the four classic independent strategies
+    plus the intro's coordinate attack, then the four coordinated strategies
+    of :mod:`repro.byzantine.coordinator` (whole-coalition attacks with full
+    knowledge of the honest inputs and the execution traffic).  Sync-suited
+    strategies run Exact BVC at ``n = max(3f+1, (d+1)f+1)``;
+    ``theorem4_scenario`` — crash faults coupled with a lagging scheduler —
+    is an asynchronous execution and runs Approximate BVC at
+    ``n = (d+2)f+1``.
+
+    The paper's claim under test: *at* the bounds the algorithms withstand
+    every adversary, coordinated or not — ``attack_succeeded`` must be False
+    in every row, with the margins (``max_disagreement``,
+    ``max_hull_distance``) showing how much harder the coordinated coalition
+    pushes.
+    """
+    independent = STRATEGY_NAMES + ("coordinate_attack",)
+
+    def coordination_spec(strategy_name: str) -> TrialSpec:
+        asynchronous = strategy_name == "theorem4_scenario"
+        protocol = "approx" if asynchronous else "exact"
+        bound = (
+            minimum_processes_approx_async(dimension, fault_bound)
+            if asynchronous
+            else minimum_processes_exact_sync(dimension, fault_bound)
+        )
+        params: dict[str, object] = {}
+        if strategy_name == "coordinate_attack":
+            params = {"coordinate": 0, "target": 5.0}
+        return TrialSpec(
+            protocol=protocol,
+            workload="uniform_box",
+            adversary=strategy_name,
+            process_count=bound,
+            dimension=dimension,
+            fault_bound=fault_bound,
+            epsilon=epsilon,
+            adversary_params=params,
+            workload_seed=seed,
+            adversary_seed=seed,
+            scheduler_seed=seed,
+        )
+
+    strategies = independent + COORDINATED_STRATEGY_NAMES
+    campaign = Campaign.from_specs(
+        "E16-adversary-coordination",
+        [coordination_spec(strategy_name) for strategy_name in strategies],
+    )
+    return [
+        {
+            "attack": strategy_name,
+            "family": "coordinated" if strategy_name in COORDINATED_STRATEGY_NAMES else "independent",
+            "protocol": result.spec.protocol,
+            "n": result.spec.process_count,
+            "agreement": result.agreement,
+            "validity": result.validity,
+            "max_disagreement": round(float(result.max_disagreement), 6),
+            "max_hull_distance": round(float(result.max_hull_distance), 6),
+            "attack_succeeded": not (result.agreement and result.validity),
+        }
+        for strategy_name, result in zip(strategies, _run(campaign))
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,9 @@ __all__ = [
     "MessageMutator",
     "ByzantineSyncProcess",
     "ByzantineAsyncProcess",
+    "is_float_like",
     "mutate_numeric_leaves",
+    "replace_payload",
     "STRUCTURAL_KEYS",
 ]
 
@@ -38,6 +40,28 @@ __all__ = [
 # application values; value-corrupting mutators leave these untouched so the
 # corrupted messages still parse (the most damaging kind of lie).
 STRUCTURAL_KEYS = frozenset({"round", "members", "broadcaster", "tag"})
+
+
+def is_float_like(value: Any) -> bool:
+    """True for scalar float leaves (bools are ints in Python, so excluded)."""
+    return isinstance(value, (float, np.floating)) and not isinstance(value, bool)
+
+
+def replace_payload(message: Message, payload: Any) -> Message:
+    """Return a copy of ``message`` carrying a different payload.
+
+    The shared reconstruction helper for every mutator: all envelope fields
+    except the payload are preserved, so a corrupted message stays
+    attributable to the same (sender, recipient, protocol, round).
+    """
+    return Message(
+        sender=message.sender,
+        recipient=message.recipient,
+        protocol=message.protocol,
+        kind=message.kind,
+        payload=payload,
+        round_index=message.round_index,
+    )
 
 
 def mutate_numeric_leaves(
@@ -53,9 +77,6 @@ def mutate_numeric_leaves(
     * ints, bools, strings and anything under a structural key are preserved,
       so the message still passes the honest parsers.
     """
-
-    def is_float_like(value: Any) -> bool:
-        return isinstance(value, (float, np.floating)) and not isinstance(value, bool)
 
     def walk(value: Any) -> Any:
         if isinstance(value, dict):

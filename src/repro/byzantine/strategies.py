@@ -31,7 +31,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.byzantine.adversary import MessageMutator, mutate_numeric_leaves
+from repro.byzantine.adversary import (
+    MessageMutator,
+    mutate_numeric_leaves,
+    replace_payload,
+)
+from repro.exceptions import ByzantineBehaviorError, ConfigurationError
 from repro.network.message import Message
 
 __all__ = [
@@ -42,18 +47,6 @@ __all__ = [
     "RandomNoiseStrategy",
     "CoordinateAttackStrategy",
 ]
-
-
-def _replace(message: Message, payload: object) -> Message:
-    """Return a copy of ``message`` with a different payload."""
-    return Message(
-        sender=message.sender,
-        recipient=message.recipient,
-        protocol=message.protocol,
-        kind=message.kind,
-        payload=payload,
-        round_index=message.round_index,
-    )
 
 
 class HonestStrategy(MessageMutator):
@@ -91,7 +84,10 @@ class EquivocationStrategy(MessageMutator):
     recipient id, so recipient ``r`` consistently hears version ``r mod len(pool)``
     — the classic split-the-world attack.  Value leaves in the payload are
     replaced by the chosen pool vector (or its first coordinate for scalar
-    leaves).
+    leaves).  A vector leaf whose dimension differs from the pool vector is
+    rejected with :class:`~repro.exceptions.ByzantineBehaviorError`: tiling
+    the pool vector into a foreign shape would recycle coordinates and report
+    a value nobody chose, silently weakening the attack.
     """
 
     def __init__(self, value_pool: Sequence[Sequence[float]]) -> None:
@@ -106,13 +102,15 @@ class EquivocationStrategy(MessageMutator):
             return float(chosen[0])
 
         def corrupt_vector(vector: np.ndarray) -> np.ndarray:
-            if vector.shape == chosen.shape:
-                return chosen.copy()
-            resized = np.resize(chosen, vector.shape)
-            return resized
+            if vector.shape != chosen.shape:
+                raise ByzantineBehaviorError(
+                    f"equivocation pool vector of shape {chosen.shape} cannot replace "
+                    f"a value leaf of shape {vector.shape} in {message.describe()}"
+                )
+            return chosen.copy()
 
         payload = mutate_numeric_leaves(message.payload, corrupt_scalar, corrupt_vector)
-        return [_replace(message, payload)]
+        return [replace_payload(message, payload)]
 
 
 class OutsideHullStrategy(MessageMutator):
@@ -135,7 +133,7 @@ class OutsideHullStrategy(MessageMutator):
             return vector * self.scale + self.offset
 
         payload = mutate_numeric_leaves(message.payload, corrupt_scalar, corrupt_vector)
-        return [_replace(message, payload)]
+        return [replace_payload(message, payload)]
 
 
 class RandomNoiseStrategy(MessageMutator):
@@ -156,7 +154,7 @@ class RandomNoiseStrategy(MessageMutator):
             return self._rng.uniform(self.low, self.high, size=vector.shape)
 
         payload = mutate_numeric_leaves(message.payload, corrupt_scalar, corrupt_vector)
-        return [_replace(message, payload)]
+        return [replace_payload(message, payload)]
 
 
 class CoordinateAttackStrategy(MessageMutator):
@@ -167,11 +165,22 @@ class CoordinateAttackStrategy(MessageMutator):
     adversary drags coordinate-wise scalar consensus outside the honest hull.
     Scalar leaves (coordinate-by-coordinate broadcasts) are always replaced by
     the target value.
+
+    An out-of-range ``coordinate`` would make every vector-leaf corruption a
+    silent no-op (the faulty process would pass honest values through), so the
+    index is validated against ``dimension`` at construction when the caller
+    knows it — the engine's factory always passes the registry dimension —
+    and against the actual leaf shape at mutation time otherwise.
     """
 
-    def __init__(self, coordinate: int, target: float) -> None:
+    def __init__(self, coordinate: int, target: float, dimension: int | None = None) -> None:
         if coordinate < 0:
             raise ValueError("coordinate index must be non-negative")
+        if dimension is not None and coordinate >= dimension:
+            raise ConfigurationError(
+                f"coordinate {coordinate} is out of range for dimension {dimension}; "
+                "the attack would corrupt nothing"
+            )
         self.coordinate = coordinate
         self.target = float(target)
 
@@ -180,10 +189,14 @@ class CoordinateAttackStrategy(MessageMutator):
             return self.target
 
         def corrupt_vector(vector: np.ndarray) -> np.ndarray:
+            if self.coordinate >= vector.shape[-1]:
+                raise ByzantineBehaviorError(
+                    f"coordinate {self.coordinate} is out of range for a value leaf "
+                    f"of shape {vector.shape} in {message.describe()}"
+                )
             corrupted = vector.copy()
-            if self.coordinate < corrupted.shape[-1]:
-                corrupted[..., self.coordinate] = self.target
+            corrupted[..., self.coordinate] = self.target
             return corrupted
 
         payload = mutate_numeric_leaves(message.payload, corrupt_scalar, corrupt_vector)
-        return [_replace(message, payload)]
+        return [replace_payload(message, payload)]

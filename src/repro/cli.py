@@ -8,14 +8,18 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run E8 --output out.txt   # also write the table to a file
     python -m repro.cli bounds --dimension 3 --faults 2   # query the resilience bounds
     python -m repro.cli campaign --workers 4 --jsonl out.jsonl   # parallel trial sweep
+    python -m repro.cli fuzz --count 200 --workers 4      # random-scenario invariant fuzz
     python -m repro.cli --help                    # usage examples + documentation map
 
 The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``; E15 is the
-geometry-kernel speedup experiment added alongside ``docs/PERFORMANCE.md``.
+geometry-kernel speedup experiment added alongside ``docs/PERFORMANCE.md``,
+E16 the independent-vs-coordinated adversary comparison.
 The ``campaign`` command is the scale path: it expands a (protocol, workload,
 adversary, scheduler, n/d/f, epsilon, repeat) grid — from flags or a JSON
 file — into deterministic trials and fans them out over a worker pool,
-streaming one JSON line per trial.
+streaming one JSON line per trial.  The ``fuzz`` command samples random
+scenario compositions (including the coordinated adversaries) at or above
+the resilience bounds and asserts agreement + validity on every run.
 """
 
 from __future__ import annotations
@@ -29,12 +33,17 @@ from repro.analysis import experiments
 from repro.analysis.report import render_table
 from repro.core.conditions import resilience_table
 from repro.engine import (
+    ADVERSARY_NAMES,
+    FUZZ_ADVERSARIES,
+    FUZZ_PROTOCOLS,
+    FUZZ_WORKLOADS,
     PROTOCOLS,
     SCHEDULER_NAMES,
     STRATEGY_NAMES,
     WORKLOAD_NAMES,
     Campaign,
     run_campaign,
+    run_fuzz,
 )
 
 __all__ = ["EXPERIMENT_REGISTRY", "build_parser", "main"]
@@ -93,6 +102,10 @@ EXPERIMENT_REGISTRY: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]
         "Geometry kernel: pruned/cached/batched Gamma vs the literal Section 2.2 LP",
         experiments.experiment_kernel_speedup,
     ),
+    "E16": (
+        "Adversary coordination: independent vs coordinated attacks at the bound",
+        experiments.experiment_adversary_coordination,
+    ),
 }
 
 
@@ -119,9 +132,15 @@ examples:
       --adversaries crash outside_hull random_noise \\
       --dimensions 1 2 3 --repeats 5 --seed 7 --workers 4 --jsonl sweep.jsonl
   python -m repro.cli campaign --grid-file campaign.json --workers 8
+  python -m repro.cli campaign --adversaries split_world hull_collapse \\
+      --repeats 10 --workers 4
+                                              coordinated-adversary sweep
+  python -m repro.cli fuzz --count 200 --seed 0 --workers 4 --jsonl fuzz.jsonl
+                                              random scenarios, invariants asserted
 
-campaigns are deterministic: the same --seed produces byte-identical JSONL
-rows (modulo the elapsed_ms timing field) for any --workers value.
+campaigns and fuzz runs are deterministic: the same --seed produces
+byte-identical JSONL rows (modulo the elapsed_ms timing field) for any
+--workers value.
 
 documentation:
   README.md                  install, quickstart, paper-section -> module map
@@ -186,8 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--adversaries", nargs="+",
         default=list(STRATEGY_NAMES),
-        choices=("none",) + STRATEGY_NAMES + ("coordinate_attack",),
-        help="adversary strategies",
+        choices=ADVERSARY_NAMES,
+        help="adversary strategies (independent and coordinated)",
     )
     campaign_parser.add_argument(
         "--schedulers", nargs="+", default=["random"], choices=SCHEDULER_NAMES,
@@ -221,6 +240,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument(
         "--jsonl", type=Path, default=None, help="stream one JSON line per trial to this file"
+    )
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="run random scenario compositions and assert the paper's invariants",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=200, help="number of scenario compositions to sample"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="fuzz sample seed")
+    fuzz_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = run inline)"
+    )
+    fuzz_parser.add_argument(
+        "--jsonl", type=Path, default=None, help="stream one JSON line per trial to this file"
+    )
+    fuzz_parser.add_argument(
+        "--protocols", nargs="+", default=list(FUZZ_PROTOCOLS), choices=FUZZ_PROTOCOLS,
+        help="protocols to sample from (only those whose invariants fuzzing may assert)",
+    )
+    fuzz_parser.add_argument(
+        "--workloads", nargs="+", default=list(FUZZ_WORKLOADS), choices=FUZZ_WORKLOADS,
+        help="input workloads to sample from (fixed-instance workloads excluded)",
+    )
+    fuzz_parser.add_argument(
+        "--adversaries", nargs="+", default=list(FUZZ_ADVERSARIES), choices=ADVERSARY_NAMES,
+        help="adversary strategies to sample from (independent and coordinated)",
+    )
+    fuzz_parser.add_argument(
+        "--schedulers", nargs="+", default=list(SCHEDULER_NAMES), choices=SCHEDULER_NAMES,
+        help="delivery schedulers to sample from (asynchronous protocols)",
     )
 
     return parser
@@ -269,6 +321,36 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
     return 0 if summary.errors == 0 else 1
 
 
+def _run_fuzz_command(arguments: argparse.Namespace) -> int:
+    print(
+        f"fuzz: {arguments.count} scenario compositions (seed {arguments.seed}) "
+        f"on {arguments.workers} worker(s)"
+    )
+    report = run_fuzz(
+        count=arguments.count,
+        seed=arguments.seed,
+        workers=arguments.workers,
+        jsonl_path=arguments.jsonl,
+        protocols=arguments.protocols,
+        workloads=arguments.workloads,
+        adversaries=arguments.adversaries,
+        schedulers=arguments.schedulers,
+    )
+    print(render_table([report.to_row()], title="Fuzz summary"))
+    if arguments.jsonl is not None:
+        print(f"wrote {report.runs} rows to {arguments.jsonl}")
+    if report.violations:
+        print(
+            render_table(
+                [violation.to_row() for violation in report.violations],
+                title="Invariant violations",
+            )
+        )
+        return 1
+    print("all scenarios upheld agreement and validity")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     parser = build_parser()
@@ -289,6 +371,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "campaign":
         return _run_campaign_command(arguments)
+
+    if arguments.command == "fuzz":
+        return _run_fuzz_command(arguments)
 
     # command == "run"
     requested = arguments.experiment.upper()

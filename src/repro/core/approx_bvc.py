@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 from math import ceil, comb, log
-from typing import Any, Literal
+from typing import Any, Callable, Literal
 
 import numpy as np
 
@@ -268,6 +268,7 @@ def run_approx_bvc(
     allow_insufficient: bool = False,
     max_deliveries: int = 2_000_000,
     safe_area_engine: SafeAreaEngine = "kernel",
+    traffic_observer: Callable[[Message], None] | None = None,
 ) -> ApproxBVCOutcome:
     """Run the Approximate BVC algorithm end-to-end on a simulated asynchronous system.
 
@@ -288,6 +289,8 @@ def run_approx_bvc(
         safe_area_engine: ``Gamma`` solver backend — the batched kernel
             (default) or the literal oracle enumeration (cross-checks only;
             dramatically slower at scale).
+        traffic_observer: optional callback that sees every routed message
+            (the coordinated adversary's full-information tap).
     """
     adversary_mutators = adversary_mutators or {}
     configuration = registry.configuration
@@ -321,6 +324,7 @@ def run_approx_bvc(
         honest_ids=registry.honest_ids,
         scheduler=scheduler,
         max_deliveries=max_deliveries,
+        traffic_observer=traffic_observer,
     )
     result: AsyncRunResult = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}

@@ -16,10 +16,13 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
 from repro.consensus.scalar_exact import lower_median
+from repro.network.message import Message
 from repro.core.exact_bvc import BroadcastMode, ExactBVCOutcome, ExactBVCProcess
 from repro.exceptions import ConfigurationError
 from repro.geometry.multisets import PointMultiset
@@ -90,6 +93,7 @@ def run_coordinatewise_consensus(
     adversary_mutators: dict[int, MessageMutator] | None = None,
     broadcast_mode: BroadcastMode = "per_coordinate",
     max_rounds: int | None = None,
+    traffic_observer: "Callable[[Message], None] | None" = None,
 ) -> ExactBVCOutcome:
     """Run the coordinate-wise scalar-consensus baseline end-to-end.
 
@@ -117,6 +121,7 @@ def run_coordinatewise_consensus(
         processes,
         honest_ids=registry.honest_ids,
         max_rounds=max_rounds if max_rounds is not None else configuration.fault_bound + 2,
+        traffic_observer=traffic_observer,
     )
     result = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}

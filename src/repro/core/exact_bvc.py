@@ -23,7 +23,7 @@ one-call driver used by examples, tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Callable, Literal
 
 import numpy as np
 
@@ -244,6 +244,7 @@ def run_exact_bvc(
     allow_insufficient: bool = False,
     max_rounds: int | None = None,
     safe_area_engine: SafeAreaEngine = "kernel",
+    traffic_observer: "Callable[[Message], None] | None" = None,
 ) -> ExactBVCOutcome:
     """Run the Exact BVC algorithm end-to-end on a simulated synchronous system.
 
@@ -257,6 +258,8 @@ def run_exact_bvc(
         max_rounds: optional override of the runtime's round budget.
         safe_area_engine: ``Gamma`` solver backend — the batched kernel
             (default) or the literal oracle enumeration (cross-checks only).
+        traffic_observer: optional callback that sees every routed message
+            (the coordinated adversary's full-information tap).
     """
     adversary_mutators = adversary_mutators or {}
     configuration = registry.configuration
@@ -278,6 +281,7 @@ def run_exact_bvc(
         processes,
         honest_ids=registry.honest_ids,
         max_rounds=max_rounds if max_rounds is not None else configuration.fault_bound + 2,
+        traffic_observer=traffic_observer,
     )
     result: SyncRunResult = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}

@@ -21,6 +21,7 @@ argument with ``gamma = 1 / (n * C(n - f, n - 3f))``.
 from __future__ import annotations
 
 from math import comb
+from typing import Callable
 
 import numpy as np
 
@@ -195,6 +196,7 @@ def run_restricted_async_bvc(
     max_rounds_override: int | None = None,
     allow_insufficient: bool = False,
     max_deliveries: int = 2_000_000,
+    traffic_observer: Callable[[Message], None] | None = None,
 ) -> RestrictedRoundOutcome:
     """Run the restricted-round asynchronous approximate BVC algorithm end-to-end."""
     adversary_mutators = adversary_mutators or {}
@@ -227,6 +229,7 @@ def run_restricted_async_bvc(
         honest_ids=registry.honest_ids,
         scheduler=scheduler,
         max_deliveries=max_deliveries,
+        traffic_observer=traffic_observer,
     )
     result: AsyncRunResult = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}

@@ -26,6 +26,7 @@ algorithm).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -170,6 +171,7 @@ def run_restricted_sync_bvc(
     value_bounds: tuple[float, float] | None = None,
     max_rounds_override: int | None = None,
     allow_insufficient: bool = False,
+    traffic_observer: Callable[[Message], None] | None = None,
 ) -> RestrictedRoundOutcome:
     """Run the restricted-round synchronous approximate BVC algorithm end-to-end."""
     adversary_mutators = adversary_mutators or {}
@@ -198,7 +200,12 @@ def run_restricted_sync_bvc(
             processes[process_id] = core
 
     max_rounds = max(cores[pid].total_rounds for pid in registry.honest_ids) + 1
-    runtime = SynchronousRuntime(processes, honest_ids=registry.honest_ids, max_rounds=max_rounds)
+    runtime = SynchronousRuntime(
+        processes,
+        honest_ids=registry.honest_ids,
+        max_rounds=max_rounds,
+        traffic_observer=traffic_observer,
+    )
     result: SyncRunResult = runtime.run()
     decisions = {pid: np.asarray(result.decisions[pid], dtype=float) for pid in registry.honest_ids}
     return RestrictedRoundOutcome(

@@ -42,7 +42,7 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
-from repro.exceptions import EmptyIntersectionError, GeometryError
+from repro.exceptions import EmptyIntersectionError, GeometryError, LinearProgramError
 from repro.geometry.convex_hull import distance_to_hull
 from repro.geometry.kernel import default_kernel
 from repro.geometry.linprog import solve_linear_program
@@ -177,13 +177,23 @@ def safe_area_point(
     bounds: list[tuple[float | None, float | None]] = [(None, None)] * dimension
     bounds.extend([(0, None)] * (len(families) * block_size))
 
-    result = solve_linear_program(
-        full_objective,
-        equality_matrix=np.vstack(equality_rows),
-        equality_rhs=np.asarray(equality_rhs),
-        bounds=bounds,
-    )
-    if result.feasible and result.solution is not None:
+    try:
+        result = solve_linear_program(
+            full_objective,
+            equality_matrix=np.vstack(equality_rows),
+            equality_rhs=np.asarray(equality_rhs),
+            bounds=bounds,
+        )
+    except LinearProgramError as error:
+        # HiGHS can fail to classify the strict program at all on clusters of
+        # near-coincident points; the relaxed program below is feasible by
+        # construction and resolves exactly those instances.  Only
+        # solver-status failures qualify; input-validation errors (status
+        # None) stay loud.
+        if error.status is None:
+            raise
+        result = None
+    if result is not None and result.feasible and result.solution is not None:
         return result.solution[:dimension]
     # The exact program can be reported infeasible for purely numerical
     # reasons when Gamma has an empty interior (e.g. after the iterative

@@ -25,37 +25,63 @@ from repro.engine.executor import (
     strip_timing,
 )
 from repro.engine.factories import (
+    ADVERSARY_NAMES,
+    COORDINATED_STRATEGY_NAMES,
     SCHEDULER_NAMES,
     STRATEGY_NAMES,
     WORKLOAD_NAMES,
+    AdversaryBundle,
     build_mutators,
     build_registry,
     build_scheduler,
+    derive_faulty_seeds,
+    make_adversaries,
     make_strategy,
     minimum_processes_for,
+)
+from repro.engine.fuzz import (
+    FUZZ_ADVERSARIES,
+    FUZZ_PROTOCOLS,
+    FUZZ_WORKLOADS,
+    FuzzReport,
+    FuzzViolation,
+    run_fuzz,
+    sample_specs,
 )
 from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
 from repro.engine.trial import run_trial
 
 __all__ = [
+    "ADVERSARY_NAMES",
+    "COORDINATED_STRATEGY_NAMES",
+    "FUZZ_ADVERSARIES",
+    "FUZZ_PROTOCOLS",
+    "FUZZ_WORKLOADS",
     "PROTOCOLS",
     "SCHEDULER_NAMES",
     "STRATEGY_NAMES",
     "WORKLOAD_NAMES",
+    "AdversaryBundle",
     "Campaign",
     "CampaignSummary",
+    "FuzzReport",
+    "FuzzViolation",
     "JsonlSink",
     "TrialResult",
     "TrialSpec",
     "build_mutators",
     "build_registry",
     "build_scheduler",
+    "derive_faulty_seeds",
     "execute_specs",
+    "make_adversaries",
     "make_strategy",
     "minimum_processes_for",
     "parameter_grid",
     "read_jsonl",
     "run_campaign",
+    "run_fuzz",
     "run_trial",
+    "sample_specs",
     "strip_timing",
 ]

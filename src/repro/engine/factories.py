@@ -3,8 +3,10 @@
 The engine's :class:`~repro.engine.spec.TrialSpec` refers to every moving part
 of a trial by name so that specs stay plain data.  This module is the single
 place those names are resolved: input-workload generators
-(:mod:`repro.workloads.generators`), adversary strategies
-(:mod:`repro.byzantine.strategies`), delivery schedulers
+(:mod:`repro.workloads.generators`), adversary strategies — independent
+mutators (:mod:`repro.byzantine.strategies`) and the coordinated
+whole-coalition attacks (:mod:`repro.byzantine.coordinator`), built through
+:func:`make_adversaries` — delivery schedulers
 (:mod:`repro.network.scheduler`) and protocol runners (:mod:`repro.core`).
 
 :func:`make_strategy` predates the engine (it started life in
@@ -14,9 +16,16 @@ behaviour for the original four strategy names.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.byzantine.adversary import MessageMutator
+from repro.byzantine.coordinator import (
+    COORDINATED_STRATEGY_NAMES,
+    AdversaryCoordinator,
+)
 from repro.byzantine.strategies import (
     CoordinateAttackStrategy,
     CrashStrategy,
@@ -34,6 +43,7 @@ from repro.core.conditions import (
 )
 from repro.engine.spec import TrialSpec
 from repro.exceptions import ConfigurationError
+from repro.network.message import Message
 from repro.network.scheduler import (
     DeliveryScheduler,
     LaggingScheduler,
@@ -52,8 +62,13 @@ from repro.workloads.generators import (
 __all__ = [
     "WORKLOAD_NAMES",
     "STRATEGY_NAMES",
+    "COORDINATED_STRATEGY_NAMES",
+    "ADVERSARY_NAMES",
     "SCHEDULER_NAMES",
+    "AdversaryBundle",
+    "derive_faulty_seeds",
     "make_strategy",
+    "make_adversaries",
     "build_registry",
     "build_mutators",
     "build_scheduler",
@@ -61,6 +76,13 @@ __all__ = [
 ]
 
 STRATEGY_NAMES = ("crash", "equivocate", "outside_hull", "random_noise")
+
+# Every adversary name a TrialSpec may carry: the independent strategies, the
+# intro counterexample attack, and the coordinated (whole-coalition)
+# strategies of repro.byzantine.coordinator.
+ADVERSARY_NAMES = (
+    ("none",) + STRATEGY_NAMES + ("coordinate_attack",) + COORDINATED_STRATEGY_NAMES
+)
 
 WORKLOAD_NAMES = (
     "uniform_box",
@@ -100,26 +122,84 @@ def make_strategy(
         return RandomNoiseStrategy(low=lower - 5 * spread, high=upper + 5 * spread, seed=seed)
     if name == "coordinate_attack":
         return CoordinateAttackStrategy(
-            coordinate=int(params.get("coordinate", 0)), target=float(params.get("target", 0.0))
+            coordinate=int(params.get("coordinate", 0)),
+            target=float(params.get("target", 0.0)),
+            dimension=registry.configuration.dimension,
         )
     raise ValueError(f"unknown strategy name: {name}")
 
 
-def build_mutators(spec: TrialSpec, registry: ProcessRegistry) -> dict[int, MessageMutator]:
-    """One mutator per faulty id, seeded ``adversary_seed + faulty_id``.
+@dataclass(frozen=True)
+class AdversaryBundle:
+    """Everything one trial needs from its adversary.
 
-    The per-id offset keeps seeded strategies (e.g. random noise) from
-    emitting identical streams on every faulty process, and matches the
-    seeding the original experiment runners used.
+    ``mutators`` is what the protocol drivers consume (one per faulty id);
+    ``coordinator`` is set only for coordinated strategies and carries the
+    shared coalition state, the runtime traffic tap and the scheduler hint.
     """
-    if spec.adversary in ("none", "honest"):
-        return {}
+
+    mutators: dict[int, MessageMutator] = field(default_factory=dict)
+    coordinator: AdversaryCoordinator | None = None
+
+    @property
+    def traffic_observer(self) -> Callable[[Message], None] | None:
+        """The coordinator's observation hook, if this adversary has one."""
+        return self.coordinator.observe if self.coordinator is not None else None
+
+
+def derive_faulty_seeds(adversary_seed: int, faulty_ids: Sequence[int]) -> dict[int, int]:
+    """One independent 32-bit seed per faulty id via ``SeedSequence.spawn``.
+
+    The previous scheme (``adversary_seed + faulty_id``) made trials with
+    adjacent root seeds share faulty RNG streams: seed ``s`` with faulty id 2
+    and seed ``s + 1`` with faulty id 1 both landed on ``s + 2``.  Spawned
+    sequences cannot collide that way, and the id-sorted assignment keeps the
+    mapping independent of set-iteration order.
+    """
+    ordered = sorted(int(faulty_id) for faulty_id in faulty_ids)
+    children = np.random.SeedSequence(int(adversary_seed)).spawn(max(len(ordered), 1))
+    return {
+        faulty_id: int(child.generate_state(1, dtype=np.uint32)[0])
+        for faulty_id, child in zip(ordered, children)
+    }
+
+
+def make_adversaries(spec: TrialSpec, registry: ProcessRegistry) -> AdversaryBundle:
+    """Build the spec's adversary: coordinator-backed or independent mutators.
+
+    Coordinated strategy names (:data:`COORDINATED_STRATEGY_NAMES`) get one
+    :class:`~repro.byzantine.coordinator.AdversaryCoordinator` owning the
+    whole faulty set, with each faulty id holding a view of it; the classic
+    names get one independent mutator per faulty id, seeded via
+    :func:`derive_faulty_seeds`.
+    """
+    if spec.adversary in ("none", "honest") or not registry.faulty_ids:
+        return AdversaryBundle()
     _, adversary_seed, _ = spec.resolved_seeds()
     params = spec.params("adversary")
-    return {
-        faulty_id: make_strategy(spec.adversary, registry, seed=adversary_seed + faulty_id, params=params)
-        for faulty_id in registry.faulty_ids
-    }
+    if spec.adversary in COORDINATED_STRATEGY_NAMES:
+        coordinator = AdversaryCoordinator(
+            spec.adversary, registry, seed=adversary_seed, params=params
+        )
+        mutators: dict[int, MessageMutator] = {
+            faulty_id: coordinator.mutator_for(faulty_id)
+            for faulty_id in sorted(registry.faulty_ids)
+        }
+        return AdversaryBundle(mutators=mutators, coordinator=coordinator)
+    seeds = derive_faulty_seeds(adversary_seed, registry.faulty_ids)
+    return AdversaryBundle(
+        mutators={
+            faulty_id: make_strategy(
+                spec.adversary, registry, seed=seeds[faulty_id], params=params
+            )
+            for faulty_id in sorted(registry.faulty_ids)
+        }
+    )
+
+
+def build_mutators(spec: TrialSpec, registry: ProcessRegistry) -> dict[int, MessageMutator]:
+    """One mutator per faulty id (compatibility wrapper over :func:`make_adversaries`)."""
+    return make_adversaries(spec, registry).mutators
 
 
 # -- workloads ----------------------------------------------------------------
@@ -177,19 +257,30 @@ def _build_registry(spec: TrialSpec) -> ProcessRegistry:
 # -- schedulers ---------------------------------------------------------------
 
 def build_scheduler(spec: TrialSpec, registry: ProcessRegistry) -> DeliveryScheduler:
-    """Instantiate the spec's delivery scheduler (asynchronous protocols)."""
+    """Instantiate the spec's delivery scheduler (asynchronous protocols).
+
+    The ``theorem4_scenario`` adversary couples its crash faults with a
+    lagging scheduler starving one correct process — the paper's asynchronous
+    lower-bound execution — so for that adversary the spec's scheduler name is
+    overridden with a :class:`LaggingScheduler` honouring the coordinator's
+    nomination (``slow_processes`` adversary parameter, default: the last
+    honest process).
+    """
     _, _, scheduler_seed = spec.resolved_seeds()
     params = spec.params("scheduler")
+    if spec.adversary == "theorem4_scenario":
+        slow = AdversaryCoordinator.nominate_slow_processes(
+            registry, spec.params("adversary")
+        )
+        return LaggingScheduler(slow_processes=list(slow), seed=scheduler_seed)
     if spec.scheduler == "random":
         return RandomScheduler(scheduler_seed)
     if spec.scheduler == "round_robin":
         return RoundRobinScheduler()
     if spec.scheduler == "lagging":
-        slow = params.get("slow_processes")
-        if slow is None:
-            # Default to starving the last honest process — the classical
-            # "correct but slow" scenario of the Theorem 4 argument.
-            slow = [registry.honest_ids[-1]]
+        # Same nomination rule as the theorem4_scenario coupling above: the
+        # classical "correct but slow" default is the last honest process.
+        slow = AdversaryCoordinator.nominate_slow_processes(registry, params)
         return LaggingScheduler(slow_processes=list(slow), seed=scheduler_seed)
     raise ConfigurationError(
         f"unknown scheduler {spec.scheduler!r}; known: {', '.join(SCHEDULER_NAMES)}"

@@ -55,8 +55,17 @@ class TrialSpec:
     Attributes:
         protocol: one of :data:`PROTOCOLS`.
         workload: input-generator name (see :mod:`repro.engine.factories`).
-        adversary: strategy name, or ``"none"`` for a fault-free run.
-        scheduler: delivery-scheduler name (asynchronous protocols only).
+        adversary: strategy name (:data:`~repro.engine.factories.ADVERSARY_NAMES`),
+            or ``"none"`` for a fault-free run.  Independent strategies build
+            one mutator per faulty id; the coordinated names (``split_world``,
+            ``hull_collapse``, ``adaptive_extreme``, ``theorem4_scenario``)
+            build one :class:`~repro.byzantine.coordinator.AdversaryCoordinator`
+            owning the whole faulty set, with ``adversary_params`` carrying
+            its strategy parameters (``target``, ``push_scale``,
+            ``crash_round``, ``slow_processes``, …).
+        scheduler: delivery-scheduler name (asynchronous protocols only; the
+            ``theorem4_scenario`` adversary overrides it with the lagging
+            scheduler its lower-bound execution needs).
         process_count / dimension / fault_bound: the (n, d, f) configuration.
         epsilon: agreement parameter for approximate protocols.
         seed: root seed; workload/adversary/scheduler seeds derive from it

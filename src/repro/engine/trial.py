@@ -22,7 +22,7 @@ from repro.core.exact_bvc import run_exact_bvc
 from repro.core.restricted_async import run_restricted_async_bvc
 from repro.core.restricted_sync import run_restricted_sync_bvc
 from repro.core.validity import check_approximate_outcome, check_exact_outcome
-from repro.engine.factories import build_mutators, build_registry, build_scheduler
+from repro.engine.factories import build_registry, build_scheduler, make_adversaries
 from repro.engine.spec import TrialResult, TrialSpec
 
 __all__ = ["run_trial"]
@@ -41,18 +41,28 @@ def run_trial(spec: TrialSpec) -> TrialResult:
 
 def _execute(spec: TrialSpec) -> TrialResult:
     registry = build_registry(spec)
-    mutators = build_mutators(spec, registry)
+    adversary = make_adversaries(spec, registry)
+    mutators = adversary.mutators
+    # Coordinated adversaries watch the whole execution's traffic (the
+    # paper's full-information adversary); independent strategies get no tap.
+    observer = adversary.traffic_observer
 
     deliveries = None
     state_histories = None
     if spec.protocol == "exact":
         outcome = run_exact_bvc(
-            registry, adversary_mutators=mutators, max_rounds=spec.max_rounds_override
+            registry,
+            adversary_mutators=mutators,
+            max_rounds=spec.max_rounds_override,
+            traffic_observer=observer,
         )
         report = check_exact_outcome(registry, outcome.decisions)
     elif spec.protocol == "coordinatewise":
         outcome = run_coordinatewise_consensus(
-            registry, adversary_mutators=mutators, max_rounds=spec.max_rounds_override
+            registry,
+            adversary_mutators=mutators,
+            max_rounds=spec.max_rounds_override,
+            traffic_observer=observer,
         )
         report = check_exact_outcome(registry, outcome.decisions)
     elif spec.protocol == "approx":
@@ -62,6 +72,7 @@ def _execute(spec: TrialSpec) -> TrialResult:
             adversary_mutators=mutators,
             scheduler=build_scheduler(spec, registry),
             max_rounds_override=spec.max_rounds_override,
+            traffic_observer=observer,
         )
         report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
         deliveries = outcome.deliveries
@@ -72,6 +83,7 @@ def _execute(spec: TrialSpec) -> TrialResult:
             epsilon=spec.epsilon,
             adversary_mutators=mutators,
             max_rounds_override=spec.max_rounds_override,
+            traffic_observer=observer,
         )
         report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
         state_histories = outcome.state_histories if spec.record_history else None
@@ -82,6 +94,7 @@ def _execute(spec: TrialSpec) -> TrialResult:
             adversary_mutators=mutators,
             scheduler=build_scheduler(spec, registry),
             max_rounds_override=spec.max_rounds_override,
+            traffic_observer=observer,
         )
         report = check_approximate_outcome(registry, outcome.decisions, epsilon=spec.epsilon)
         state_histories = outcome.state_histories if spec.record_history else None

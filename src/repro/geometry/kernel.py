@@ -60,7 +60,7 @@ from typing import Sequence
 import numpy as np
 from scipy.sparse import csc_matrix
 
-from repro.exceptions import GeometryError
+from repro.exceptions import GeometryError, LinearProgramError
 
 __all__ = [
     "KernelStats",
@@ -520,13 +520,25 @@ class GammaKernel:
 
         self.stats.lp_solves += 1
         self.stats.blocks_assembled += len(families)
-        result = solve_linear_program(
-            objective,
-            equality_matrix=matrix,
-            equality_rhs=template.rhs,
-            bounds=list(template.bounds),
-        )
-        if result.feasible and result.solution is not None:
+        try:
+            result = solve_linear_program(
+                objective,
+                equality_matrix=matrix,
+                equality_rhs=template.rhs,
+                bounds=list(template.bounds),
+            )
+        except LinearProgramError as error:
+            # Clusters of near-coincident points (honest states late in a
+            # contraction) can leave HiGHS unable to classify the strict
+            # equality program at all.  The relaxed minimum-slack program is
+            # feasible by construction, so it resolves exactly those
+            # degenerate instances — and still reports genuine emptiness.
+            # Only solver-status failures qualify (they carry a status code);
+            # input-validation errors stay loud.
+            if error.status is None:
+                raise
+            result = None
+        if result is not None and result.feasible and result.solution is not None:
             return result.solution[:dimension]
         return self._relaxed_point(cloud, families_flat)
 
@@ -662,12 +674,21 @@ class GammaKernel:
             shape=(row_base, col_base),
         )
         self.stats.lp_solves += 1
-        result = solve_linear_program(
-            np.concatenate(objective_parts),
-            equality_matrix=matrix,
-            equality_rhs=np.concatenate(rhs_parts),
-            bounds=bounds,
-        )
+        try:
+            result = solve_linear_program(
+                np.concatenate(objective_parts),
+                equality_matrix=matrix,
+                equality_rhs=np.concatenate(rhs_parts),
+                bounds=bounds,
+            )
+        except LinearProgramError as error:
+            # A numerically unclassifiable fused program gets the same
+            # treatment as an infeasible one: per-query re-solves attribute
+            # the degeneracy (or genuine emptiness) to the right query.
+            # Input-validation errors (status None) stay loud.
+            if error.status is None:
+                raise
+            return None
         if not result.feasible or result.solution is None:
             return None
         return [

@@ -127,13 +127,27 @@ def solve_linear_program(
         bounds=bounds,
         method="highs",
     )
+    presolve_free_verdict = False
     if outcome.status == _STATUS_NUMERICAL:
         # Degenerate inputs (duplicated points, adversarial values orders of
         # magnitude larger than honest ones) occasionally trip the default
         # HiGHS presolve into an "Unknown" model status; retry without
-        # presolve, then with the interior-point solver, before giving up.
-        for retry_kwargs in ({"method": "highs", "options": {"presolve": False}},
-                             {"method": "highs-ipm"}):
+        # presolve, then with the interior-point solver, then — last resort —
+        # with feasibility tolerances loosened to 1e-6 (clusters of
+        # near-coincident points, e.g. honest states late in a contraction,
+        # can make the feasible region smaller than the default tolerances,
+        # and 1e-6 still sits at the package's geometric tolerance).
+        for retry_kwargs in (
+            {"method": "highs", "options": {"presolve": False}},
+            {"method": "highs-ipm"},
+            {
+                "method": "highs",
+                "options": {
+                    "primal_feasibility_tolerance": 1e-6,
+                    "dual_feasibility_tolerance": 1e-6,
+                },
+            },
+        ):
             outcome = linprog(
                 c=objective,
                 A_ub=a_ub,
@@ -144,7 +158,31 @@ def solve_linear_program(
                 **retry_kwargs,
             )
             if outcome.status != _STATUS_NUMERICAL:
+                presolve_free_verdict = (
+                    retry_kwargs.get("options", {}).get("presolve") is False
+                )
                 break
+
+    if outcome.status == _STATUS_INFEASIBLE and not presolve_free_verdict:
+        # HiGHS presolve can misclassify degenerate-but-feasible programs as
+        # infeasible (duplicated points with coordinates spanning orders of
+        # magnitude).  Infeasibility is a meaningful geometric answer here
+        # (hull membership, Gamma emptiness), so confirm it with a
+        # presolve-free re-solve before reporting it; genuinely infeasible
+        # programs stay infeasible either way (skipped when the verdict
+        # already came from a presolve-free solve).
+        confirm = linprog(
+            c=objective,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+            options={"presolve": False},
+        )
+        if confirm.status == _STATUS_OPTIMAL:
+            outcome = confirm
 
     if outcome.status == _STATUS_OPTIMAL:
         return LinearProgramResult(

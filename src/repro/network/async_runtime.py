@@ -21,9 +21,10 @@ produce exactly the "slow process" executions the lower-bound arguments use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.exceptions import TerminationError
+from repro.network.message import Message
 from repro.network.network import TrafficStats
 from repro.network.runtime_core import RuntimeCore
 from repro.network.scheduler import DeliveryScheduler, RandomScheduler
@@ -61,8 +62,11 @@ class AsynchronousRuntime:
         honest_ids: tuple[int, ...] | None = None,
         scheduler: DeliveryScheduler | None = None,
         max_deliveries: int = 2_000_000,
+        traffic_observer: Callable[[Message], None] | None = None,
     ) -> None:
-        self._core = RuntimeCore(processes, honest_ids=honest_ids, kind="asynchronous")
+        self._core = RuntimeCore(
+            processes, honest_ids=honest_ids, kind="asynchronous", observer=traffic_observer
+        )
         self._scheduler = scheduler if scheduler is not None else RandomScheduler(0)
         self._max_deliveries = max_deliveries
         self._started = False

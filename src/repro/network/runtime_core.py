@@ -12,11 +12,17 @@ sender itself, or is not a registered process, is never put on the network.
 Honest protocol code does not emit such messages, but Byzantine mutators may;
 rather than silently vanishing, every such message is counted and reported as
 ``TrafficStats.messages_dropped`` in the run result.
+
+An optional ``observer`` callback sees every message handed to :meth:`route`
+(before the drop check).  This is the tap the coordinated adversary layer
+(:mod:`repro.byzantine.coordinator`) uses to watch the whole execution's
+traffic — the paper's full-information adversary — without the runtimes or
+the protocols knowing anything about it.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.exceptions import ConfigurationError
 from repro.network.message import Message
@@ -34,6 +40,8 @@ class RuntimeCore:
         honest_ids: ids whose decisions terminate the run (defaults to all).
         kind: human-readable model name used in error messages
             (``"synchronous"`` / ``"asynchronous"``).
+        observer: optional callback invoked with every message handed to
+            :meth:`route`, including messages the core refuses to deliver.
     """
 
     def __init__(
@@ -41,6 +49,7 @@ class RuntimeCore:
         processes: Mapping[int, object],
         honest_ids: tuple[int, ...] | None = None,
         kind: str = "simulation",
+        observer: Callable[[Message], None] | None = None,
     ) -> None:
         if len(processes) < 2:
             raise ConfigurationError(f"a {kind} run needs at least two processes")
@@ -58,6 +67,7 @@ class RuntimeCore:
             raise ConfigurationError(f"honest ids {sorted(unknown)} have no registered process")
         self.network = CompleteGraphNetwork(sorted(self.processes))
         self.messages_dropped = 0
+        self._observer = observer
 
     # -- routing --------------------------------------------------------------
 
@@ -66,6 +76,8 @@ class RuntimeCore:
 
         Returns True when the message was accepted onto the network.
         """
+        if self._observer is not None:
+            self._observer(message)
         if message.recipient == message.sender or message.recipient not in self.processes:
             self.messages_dropped += 1
             return False

@@ -17,9 +17,10 @@ table, the network and all decision/traffic bookkeeping.  It stops when every
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.exceptions import TerminationError
+from repro.network.message import Message
 from repro.network.network import TrafficStats
 from repro.network.runtime_core import RuntimeCore
 from repro.processes.process import SyncProcess
@@ -51,8 +52,11 @@ class SynchronousRuntime:
         processes: Mapping[int, SyncProcess],
         honest_ids: tuple[int, ...] | None = None,
         max_rounds: int = 10_000,
+        traffic_observer: Callable[[Message], None] | None = None,
     ) -> None:
-        self._core = RuntimeCore(processes, honest_ids=honest_ids, kind="synchronous")
+        self._core = RuntimeCore(
+            processes, honest_ids=honest_ids, kind="synchronous", observer=traffic_observer
+        )
         self._max_rounds = max_rounds
 
     @property

@@ -111,3 +111,16 @@ class TestProtocolExperiments:
         for row in rows:
             assert row["agreement"] and row["validity"]
         assert rows[0]["decision_is_distribution"] is True
+
+    def test_e16_adversary_coordination(self):
+        rows = experiments.experiment_adversary_coordination(dimension=1, epsilon=0.3)
+        # Five independent strategies plus the four coordinated ones.
+        assert len(rows) == 9
+        families = {row["family"] for row in rows}
+        assert families == {"independent", "coordinated"}
+        for row in rows:
+            # At the bound no adversary — coordinated or not — may succeed.
+            assert row["attack_succeeded"] is False
+            assert row["agreement"] and row["validity"]
+        theorem4 = [row for row in rows if row["attack"] == "theorem4_scenario"]
+        assert theorem4[0]["protocol"] == "approx"

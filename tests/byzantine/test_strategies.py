@@ -13,6 +13,7 @@ from repro.byzantine.strategies import (
     OutsideHullStrategy,
     RandomNoiseStrategy,
 )
+from repro.exceptions import ByzantineBehaviorError, ConfigurationError
 from repro.network.message import Message
 
 
@@ -43,6 +44,29 @@ class TestCrashStrategy:
         # Once crashed, even untagged messages are suppressed.
         assert strategy.mutate(make_message(round_index=None)) == []
 
+    def test_round_free_traffic_before_crash_passes(self):
+        # A deferred crash (crash_round > 1) must let round-free traffic
+        # (round_index=None, e.g. one-shot broadcasts) through while the
+        # process is still alive — only round-tagged traffic can trigger the
+        # crash.
+        strategy = CrashStrategy(crash_round=2)
+        untagged = make_message(round_index=None)
+        assert strategy.mutate(untagged) == [untagged]
+        # Still alive after round-1 traffic and further untagged messages.
+        assert strategy.mutate(make_message(round_index=1)) != []
+        later_untagged = make_message(round_index=None)
+        assert strategy.mutate(later_untagged) == [later_untagged]
+
+    def test_round_free_traffic_after_crash_is_dropped(self):
+        strategy = CrashStrategy(crash_round=2)
+        assert strategy.mutate(make_message(round_index=None)) != []
+        # The round-2 message triggers the crash; everything after — tagged
+        # or round-free — is suppressed, and the crash is permanent even if
+        # later traffic carries an earlier round tag.
+        assert strategy.mutate(make_message(round_index=2)) == []
+        assert strategy.mutate(make_message(round_index=None)) == []
+        assert strategy.mutate(make_message(round_index=1)) == []
+
 
 class TestEquivocationStrategy:
     def test_different_recipients_get_different_values(self):
@@ -58,10 +82,24 @@ class TestEquivocationStrategy:
         second = strategy.mutate(make_message(recipient=2))[0]
         assert first.payload == second.payload
 
-    def test_shorter_vectors_resized(self):
+    def test_mismatched_vector_dimension_rejected(self):
+        # Tiling a 3-vector into a 2-leaf would recycle coordinates and
+        # report a value nobody chose; the strategy must refuse instead.
         strategy = EquivocationStrategy([[5.0, 6.0, 7.0]])
+        with pytest.raises(ByzantineBehaviorError):
+            strategy.mutate(make_message(payload={"value": (0.0, 0.0)}))
+
+    def test_scalar_leaves_get_first_coordinate(self):
+        # Per-coordinate broadcasts carry scalar leaves; those are replaced
+        # by the pool vector's first coordinate, never rejected.
+        strategy = EquivocationStrategy([[5.0, 6.0, 7.0]])
+        mutated = strategy.mutate(make_message(recipient=3, payload={"value": 0.25}))[0]
+        assert mutated.payload["value"] == 5.0
+
+    def test_matching_vector_dimension_replaced(self):
+        strategy = EquivocationStrategy([[5.0, 6.0]])
         mutated = strategy.mutate(make_message(payload={"value": (0.0, 0.0)}))[0]
-        assert len(mutated.payload["value"]) == 2
+        assert mutated.payload["value"] == (5.0, 6.0)
 
     def test_empty_pool_rejected(self):
         with pytest.raises(ValueError):
@@ -111,10 +149,24 @@ class TestCoordinateAttackStrategy:
         mutated = strategy.mutate(make_message(payload={"x": 0.5}))[0]
         assert mutated.payload["x"] == 9.0
 
-    def test_out_of_range_coordinate_is_noop_for_vectors(self):
-        strategy = CoordinateAttackStrategy(coordinate=5, target=9.0)
+    def test_out_of_range_coordinate_rejected_at_construction(self):
+        # The silent no-op regression: an out-of-range coordinate used to
+        # pass honest values through untouched.  With the dimension known it
+        # must be refused up front.
+        with pytest.raises(ConfigurationError):
+            CoordinateAttackStrategy(coordinate=2, target=9.0, dimension=2)
+
+    def test_coordinate_at_dimension_boundary_accepted(self):
+        strategy = CoordinateAttackStrategy(coordinate=1, target=9.0, dimension=2)
         mutated = strategy.mutate(make_message(payload={"value": (0.1, 0.2)}))[0]
-        assert mutated.payload["value"] == (0.1, 0.2)
+        assert mutated.payload["value"] == (0.1, 9.0)
+
+    def test_out_of_range_coordinate_rejected_at_mutation(self):
+        # Without a declared dimension the mismatch can only surface at
+        # mutation time — it must raise, not silently forward honest values.
+        strategy = CoordinateAttackStrategy(coordinate=5, target=9.0)
+        with pytest.raises(ByzantineBehaviorError):
+            strategy.mutate(make_message(payload={"value": (0.1, 0.2)}))
 
     def test_negative_coordinate_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,100 @@
+"""Tests for the scenario-fuzz harness (repro.engine.fuzz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    COORDINATED_STRATEGY_NAMES,
+    read_jsonl,
+    run_fuzz,
+    sample_specs,
+    strip_timing,
+)
+from repro.engine.factories import minimum_processes_for
+from repro.engine.spec import PROTOCOLS
+from repro.exceptions import ConfigurationError
+
+
+class TestSampleSpecs:
+    def test_deterministic_given_seed(self):
+        assert sample_specs(30, seed=11) == sample_specs(30, seed=11)
+
+    def test_different_seeds_differ(self):
+        assert sample_specs(30, seed=11) != sample_specs(30, seed=12)
+
+    def test_every_spec_at_or_above_the_bound(self):
+        for spec in sample_specs(60, seed=5):
+            minimum = minimum_processes_for(spec.protocol, spec.dimension, spec.fault_bound)
+            assert minimum <= spec.process_count <= minimum + 1
+
+    def test_trial_indices_sequential_and_seeds_distinct(self):
+        specs = sample_specs(40, seed=9)
+        assert [spec.trial_index for spec in specs] == list(range(40))
+        assert len({spec.seed for spec in specs}) == 40
+
+    def test_coordinate_attack_coordinates_in_range(self):
+        specs = sample_specs(120, seed=2)
+        attacks = [spec for spec in specs if spec.adversary == "coordinate_attack"]
+        assert attacks, "sample large enough to hit coordinate_attack"
+        for spec in attacks:
+            assert dict(spec.adversary_params)["coordinate"] < spec.dimension
+
+    def test_coordinated_strategies_are_sampled(self):
+        adversaries = {spec.adversary for spec in sample_specs(120, seed=2)}
+        assert adversaries & set(COORDINATED_STRATEGY_NAMES)
+
+    def test_sync_protocols_collapse_scheduler(self):
+        for spec in sample_specs(60, seed=4):
+            if PROTOCOLS[spec.protocol][0] == "sync":
+                assert spec.scheduler == "random"
+
+    def test_invalid_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_specs(0, seed=1)
+        with pytest.raises(ConfigurationError):
+            sample_specs(5, seed=1, protocols=("bogus",))
+        with pytest.raises(ConfigurationError):
+            sample_specs(5, seed=1, adversaries=("bogus",))
+
+    def test_non_fuzzable_protocols_rejected(self):
+        # coordinatewise violates validity by design; restricted_async cannot
+        # run unconstrained — both are unsound to assert invariants on.
+        for protocol in ("coordinatewise", "restricted_async"):
+            with pytest.raises(ConfigurationError):
+                sample_specs(5, seed=1, protocols=(protocol,))
+
+    def test_fixed_instance_workloads_rejected(self):
+        # intro_counterexample builds a fixed (n, d, f) regardless of the
+        # sampled configuration; fuzzing it would only yield config errors
+        # dressed up as invariant violations.
+        with pytest.raises(ConfigurationError):
+            sample_specs(5, seed=1, workloads=("intro_counterexample",))
+
+
+class TestRunFuzz:
+    def test_small_run_upholds_invariants(self):
+        report = run_fuzz(count=6, seed=13)
+        assert report.runs == 6
+        assert report.clean
+        assert report.errors == 0
+        assert report.to_row()["violations"] == 0
+
+    def test_worker_count_invariance(self, tmp_path):
+        # The engine guarantee carried over to fuzz: same seed, different
+        # pool sizes, identical JSONL modulo the timing field.
+        sequential = tmp_path / "w1.jsonl"
+        pooled = tmp_path / "w2.jsonl"
+        report_1 = run_fuzz(count=6, seed=21, workers=1, jsonl_path=sequential)
+        report_2 = run_fuzz(count=6, seed=21, workers=2, jsonl_path=pooled)
+        assert report_1.clean and report_2.clean
+        assert strip_timing(read_jsonl(sequential)) == strip_timing(read_jsonl(pooled))
+
+    def test_coordinated_adversaries_survive_fuzzing(self):
+        report = run_fuzz(
+            count=4,
+            seed=3,
+            protocols=("exact",),
+            adversaries=COORDINATED_STRATEGY_NAMES,
+        )
+        assert report.clean

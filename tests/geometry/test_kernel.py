@@ -93,6 +93,25 @@ class TestSingleQueryEquivalence:
         point = safe_area_point_kernel(cloud, 2)
         assert np.allclose(point, [2.0, -3.0], atol=1e-6)
 
+    def test_near_coincident_cluster_survives_solver_degeneracy(self):
+        # Scenario-fuzz regression: honest states late in a contraction form
+        # a micro-cluster (spread ~5e-6) plus one outlier; HiGHS reports the
+        # strict equality program "Unknown" in every configuration, so the
+        # answer must come from the relaxed minimum-slack path instead of an
+        # exception.  Gamma is non-empty (a cluster point lies in every
+        # drop-one hull).
+        cloud = np.asarray(
+            [
+                [7.96463103, 6.29389495],
+                [7.16802536, 6.12459677],
+                [7.16802605, 6.12460123],
+                [7.16802070, 6.12460009],
+            ]
+        )
+        for point in (safe_area_point_kernel(cloud, 1), safe_area_point(cloud, 1)):
+            assert point is not None
+            assert safe_area_contains(cloud, 1, point, tolerance=1e-4)
+
     def test_zero_faults_returns_centroid(self):
         cloud = np.asarray([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
         assert np.allclose(safe_area_point_kernel(cloud, 0), cloud.mean(axis=0))

@@ -97,3 +97,22 @@ class TestFeasibilityProgram:
             equality_rhs=np.asarray([1.0, -2.0, 1.0]),
         )
         assert result.feasible
+
+    def test_presolve_false_infeasible_is_overruled(self):
+        # Hypothesis-found regression: on this trivially feasible hull
+        # membership program (duplicated points, coordinates spanning orders
+        # of magnitude) HiGHS presolve reports "infeasible" while the
+        # presolve-free solve finds the exact weights.  The wrapper must
+        # confirm every infeasible verdict without presolve before trusting
+        # it.
+        cloud = np.asarray([[0.0, 0.001953125], [0.0, 0.001953125], [1.0, 1e-09]])
+        target = cloud.mean(axis=0)
+        result = feasibility_program(
+            variable_count=3,
+            equality_matrix=np.vstack([cloud.T, np.ones((1, 3))]),
+            equality_rhs=np.concatenate([target, [1.0]]),
+            bounds=(0, None),
+        )
+        assert result.feasible
+        weights = result.solution
+        assert np.allclose(weights @ cloud, target, atol=1e-7)

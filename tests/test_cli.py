@@ -50,6 +50,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--protocols", "bogus"])
 
+    def test_campaign_accepts_coordinated_adversaries(self):
+        arguments = build_parser().parse_args(
+            ["campaign", "--adversaries", "split_world", "hull_collapse",
+             "adaptive_extreme", "theorem4_scenario"]
+        )
+        assert arguments.adversaries == [
+            "split_world", "hull_collapse", "adaptive_extreme", "theorem4_scenario"
+        ]
+
+    def test_fuzz_defaults(self):
+        arguments = build_parser().parse_args(["fuzz"])
+        assert arguments.command == "fuzz"
+        assert arguments.count == 200
+        assert arguments.workers == 1
+        assert "split_world" in arguments.adversaries
+
+    def test_fuzz_rejects_unknown_adversary(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--adversaries", "bogus"])
+
 
 class TestMain:
     def test_list_prints_all_ids(self, capsys):
@@ -89,6 +109,7 @@ class TestMain:
         # else from DESIGN.md must be present, plus the E15 kernel experiment.
         for required in (
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14", "E15",
+            "E16",
         ):
             assert required in EXPERIMENT_REGISTRY
 
@@ -96,6 +117,7 @@ class TestMain:
         # Lexicographic sorting would put E11/E13/E14/E15 between E1 and E2.
         assert _ordered_experiment_ids() == [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E11", "E13", "E14", "E15",
+            "E16",
         ]
 
     def test_list_output_in_numeric_order(self, capsys):
@@ -162,3 +184,21 @@ class TestCampaignCommand:
         assert main(["campaign", "--grid-file", str(grid), "--jsonl", str(target)]) == 0
         assert "filed" in capsys.readouterr().out
         assert len(target.read_text().splitlines()) == 2
+
+    def test_coordinated_adversary_grid_runs_clean(self, capsys):
+        assert main(["campaign", "--adversaries", "split_world", "hull_collapse",
+                     "--dimensions", "1", "--repeats", "1", "--seed", "23"]) == 0
+        assert "Campaign summary" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_small_fuzz_run_writes_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "fuzz.jsonl"
+        assert main(["fuzz", "--count", "4", "--seed", "19",
+                     "--protocols", "exact", "--jsonl", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "Fuzz summary" in output
+        assert "all scenarios upheld agreement and validity" in output
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert len(rows) == 4
+        assert all(row["status"] == "ok" for row in rows)
