@@ -1,0 +1,120 @@
+"""Columnar engine throughput: campaign trials/second, engines × workers.
+
+Not a paper experiment — this benchmarks the execution substrate itself.
+The reference grid is the synchronous approximate-BVC (restricted-round)
+campaign at ``d = 2, n = 13, f = 1`` under the recipient-uniform adversaries
+(``none``, ``crash``, ``outside_hull``, ``coordinate_attack``): the regime
+where honest receive views coincide and the columnar engine amortises one
+``Gamma`` solve across all thirteen processes of a round.  The acceptance
+bar is **>= 5x single-worker trials/s over the object engine**; measured
+runs land around 15-20x (see ``docs/PERFORMANCE.md``).
+
+The equality assertion is the engine contract: both engines must emit
+byte-identical JSONL rows (modulo ``elapsed_ms``), in the same order, at any
+worker count.  A second recorded row runs the per-recipient ``equivocate``
+adversary, where views diverge and deduplication cannot help — documenting
+the honest lower end of the speedup rather than hiding it.
+
+The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import Campaign, read_jsonl, run_campaign, strip_timing
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+PROCESS_COUNT = 9 if SMOKE else 13
+REPEATS = 1 if SMOKE else 3
+ROUNDS = 2 if SMOKE else 3
+MIN_SPEEDUP = 1.2 if SMOKE else 5.0
+
+
+def _reference_campaign() -> Campaign:
+    return Campaign.from_grid(
+        "bench-vectorized",
+        protocols=("restricted_sync",),
+        adversaries=("none", "crash", "outside_hull", "coordinate_attack"),
+        dimensions=(2,),
+        fault_bounds=(1,),
+        process_counts=(PROCESS_COUNT,),
+        repeats=REPEATS,
+        base_seed=7,
+        max_rounds_override=ROUNDS,
+    )
+
+
+def _equivocate_campaign() -> Campaign:
+    return Campaign.from_grid(
+        "bench-vectorized-equivocate",
+        protocols=("restricted_sync",),
+        adversaries=("equivocate",),
+        dimensions=(2,),
+        fault_bounds=(1,),
+        process_counts=(PROCESS_COUNT,),
+        repeats=REPEATS,
+        base_seed=7,
+        max_rounds_override=ROUNDS,
+    )
+
+
+def test_vectorized_campaign_throughput(benchmark, record_table, tmp_path):
+    reference = _reference_campaign()
+    equivocate = _equivocate_campaign()
+
+    def run_matrix() -> list[dict[str, object]]:
+        rows = []
+        for campaign, tag, engines_workers in (
+            (reference, "reference", (("object", 1), ("vectorized", 1), ("vectorized", 4))),
+            (equivocate, "equivocate", (("object", 1), ("vectorized", 1))),
+        ):
+            for engine, workers in engines_workers:
+                jsonl_path = tmp_path / f"{tag}-{engine}-w{workers}.jsonl"
+                summary, _ = run_campaign(
+                    campaign, workers=workers, jsonl_path=jsonl_path, engine=engine
+                )
+                rows.append(
+                    summary.to_row()
+                    | {"grid": tag, "jsonl_rows": len(read_jsonl(jsonl_path))}
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == (
+            len(reference) if row["grid"] == "reference" else len(equivocate)
+        )
+
+    by_key = {(row["grid"], row["engine"], row["workers"]): row for row in rows}
+    speedup = (
+        by_key[("reference", "vectorized", 1)]["trials_per_s"]
+        / max(by_key[("reference", "object", 1)]["trials_per_s"], 1e-9)
+    )
+    for row in rows:
+        row["speedup_vs_object_w1"] = round(
+            row["trials_per_s"]
+            / max(by_key[(row["grid"], "object", 1)]["trials_per_s"], 1e-9),
+            2,
+        )
+    record_table(
+        "E18_vectorized_throughput",
+        rows,
+        "Columnar engine — campaign trials/second, engines x workers "
+        f"(restricted_sync, d=2, n={PROCESS_COUNT}, f=1, {ROUNDS} rounds)",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized engine is only {speedup:.2f}x the object engine "
+        f"(needs >= {MIN_SPEEDUP}x on the reference grid)"
+    )
+
+    # The engine contract: byte-identical rows (modulo timing), same order,
+    # any engine, any worker count.
+    canonical = strip_timing(read_jsonl(tmp_path / "reference-object-w1.jsonl"))
+    assert canonical == strip_timing(read_jsonl(tmp_path / "reference-vectorized-w1.jsonl"))
+    assert canonical == strip_timing(read_jsonl(tmp_path / "reference-vectorized-w4.jsonl"))
+    assert strip_timing(read_jsonl(tmp_path / "equivocate-object-w1.jsonl")) == strip_timing(
+        read_jsonl(tmp_path / "equivocate-vectorized-w1.jsonl")
+    )

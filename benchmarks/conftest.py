@@ -6,6 +6,10 @@ qualitative outcome the paper predicts, and writes the measured table to
 ``benchmarks/results/<experiment id>.txt`` so the numbers can be inspected
 after a ``pytest benchmarks/ --benchmark-only`` run (stdout is captured by
 pytest).  ``EXPERIMENTS.md`` records the expected shape of each table.
+
+``benchmarks/results/`` is gitignored scratch space for fresh runs; the
+checked-in copies of representative tables live in ``benchmarks/reference/``
+(update them by copying a fresh result over when a PR changes the numbers).
 """
 
 from __future__ import annotations

@@ -71,10 +71,13 @@ def _run(campaign: Campaign) -> list[TrialResult]:
     """Execute a campaign inline and return its results in trial order.
 
     Experiments are small by construction (the CLI ``campaign`` command is the
-    parallel path for big sweeps), so they run single-worker; any trial error
-    is a bug in the experiment declaration and is surfaced immediately.
+    parallel path for big sweeps), so they run single-worker on the ``auto``
+    engine: eligible synchronous trials execute on the columnar substrate
+    (byte-identical results, less wall-clock), the rest on the object runtime.
+    Any trial error is a bug in the experiment declaration and is surfaced
+    immediately.
     """
-    _, results = run_campaign(campaign, workers=1, collect=True)
+    _, results = run_campaign(campaign, workers=1, collect=True, engine="auto")
     for result in results:
         if not result.ok:
             raise RuntimeError(f"trial {result.spec.trial_index} failed: {result.error}")

@@ -34,6 +34,7 @@ from repro.analysis.report import render_table
 from repro.core.conditions import resilience_table
 from repro.engine import (
     ADVERSARY_NAMES,
+    ENGINE_CHOICES,
     FUZZ_ADVERSARIES,
     FUZZ_PROTOCOLS,
     FUZZ_WORKLOADS,
@@ -135,12 +136,16 @@ examples:
   python -m repro.cli campaign --adversaries split_world hull_collapse \\
       --repeats 10 --workers 4
                                               coordinated-adversary sweep
+  python -m repro.cli campaign --protocols restricted_sync --adversaries none crash \\
+      --process-counts 13 --max-rounds 3 --repeats 10 --engine vectorized
+                                              columnar batch execution
   python -m repro.cli fuzz --count 200 --seed 0 --workers 4 --jsonl fuzz.jsonl
                                               random scenarios, invariants asserted
 
 campaigns and fuzz runs are deterministic: the same --seed produces
 byte-identical JSONL rows (modulo the elapsed_ms timing field) for any
---workers value.
+--workers value and any --engine choice (eligible synchronous trials run as
+columnar array batches; everything else falls back to the object runtime).
 
 documentation:
   README.md                  install, quickstart, paper-section -> module map
@@ -170,7 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    run_parser.add_argument("experiment", help="experiment id (E1..E15) or 'all'")
+    # Derive the advertised id range from the registry so the help text
+    # cannot rot as experiments are added.
+    ordered_ids = _ordered_experiment_ids()
+    run_parser.add_argument(
+        "experiment",
+        help=f"experiment id ({ordered_ids[0]}..{ordered_ids[-1]}) or 'all'",
+    )
     run_parser.add_argument(
         "--output", type=Path, default=None, help="also write the rendered table(s) to this file"
     )
@@ -241,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--jsonl", type=Path, default=None, help="stream one JSON line per trial to this file"
     )
+    campaign_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="execution substrate: 'vectorized' runs eligible synchronous trials "
+             "as columnar batches, 'object' forces the per-process runtime, "
+             "'auto' (default) picks per shape group; rows are byte-identical "
+             "(modulo elapsed_ms) for every choice",
+    )
 
     fuzz_parser = subparsers.add_parser(
         "fuzz",
@@ -273,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--schedulers", nargs="+", default=list(SCHEDULER_NAMES), choices=SCHEDULER_NAMES,
         help="delivery schedulers to sample from (asynchronous protocols)",
+    )
+    fuzz_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="execution substrate (see 'campaign --engine')",
     )
 
     return parser
@@ -314,7 +336,12 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
         f"(protocols={','.join(shape['protocols'])} adversaries={','.join(shape['adversaries'])}) "
         f"on {arguments.workers} worker(s)"
     )
-    summary, _ = run_campaign(campaign, workers=arguments.workers, jsonl_path=arguments.jsonl)
+    summary, _ = run_campaign(
+        campaign,
+        workers=arguments.workers,
+        jsonl_path=arguments.jsonl,
+        engine=arguments.engine,
+    )
     print(render_table([summary.to_row()], title="Campaign summary"))
     if arguments.jsonl is not None:
         print(f"wrote {summary.trials} rows to {arguments.jsonl}")
@@ -335,6 +362,7 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
         workloads=arguments.workloads,
         adversaries=arguments.adversaries,
         schedulers=arguments.schedulers,
+        engine=arguments.engine,
     )
     print(render_table([report.to_row()], title="Fuzz summary"))
     if arguments.jsonl is not None:

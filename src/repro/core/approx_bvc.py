@@ -22,7 +22,6 @@ across honest processes contracts by at least ``1 - gamma`` per round
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from math import ceil, comb, log
 from typing import Any, Callable, Literal
 
@@ -31,9 +30,9 @@ import numpy as np
 from repro.broadcast.witness import RoundExchangeResult, WitnessExchange
 from repro.byzantine.adversary import ByzantineAsyncProcess, MessageMutator
 from repro.core.conditions import SystemConfiguration, check_approx_async
+from repro.core.round_ops import approx_round_step, approx_subset_families
 from repro.core.safe_area import SafeAreaCalculator, SafeAreaEngine
 from repro.exceptions import ConfigurationError, ProtocolError
-from repro.geometry.multisets import PointMultiset
 from repro.network.async_runtime import AsynchronousRuntime, AsyncRunResult
 from repro.network.message import Message
 from repro.network.scheduler import DeliveryScheduler
@@ -193,40 +192,19 @@ class ApproxBVCProcess(AsyncProcess):
     def _compute_new_state(self, result: RoundExchangeResult) -> np.ndarray:
         quorum = self.configuration.process_count - self.configuration.fault_bound
         subset_families = self._subset_families(result, quorum)
-        # All queries share the (quorum, d) shape, so they are assembled in one
-        # numpy pass and solved as a single block-diagonal LP by the kernel.
-        clouds = [
-            PointMultiset(np.vstack([result.tuples[member] for member in family]))
-            for family in subset_families
-        ]
-        if not clouds:
+        if not subset_families:
             # Cannot happen when the exchange met its quorum, but stay total.
             return self._state.copy()
-        points = self._chooser.choose_batch(clouds)
-        return np.mean(np.vstack(points), axis=0)
+        # The Step-2 update is the pure function in core.round_ops: all queries
+        # share the (quorum, d) shape, so they are assembled in one numpy pass
+        # and solved as a single block-diagonal LP by the kernel.
+        return approx_round_step(result.tuples, subset_families, self._chooser)
 
     def _subset_families(self, result: RoundExchangeResult, quorum: int) -> list[tuple[int, ...]]:
         """Return the subsets ``C`` of ``B_i[t]`` used in Step 2 of the algorithm."""
-        members = list(result.tuples)
-        if self.subset_mode == "all_subsets":
-            return [tuple(sorted(family)) for family in combinations(members, quorum)]
-        families: list[tuple[int, ...]] = []
-        seen: set[tuple[int, ...]] = set()
-        for reported_members in result.witness_reports.values():
-            family = tuple(sorted(reported_members))
-            if len(family) != quorum:
-                continue
-            if any(member not in result.tuples for member in family):
-                continue
-            if family in seen:
-                continue
-            seen.add(family)
-            families.append(family)
-        if not families:
-            # Fall back to the unoptimised enumeration; Appendix F's argument
-            # guarantees witnesses exist, so this is a defensive path only.
-            return [tuple(sorted(family)) for family in combinations(members, quorum)]
-        return families
+        return approx_subset_families(
+            list(result.tuples), result.witness_reports, quorum, self.subset_mode
+        )
 
 
 @dataclass(frozen=True)

@@ -21,9 +21,9 @@ from typing import Callable
 import numpy as np
 
 from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
-from repro.consensus.scalar_exact import lower_median
 from repro.network.message import Message
 from repro.core.exact_bvc import BroadcastMode, ExactBVCOutcome, ExactBVCProcess
+from repro.core.round_ops import coordinatewise_decision
 from repro.exceptions import ConfigurationError
 from repro.geometry.multisets import PointMultiset
 from repro.network.sync_runtime import SynchronousRuntime
@@ -43,7 +43,7 @@ def coordinatewise_median(vectors: np.ndarray) -> np.ndarray:
     cloud = np.asarray(vectors, dtype=float)
     if cloud.ndim != 2 or cloud.shape[0] == 0:
         raise ConfigurationError("need a non-empty (k, d) array of vectors")
-    return np.asarray([lower_median(cloud[:, coordinate]) for coordinate in range(cloud.shape[1])])
+    return coordinatewise_decision(cloud)
 
 
 def coordinatewise_trimmed_mean(vectors: np.ndarray, trim: int) -> np.ndarray:

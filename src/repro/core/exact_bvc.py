@@ -30,6 +30,7 @@ import numpy as np
 from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
 from repro.consensus.eig import EigBroadcastInstance, eig_round_count
 from repro.core.conditions import SystemConfiguration, check_exact_sync
+from repro.core.round_ops import exact_decision
 from repro.core.safe_area import SafeAreaCalculator, SafeAreaEngine
 from repro.exceptions import ProtocolError
 from repro.geometry.multisets import PointMultiset
@@ -178,7 +179,7 @@ class ExactBVCProcess(SyncProcess):
                     self._coerce_vector(self._instances[originator].resolve())
                 )
         self._received_multiset = PointMultiset(np.vstack(vectors))
-        self._decision = self._chooser.choose(self._received_multiset)
+        self._decision = exact_decision(self._received_multiset, self._chooser)
         self._decided = True
 
     def _coerce_scalar(self, value: object) -> float:

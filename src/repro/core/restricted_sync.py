@@ -31,9 +31,10 @@ from typing import Callable
 import numpy as np
 
 from repro.byzantine.adversary import ByzantineSyncProcess, MessageMutator
-from repro.core.aggregation import SafeAverageAggregator
 from repro.core.approx_bvc import contraction_factor, round_threshold
 from repro.core.conditions import SystemConfiguration, check_restricted_sync
+from repro.core.round_ops import restricted_round_step
+from repro.core.safe_area import SafeAreaCalculator
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.network.message import Message
 from repro.network.sync_runtime import SynchronousRuntime, SyncRunResult
@@ -77,8 +78,8 @@ class RestrictedSyncProcess(SyncProcess):
         self.total_rounds = (
             max_rounds_override if max_rounds_override is not None else computed_rounds
         )
-        quorum = configuration.process_count - configuration.fault_bound
-        self._aggregator = SafeAverageAggregator(configuration.fault_bound, quorum)
+        self._quorum = configuration.process_count - configuration.fault_bound
+        self._choose = SafeAreaCalculator(fault_bound=configuration.fault_bound).choose
         self._state = self.input_vector.copy()
         self.state_history: list[np.ndarray] = [self._state.copy()]
         self._decided = False
@@ -116,8 +117,14 @@ class RestrictedSyncProcess(SyncProcess):
                 received[message.sender] = vector
         for process_id in range(self.configuration.process_count):
             received.setdefault(process_id, default.copy())
-        step = self._aggregator.aggregate(received)
-        self._state = step.new_state
+        # The Step-2 update itself is the pure function in core.round_ops,
+        # shared with the columnar engine (repro.engine.vectorized).
+        matrix = np.vstack(
+            [received[process_id] for process_id in range(self.configuration.process_count)]
+        )
+        self._state = restricted_round_step(
+            matrix, self.configuration.fault_bound, self._quorum, choose=self._choose
+        )
         self.state_history.append(self._state.copy())
         if round_index >= self.total_rounds:
             self._decision = self._state.copy()

@@ -1,0 +1,177 @@
+"""Pure round/decision functions shared by the object and columnar runtimes.
+
+The three synchronous-model protocols (Exact BVC, the coordinate-wise
+baseline, restricted-round approximate BVC) and the asynchronous Approximate
+BVC all bottom out in small *pure* state transitions: "given what a process
+received this round, what is its next state / decision?".  Historically those
+transitions lived inside the per-process classes, interleaved with message
+parsing — which meant an alternative execution substrate (the columnar
+engine in :mod:`repro.engine.vectorized`) would have had to re-implement the
+numerics and keep them bit-for-bit in sync by hand.
+
+This module is the single home of those transitions.  The process classes
+call them on parsed inputs; the columnar engine calls them on array slices.
+Because both substrates execute the *same* function objects on bitwise-equal
+inputs, engine equivalence ("``--engine vectorized`` emits byte-identical
+rows to ``--engine object``") is a property of the code structure, not a
+hand-maintained invariant.
+
+Everything here is deterministic and side-effect free.  The ``choose``
+callables passed in must themselves be deterministic (the protocol already
+requires this: all non-faulty processes must pick the same ``Gamma`` point
+for the same multiset); the columnar engine exploits exactly that guarantee
+by memoising ``choose`` across processes and trials.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.consensus.scalar_exact import lower_median
+from repro.core.safe_area import SafeAreaCalculator
+from repro.geometry.multisets import PointMultiset
+
+__all__ = [
+    "quorum_families",
+    "restricted_round_clouds",
+    "restricted_round_reduce",
+    "restricted_round_step",
+    "exact_decision",
+    "coordinatewise_decision",
+    "approx_subset_families",
+    "approx_round_step",
+]
+
+ChooseFn = Callable[[np.ndarray], np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Restricted-round synchronous update (Section 4, Step 2 of Section 3.2)
+# ---------------------------------------------------------------------------
+
+def quorum_families(member_count: int, quorum: int) -> list[tuple[int, ...]]:
+    """All index subsets of ``{0..member_count-1}`` of size ``quorum``, in order.
+
+    Lexicographic enumeration — the order is part of the protocol's
+    determinism contract (every process must enumerate identically).
+    """
+    return list(combinations(range(member_count), quorum))
+
+
+def restricted_round_clouds(received: np.ndarray, quorum: int) -> list[np.ndarray]:
+    """The ``Gamma`` query clouds of one restricted-round update, in family order.
+
+    ``received`` is the ``(n, d)`` matrix of states collected this round
+    (row ``i`` is what process ``i`` reported, the all-zero default for
+    silent processes).  One ``(quorum, d)`` cloud per subset family.
+    """
+    received = np.asarray(received, dtype=float)
+    return [received[list(family)] for family in quorum_families(received.shape[0], quorum)]
+
+
+def restricted_round_reduce(points: Iterable[np.ndarray]) -> np.ndarray:
+    """Average the chosen ``Gamma`` points into the new state (Equation (9))."""
+    return np.vstack(list(points)).mean(axis=0)
+
+
+def restricted_round_step(
+    received: np.ndarray,
+    fault_bound: int,
+    quorum: int,
+    choose: ChooseFn | None = None,
+) -> np.ndarray:
+    """One restricted-round state update: subset ``Gamma`` points, averaged.
+
+    Args:
+        received: the ``(n, d)`` matrix of states collected this round.
+        fault_bound: the ``f`` used inside every ``Gamma`` computation.
+        quorum: the subset size (``n - f`` for the synchronous algorithm).
+        choose: deterministic ``Gamma``-point chooser; defaults to the
+            standard :class:`~repro.core.safe_area.SafeAreaCalculator`.
+            The columnar engine passes a memoised wrapper around the same
+            chooser, which is numerically transparent because the chooser is
+            a pure function of the cloud.
+    """
+    if choose is None:
+        choose = SafeAreaCalculator(fault_bound=fault_bound).choose
+    return restricted_round_reduce(
+        choose(cloud) for cloud in restricted_round_clouds(received, quorum)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact BVC / coordinate-wise baseline decisions (Section 2.2 Step 2)
+# ---------------------------------------------------------------------------
+
+def exact_decision(points: PointMultiset | np.ndarray, chooser: SafeAreaCalculator) -> np.ndarray:
+    """The Exact BVC decision: the deterministic ``Gamma`` point of ``S``."""
+    return chooser.choose(points)
+
+
+def coordinatewise_decision(cloud: np.ndarray) -> np.ndarray:
+    """The strawman baseline decision: the coordinate-wise lower median of ``S``."""
+    cloud = np.asarray(cloud, dtype=float)
+    return np.asarray(
+        [lower_median(cloud[:, coordinate]) for coordinate in range(cloud.shape[1])]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Approximate BVC round update (Section 3.2, Appendix F subset selection)
+# ---------------------------------------------------------------------------
+
+def approx_subset_families(
+    members: Sequence[int],
+    witness_reports: Mapping[int, Sequence[int]],
+    quorum: int,
+    subset_mode: str,
+) -> list[tuple[int, ...]]:
+    """Return the subsets ``C`` of ``B_i[t]`` used in Step 2 of the algorithm.
+
+    ``"all_subsets"`` enumerates every ``quorum``-subset of ``members`` (the
+    literal algorithm); ``"witness_subsets"`` uses each witness's reported
+    member set (the Appendix F optimisation), deduplicated, falling back to
+    the full enumeration if no witness family qualifies.
+    """
+    members = list(members)
+    if subset_mode == "all_subsets":
+        return [tuple(sorted(family)) for family in combinations(members, quorum)]
+    member_set = set(members)
+    families: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    for reported_members in witness_reports.values():
+        family = tuple(sorted(reported_members))
+        if len(family) != quorum:
+            continue
+        if any(member not in member_set for member in family):
+            continue
+        if family in seen:
+            continue
+        seen.add(family)
+        families.append(family)
+    if not families:
+        # Fall back to the unoptimised enumeration; Appendix F's argument
+        # guarantees witnesses exist, so this is a defensive path only.
+        return [tuple(sorted(family)) for family in combinations(members, quorum)]
+    return families
+
+
+def approx_round_step(
+    tuples: Mapping[int, np.ndarray],
+    families: Sequence[tuple[int, ...]],
+    chooser: SafeAreaCalculator,
+) -> np.ndarray:
+    """One Approximate BVC state update: batched ``Gamma`` points, averaged.
+
+    All families share the quorum size, so the queries are assembled in one
+    numpy pass and solved as a single block-diagonal LP by the kernel.
+    """
+    clouds = [
+        PointMultiset(np.vstack([tuples[member] for member in family]))
+        for family in families
+    ]
+    points = chooser.choose_batch(clouds)
+    return np.mean(np.vstack(points), axis=0)

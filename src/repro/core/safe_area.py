@@ -446,3 +446,43 @@ class SafeAreaCalculator:
                     f"f={self.fault_bound}, d={multiset.dimension}"
                 )
         return chosen  # type: ignore[return-value]
+
+    def resolve_multi(
+        self,
+        point_sets: Sequence[PointMultiset | np.ndarray | Iterable[Sequence[float]]],
+        *,
+        fused: bool = False,
+    ) -> list[np.ndarray | None]:
+        """Answer many independent ``Gamma`` queries, ``None`` for empty ones.
+
+        The multi-execution companion of :meth:`choose`: queries may come
+        from *different* protocol executions (the columnar engine batches a
+        whole simulation round across trials), so emptiness is reported per
+        query instead of raising, letting the caller attribute it to the
+        right execution.  Shapes may differ between queries, but all must
+        share one dimension (the deterministic tie-break objective is built
+        once).  With the kernel engine and ``fused=False`` (default) every
+        result is bitwise identical to what :meth:`choose` would return for
+        that query — bitwise-equal clouds are deduplicated and solved once;
+        ``fused=True`` trades that single-solve parity for one
+        block-diagonal solve per shape class.
+        """
+        multisets = [_as_multiset(points) for points in point_sets]
+        if not multisets:
+            return []
+        dimension = multisets[0].dimension
+        if any(multiset.dimension != dimension for multiset in multisets):
+            raise GeometryError("all queries of a resolve_multi call must share one dimension")
+        objective = self._objective_for(dimension)
+        if self.engine != "kernel":
+            return [
+                safe_area_point(multiset, self.fault_bound, objective=objective)
+                for multiset in multisets
+            ]
+        return default_kernel.points_multi(
+            [multiset.points for multiset in multisets],
+            self.fault_bound,
+            objective=objective,
+            prune=self.prune,
+            fused=fused,
+        )

@@ -17,9 +17,12 @@ The experiment runners in :mod:`repro.analysis.experiments` and the
 
 from repro.engine.campaign import Campaign, parameter_grid
 from repro.engine.executor import (
+    ENGINE_CHOICES,
     CampaignSummary,
+    ExecutionUnit,
     JsonlSink,
     execute_specs,
+    plan_specs,
     read_jsonl,
     run_campaign,
     strip_timing,
@@ -50,20 +53,29 @@ from repro.engine.fuzz import (
 )
 from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
 from repro.engine.trial import run_trial
+from repro.engine.vectorized import (
+    VECTORIZED_RESTRICTED_ADVERSARIES,
+    run_specs_vectorized,
+    spec_is_vectorizable,
+    vectorized_group_key,
+)
 
 __all__ = [
     "ADVERSARY_NAMES",
     "COORDINATED_STRATEGY_NAMES",
+    "ENGINE_CHOICES",
     "FUZZ_ADVERSARIES",
     "FUZZ_PROTOCOLS",
     "FUZZ_WORKLOADS",
     "PROTOCOLS",
     "SCHEDULER_NAMES",
     "STRATEGY_NAMES",
+    "VECTORIZED_RESTRICTED_ADVERSARIES",
     "WORKLOAD_NAMES",
     "AdversaryBundle",
     "Campaign",
     "CampaignSummary",
+    "ExecutionUnit",
     "FuzzReport",
     "FuzzViolation",
     "JsonlSink",
@@ -78,10 +90,14 @@ __all__ = [
     "make_strategy",
     "minimum_processes_for",
     "parameter_grid",
+    "plan_specs",
     "read_jsonl",
     "run_campaign",
     "run_fuzz",
+    "run_specs_vectorized",
     "run_trial",
     "sample_specs",
+    "spec_is_vectorizable",
     "strip_timing",
+    "vectorized_group_key",
 ]

@@ -1,13 +1,27 @@
-"""Campaign execution: sequential or worker-pool, streaming into a JSONL sink.
+"""Campaign execution: batch-planned, sequential or worker-pool, JSONL-streamed.
 
-The executor maps :func:`~repro.engine.trial.run_trial` over a campaign's
-specs.  With ``workers > 1`` it uses a ``concurrent.futures``
-``ProcessPoolExecutor`` (trials are CPU-bound: each one is a full protocol
-simulation plus LP solves) and consumes results with ``Executor.map``, which
-yields in submission order — so rows stream to the sink in trial order while
-workers run ahead, large sweeps never accumulate in memory, and the output is
-byte-identical for any worker count (every trial is a pure function of its
-spec; only the ``elapsed_ms`` timing field varies run to run).
+The executor maps a campaign's specs onto one of two execution substrates:
+
+* the **object engine** (:func:`~repro.engine.trial.run_trial`), the
+  per-process simulation oracle that can run every spec; and
+* the **columnar engine** (:mod:`repro.engine.vectorized`), which executes
+  whole same-shape groups of eligible synchronous trials as array programs
+  and emits byte-identical rows (modulo ``elapsed_ms``).
+
+:func:`plan_specs` is the batch planner: it groups a spec list by
+:func:`~repro.engine.vectorized.vectorized_group_key` shape class, routes
+eligible groups to the columnar engine and everything else — asynchronous
+protocols, coordinated adversaries, ineligible shapes — back to
+``run_trial``.  ``engine="auto"`` additionally keeps singleton groups on the
+object engine (no batch to amortise); ``engine="object"`` bypasses planning
+entirely and preserves the original streaming behaviour.
+
+With ``workers > 1`` the plan's execution units fan out over a
+``concurrent.futures`` ``ProcessPoolExecutor`` (trials are CPU-bound: each
+one is a full protocol simulation plus LP solves).  Whatever the engine or
+worker count, results are always emitted in spec order and are byte-identical
+for any ``workers`` value (every trial is a pure function of its spec; only
+the ``elapsed_ms`` timing field varies run to run).
 """
 
 from __future__ import annotations
@@ -22,15 +36,27 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from repro.engine.campaign import Campaign
 from repro.engine.spec import TrialResult, TrialSpec
 from repro.engine.trial import run_trial
+from repro.engine.vectorized import (
+    run_specs_vectorized,
+    spec_is_vectorizable,
+    vectorized_group_key,
+)
+from repro.exceptions import ConfigurationError
 
 __all__ = [
+    "ENGINE_CHOICES",
     "CampaignSummary",
     "JsonlSink",
+    "ExecutionUnit",
+    "plan_specs",
     "execute_specs",
     "run_campaign",
     "read_jsonl",
     "strip_timing",
 ]
+
+#: Execution substrates the executor can route a campaign through.
+ENGINE_CHOICES = ("auto", "vectorized", "object")
 
 
 class JsonlSink:
@@ -83,25 +109,140 @@ def strip_timing(rows: Iterable[dict[str, Any]]) -> list[str]:
     return canonical
 
 
+@dataclass(frozen=True)
+class ExecutionUnit:
+    """One schedulable slice of a campaign plan.
+
+    ``kind`` is ``"columnar"`` (a same-shape group for the vectorized engine)
+    or ``"object"`` (a chunk of per-trial ``run_trial`` calls); ``positions``
+    are the indices of the unit's specs within the planned spec list.
+    """
+
+    kind: str
+    positions: tuple[int, ...]
+
+
+def plan_specs(specs: Sequence[TrialSpec], engine: str = "auto") -> list[ExecutionUnit]:
+    """Partition a spec list into columnar groups and object-engine chunks.
+
+    Eligible synchronous specs are grouped by
+    :func:`~repro.engine.vectorized.vectorized_group_key`; everything else
+    stays on the object engine.  ``engine="auto"`` sends singleton groups to
+    the object engine too (a batch of one amortises nothing);
+    ``engine="vectorized"`` routes every eligible spec columnar;
+    ``engine="object"`` plans one object chunk.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
+        )
+    if engine == "object":
+        return [ExecutionUnit("object", tuple(range(len(specs))))] if specs else []
+    groups: dict[tuple, list[int]] = {}
+    fallback: list[int] = []
+    for position, spec in enumerate(specs):
+        if spec_is_vectorizable(spec):
+            groups.setdefault(vectorized_group_key(spec), []).append(position)
+        else:
+            fallback.append(position)
+    units: list[ExecutionUnit] = []
+    for positions in groups.values():
+        if engine == "auto" and len(positions) < 2:
+            fallback.extend(positions)
+        else:
+            units.append(ExecutionUnit("columnar", tuple(positions)))
+    if fallback:
+        units.append(ExecutionUnit("object", tuple(sorted(fallback))))
+    units.sort(key=lambda unit: unit.positions[0])
+    return units
+
+
+def _execute_unit(
+    unit: ExecutionUnit, specs: Sequence[TrialSpec]
+) -> list[TrialResult]:
+    if unit.kind == "columnar":
+        return run_specs_vectorized([specs[position] for position in unit.positions])
+    return [run_trial(specs[position]) for position in unit.positions]
+
+
+def _execute_unit_task(payload: tuple[ExecutionUnit, tuple[TrialSpec, ...]]) -> list[TrialResult]:
+    """Pool-side entry point (module level so it pickles by name)."""
+    unit, unit_specs = payload
+    if unit.kind == "columnar":
+        return run_specs_vectorized(list(unit_specs))
+    return [run_trial(spec) for spec in unit_specs]
+
+
 def execute_specs(
     specs: Sequence[TrialSpec],
     workers: int = 1,
     chunksize: int | None = None,
+    engine: str = "auto",
 ) -> Iterator[TrialResult]:
     """Yield one :class:`TrialResult` per spec, in spec order.
 
-    ``workers <= 1`` runs inline (no subprocess overhead, simplest debugging);
-    otherwise a process pool fans the trials out while this iterator yields
-    them back in order.
+    ``engine`` picks the execution substrate (see :data:`ENGINE_CHOICES`);
+    the emitted rows are byte-identical (modulo ``elapsed_ms``) for every
+    engine and worker count.  ``workers <= 1`` runs inline (no subprocess
+    overhead, simplest debugging); otherwise a process pool fans the plan's
+    execution units out while this iterator yields results back in order.
     """
-    if workers <= 1 or len(specs) <= 1:
-        for spec in specs:
-            yield run_trial(spec)
+    if engine not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
+        )
+    if engine == "object":
+        if workers <= 1 or len(specs) <= 1:
+            for spec in specs:
+                yield run_trial(spec)
+            return
+        if chunksize is None:
+            chunksize = max(1, len(specs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(run_trial, specs, chunksize=chunksize)
         return
-    if chunksize is None:
-        chunksize = max(1, len(specs) // (workers * 4))
+
+    units = plan_specs(specs, engine)
+    # Reorder buffer: holds only results that arrived ahead of spec order;
+    # every emitted result is released immediately, so memory stays bounded
+    # by the out-of-order window rather than the campaign size.
+    pending: dict[int, TrialResult] = {}
+    emitted = 0
+
+    def _drain(unit: ExecutionUnit, unit_result: list[TrialResult]) -> Iterator[TrialResult]:
+        nonlocal emitted
+        for position, result in zip(unit.positions, unit_result):
+            pending[position] = result
+        # Stream every prefix-complete result so sinks fill while later
+        # units are still running.
+        while emitted in pending:
+            yield pending.pop(emitted)
+            emitted += 1
+
+    if workers <= 1 or len(units) <= 1:
+        for unit in units:
+            yield from _drain(unit, _execute_unit(unit, specs))
+        return
+    # Split large object chunks so the pool stays balanced; columnar
+    # groups ship whole (their speedup comes from batch-wide reuse).
+    shippable: list[ExecutionUnit] = []
+    for unit in units:
+        if unit.kind == "object" and len(unit.positions) > 1:
+            per_task = max(1, len(unit.positions) // (workers * 4))
+            for start in range(0, len(unit.positions), per_task):
+                shippable.append(
+                    ExecutionUnit("object", unit.positions[start : start + per_task])
+                )
+        else:
+            shippable.append(unit)
+    payloads = [
+        (unit, tuple(specs[position] for position in unit.positions)) for unit in shippable
+    ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        yield from pool.map(run_trial, specs, chunksize=chunksize)
+        # pool.map is consumed lazily: it yields unit results in submission
+        # order while workers run ahead, so rows keep streaming.
+        for unit, unit_result in zip(shippable, pool.map(_execute_unit_task, payloads)):
+            yield from _drain(unit, unit_result)
 
 
 @dataclass(frozen=True)
@@ -117,15 +258,23 @@ class CampaignSummary:
     elapsed_seconds: float
     workers: int
     jsonl_path: str | None
+    engine: str = "object"
 
     @property
     def trials_per_second(self) -> float:
-        return self.trials / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
+        """Throughput, clamped to 0.0 when no time was measured.
+
+        A zero-length (or clock-resolution-zero) run must not report
+        ``inf``: ``json.dumps`` would emit ``Infinity``, which is not valid
+        JSON and breaks downstream row consumers.
+        """
+        return self.trials / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
     def to_row(self) -> dict[str, Any]:
         """One table row for the CLI / benchmarks."""
         return {
             "campaign": self.name,
+            "engine": self.engine,
             "trials": self.trials,
             "ok": self.ok,
             "errors": self.errors,
@@ -143,12 +292,14 @@ def run_campaign(
     jsonl_path: str | Path | None = None,
     on_result: Callable[[TrialResult], None] | None = None,
     collect: bool = False,
+    engine: str = "auto",
 ) -> tuple[CampaignSummary, list[TrialResult]]:
     """Run every trial of the campaign, streaming rows to the optional sink.
 
-    Returns the summary and — only when ``collect=True`` — the full result
-    list (large sweeps should rely on the JSONL sink instead and keep
-    ``collect`` off).
+    ``engine`` selects the execution substrate (:data:`ENGINE_CHOICES`); rows
+    are byte-identical across engines modulo ``elapsed_ms``.  Returns the
+    summary and — only when ``collect=True`` — the full result list (large
+    sweeps should rely on the JSONL sink instead and keep ``collect`` off).
     """
     start = time.perf_counter()
     ok = errors = agreement_failures = validity_failures = 0
@@ -174,10 +325,10 @@ def run_campaign(
 
     if jsonl_path is not None:
         with JsonlSink(jsonl_path) as sink:
-            _consume(execute_specs(campaign.specs, workers=workers))
+            _consume(execute_specs(campaign.specs, workers=workers, engine=engine))
     else:
         sink = None
-        _consume(execute_specs(campaign.specs, workers=workers))
+        _consume(execute_specs(campaign.specs, workers=workers, engine=engine))
 
     summary = CampaignSummary(
         name=campaign.name,
@@ -189,5 +340,6 @@ def run_campaign(
         elapsed_seconds=time.perf_counter() - start,
         workers=workers,
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
+        engine=engine,
     )
     return summary, collected

@@ -250,6 +250,7 @@ def run_fuzz(
     workloads: Sequence[str] = FUZZ_WORKLOADS,
     adversaries: Sequence[str] = FUZZ_ADVERSARIES,
     schedulers: Sequence[str] = SCHEDULER_NAMES,
+    engine: str = "auto",
 ) -> FuzzReport:
     """Sample ``count`` scenarios and execute them, checking both invariants.
 
@@ -277,7 +278,7 @@ def run_fuzz(
             violations.append(violation)
 
     summary, _ = run_campaign(
-        campaign, workers=workers, jsonl_path=jsonl_path, on_result=_check
+        campaign, workers=workers, jsonl_path=jsonl_path, on_result=_check, engine=engine
     )
     return FuzzReport(
         name=campaign.name,

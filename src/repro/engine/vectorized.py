@@ -1,0 +1,585 @@
+"""Columnar vectorized execution substrate for synchronous campaign batches.
+
+The object runtime (:func:`~repro.engine.trial.run_trial`) simulates every
+trial as per-process Python objects exchanging per-round ``Message`` objects.
+That is the right oracle — it is the literal paper model — but for the
+lock-step synchronous protocols it spends most of its time re-deriving work
+that is *identical across processes and trials*: every honest process of a
+fault-free restricted-round trial holds the same receive matrix, enumerates
+the same subset families and solves the same ``Gamma`` programs.
+
+This module executes whole same-shape groups of trials as array programs:
+
+* honest state lives in ``(trials, n, d)`` NumPy arrays; honest "messages"
+  are array broadcasts (``reports[t, r, s] = state[t, s]``), not objects;
+* Byzantine senders are driven through the *actual* independent-strategy
+  mutator objects (built by :func:`~repro.engine.factories.make_adversaries`)
+  on real ``Message`` envelopes, in the object runtime's exact
+  ``(round, sender, recipient)`` order — so every corruption, RNG draw and
+  drop is bit-for-bit the one the object runtime would produce;
+* all ``Gamma`` queries of a round — across every process of every trial in
+  the batch — are answered by one
+  :meth:`~repro.geometry.kernel.GammaKernel.points_multi` pass, which dedupes
+  bitwise-identical clouds and solves each distinct cloud through the same
+  cached-template program a single :meth:`point` call would use;
+* the state transitions themselves are the pure functions of
+  :mod:`repro.core.round_ops`, shared with the per-process classes.
+
+Because deduplication and memoisation only ever *reuse* the result of the
+deterministic solve the object runtime would perform, the emitted
+:class:`~repro.engine.spec.TrialResult` rows are byte-identical to the object
+engine's (modulo the ``elapsed_ms`` timing field) — including error rows,
+which re-raise through the same validation calls in the same order.
+
+Eligibility (everything else must fall back to ``run_trial``):
+
+* synchronous protocols only (``exact``, ``coordinatewise``,
+  ``restricted_sync``); the asynchronous protocols' outcomes depend on
+  scheduler-chosen delivery interleavings that have no columnar equivalent;
+* ``restricted_sync`` supports every *independent* adversary strategy (its
+  round messages are plain state reports the mutators act on directly);
+* ``exact`` and ``coordinatewise`` are supported fault-free
+  (``adversary == "none"``): their round traffic is EIG relay trees, which
+  the columnar substrate collapses to the known fault-free resolution —
+  under an active adversary that shortcut would not be faithful;
+* coordinated (whole-coalition) adversaries need the full-information
+  traffic tap of the object runtime and always fall back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.approx_bvc import contraction_factor, round_threshold
+from repro.core.conditions import check_exact_sync, check_restricted_sync
+from repro.core.round_ops import (
+    coordinatewise_decision,
+    restricted_round_clouds,
+    restricted_round_reduce,
+)
+from repro.core.safe_area import SafeAreaCalculator
+from repro.core.validity import (
+    ValidityReport,
+    check_approximate_outcome,
+    check_exact_outcome,
+)
+from repro.engine.factories import build_registry, make_adversaries
+from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyIntersectionError,
+    TerminationError,
+)
+from repro.network.message import Message
+from repro.processes.registry import ProcessRegistry
+
+__all__ = [
+    "VECTORIZED_RESTRICTED_ADVERSARIES",
+    "spec_is_vectorizable",
+    "vectorized_group_key",
+    "run_specs_vectorized",
+]
+
+#: Independent adversary strategies the restricted-round columnar path drives
+#: faithfully (through the real mutator objects, in object-runtime order).
+VECTORIZED_RESTRICTED_ADVERSARIES = frozenset(
+    {"none", "crash", "equivocate", "outside_hull", "random_noise", "coordinate_attack"}
+)
+
+#: Bound on the cross-round Gamma-solution memo (distinct clouds) per group.
+_MEMO_LIMIT = 200_000
+
+
+def spec_is_vectorizable(spec: TrialSpec) -> bool:
+    """True when the columnar substrate can execute the spec faithfully."""
+    if PROTOCOLS[spec.protocol][0] != "sync":
+        return False
+    if spec.protocol == "restricted_sync":
+        return spec.adversary in VECTORIZED_RESTRICTED_ADVERSARIES
+    return spec.adversary == "none"
+
+
+def vectorized_group_key(spec: TrialSpec) -> tuple:
+    """The shape class one columnar batch may span.
+
+    Trials sharing ``(protocol, n, d, f, adversary, scheduler)`` stack into
+    one ``(trials, n, d)`` state array; workloads, seeds, epsilons and round
+    overrides stay per-trial data inside the batch.
+    """
+    return (
+        spec.protocol,
+        spec.process_count,
+        spec.dimension,
+        spec.fault_bound,
+        spec.adversary,
+        spec.scheduler,
+    )
+
+
+def run_specs_vectorized(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Execute one same-shape group of eligible specs on the columnar substrate.
+
+    Returns one result per spec, in input order.  ``elapsed_ms`` is the
+    trial's amortised share of the group's wall-clock time (timing is the one
+    field determinism comparisons strip).
+    """
+    if not specs:
+        return []
+    key = vectorized_group_key(specs[0])
+    for spec in specs:
+        if not spec_is_vectorizable(spec):
+            raise ConfigurationError(
+                f"spec {spec.trial_index} ({spec.protocol}/{spec.adversary}) "
+                "is not vectorizable; route it through run_trial"
+            )
+        if vectorized_group_key(spec) != key:
+            raise ConfigurationError(
+                "all specs of a columnar batch must share one shape group"
+            )
+    start = time.perf_counter()
+    if specs[0].protocol == "restricted_sync":
+        results = _run_restricted_group(specs)
+    else:
+        results = _run_broadcast_group(specs)
+    elapsed_ms = (time.perf_counter() - start) * 1e3 / len(specs)
+    return [dataclasses.replace(result, elapsed_ms=elapsed_ms) for result in results]
+
+
+def _error_result(spec: TrialSpec, error: Exception) -> TrialResult:
+    """Mirror run_trial's failure capture: failures are campaign data."""
+    return TrialResult(spec=spec, status="error", error=f"{type(error).__name__}: {error}")
+
+
+# ---------------------------------------------------------------------------
+# Outcome verification (deduplicating mirror of core.validity)
+# ---------------------------------------------------------------------------
+
+def _verdict(
+    registry: ProcessRegistry,
+    decisions: dict[int, np.ndarray],
+    epsilon: float | None,
+) -> ValidityReport:
+    """Delegate to ``check_{exact,approximate}_outcome`` on deduplicated rows.
+
+    Both report metrics are maxima/ranges over the decision rows, so rows
+    that are bitwise identical (the common case: honest processes agree)
+    contribute exactly once — one representative per distinct decision gives
+    the same report while the hull-distance LP runs once instead of once per
+    process.
+    """
+    representatives: dict[bytes, int] = {}
+    for process_id in sorted(decisions):
+        key = np.asarray(decisions[process_id], dtype=float).tobytes()
+        representatives.setdefault(key, process_id)
+    reduced = {process_id: decisions[process_id] for process_id in representatives.values()}
+    if epsilon is None:
+        return check_exact_outcome(registry, reduced)
+    return check_approximate_outcome(registry, reduced, epsilon=epsilon)
+
+
+def _result_row(
+    spec: TrialSpec,
+    registry: ProcessRegistry,
+    decisions: dict[int, np.ndarray],
+    report: ValidityReport,
+    rounds: int,
+    messages_sent: int,
+    messages_dropped: int,
+    state_histories: dict[int, list[np.ndarray]] | None = None,
+) -> TrialResult:
+    first_honest = registry.honest_ids[0]
+    return TrialResult(
+        spec=spec,
+        status="ok",
+        agreement=report.agreement_ok,
+        validity=report.validity_ok,
+        max_disagreement=float(report.max_disagreement),
+        max_hull_distance=float(report.max_hull_distance),
+        rounds=rounds,
+        deliveries=None,
+        messages_sent=messages_sent,
+        messages_dropped=messages_dropped,
+        decision=tuple(float(x) for x in decisions[first_honest]),
+        state_histories=state_histories,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault-free broadcast protocols (exact, coordinatewise)
+# ---------------------------------------------------------------------------
+
+def _run_broadcast_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Columnar execution of fault-free ``exact`` / ``coordinatewise`` trials.
+
+    With no active adversary, every EIG broadcast resolves to the sender's
+    true value, so after Step 1 each process holds exactly the stacked input
+    matrix — the decision step collapses to one deterministic reduction per
+    trial, deduplicated across the identical honest processes.
+    """
+    protocol = specs[0].protocol
+    fault_bound = specs[0].fault_bound
+    chooser = SafeAreaCalculator(fault_bound=fault_bound)
+    decision_memo: dict[bytes, np.ndarray] = {}
+    results: list[TrialResult] = []
+    for spec in specs:
+        try:
+            results.append(_execute_broadcast_trial(spec, protocol, chooser, decision_memo))
+        except Exception as error:  # noqa: BLE001 — failures are campaign data
+            results.append(_error_result(spec, error))
+    return results
+
+
+def _execute_broadcast_trial(
+    spec: TrialSpec,
+    protocol: str,
+    chooser: SafeAreaCalculator,
+    decision_memo: dict[bytes, np.ndarray],
+) -> TrialResult:
+    registry = build_registry(spec)
+    make_adversaries(spec, registry)  # adversary == "none": validation no-op
+    configuration = registry.configuration
+    n = configuration.process_count
+    if protocol == "exact":
+        check_exact_sync(configuration)
+    if n < 2:
+        raise ConfigurationError("a synchronous run needs at least two processes")
+    total_rounds = configuration.fault_bound + 1  # EIG needs f + 1 rounds
+    max_rounds = (
+        spec.max_rounds_override
+        if spec.max_rounds_override is not None
+        else configuration.fault_bound + 2
+    )
+    if total_rounds > max_rounds:
+        raise TerminationError(
+            f"synchronous run exceeded the {max_rounds}-round budget"
+        )
+    # Step 1 resolution, fault-free: every process reconstructs exactly the
+    # stacked nominal inputs, in process-id order.
+    cloud = np.vstack([registry.input_of(process_id) for process_id in range(n)])
+    if protocol == "exact":
+        cloud_key = cloud.tobytes()
+        if cloud_key not in decision_memo:
+            decision_memo[cloud_key] = chooser.choose(cloud)
+        decision = decision_memo[cloud_key]
+    else:
+        decision = coordinatewise_decision(cloud)
+    decisions = {
+        process_id: np.asarray(decision, dtype=float) for process_id in registry.honest_ids
+    }
+    report = _verdict(registry, decisions, epsilon=None)
+    # Every process bundles its (non-empty, fault-free) relays into one
+    # message per recipient per round.
+    messages_sent = total_rounds * n * (n - 1)
+    return _result_row(
+        spec, registry, decisions, report,
+        rounds=total_rounds, messages_sent=messages_sent, messages_dropped=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Restricted-round synchronous protocol (independent adversaries)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _LiveTrial:
+    """One in-flight trial of a restricted-round columnar batch."""
+
+    position: int  # index into the group's spec list
+    spec: TrialSpec
+    registry: ProcessRegistry
+    mutators: dict[int, object]
+    total_rounds: int
+    state: np.ndarray  # (n, d) — row i is process i's current state
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    histories: dict[int, list[np.ndarray]] | None = None
+    failure: Exception | None = None
+
+    def record_history(self) -> None:
+        if self.histories is not None:
+            for process_id, history in self.histories.items():
+                history.append(self.state[process_id].copy())
+
+
+def _prepare_restricted_trial(position: int, spec: TrialSpec) -> _LiveTrial:
+    """Per-trial prologue, raising exactly what the object runtime would.
+
+    The validation calls run in the object runtime's order: workload
+    construction, adversary construction, resilience check, contraction /
+    round-threshold computation, runtime-size check, round budget.
+    """
+    registry = build_registry(spec)
+    bundle = make_adversaries(spec, registry)
+    configuration = registry.configuration
+    n = configuration.process_count
+    check_restricted_sync(configuration)
+    value_lower, value_upper = registry.value_bounds()
+    gamma = contraction_factor(n, configuration.fault_bound, "all_subsets")
+    computed_rounds = round_threshold(value_upper - value_lower, spec.epsilon, gamma)
+    total_rounds = (
+        spec.max_rounds_override if spec.max_rounds_override is not None else computed_rounds
+    )
+    if n < 2:
+        raise ConfigurationError("a synchronous run needs at least two processes")
+    if total_rounds < 1:
+        # The object runtime would run out of its (total_rounds + 1) budget
+        # before any process decides.
+        raise TerminationError(
+            f"synchronous run exceeded the {total_rounds + 1}-round budget"
+        )
+    state = np.vstack([registry.input_of(process_id) for process_id in range(n)])
+    histories = None
+    if spec.record_history:
+        histories = {
+            process_id: [state[process_id].copy()] for process_id in registry.honest_ids
+        }
+    return _LiveTrial(
+        position=position,
+        spec=spec,
+        registry=registry,
+        mutators=dict(bundle.mutators),
+        total_rounds=total_rounds,
+        state=state,
+        histories=histories,
+    )
+
+
+def _faulty_reports(
+    trial: _LiveTrial, reports: np.ndarray, round_index: int
+) -> None:
+    """Drive the trial's Byzantine senders through their real mutators.
+
+    ``reports`` is the trial's ``(n, n, d)`` view tensor
+    (``reports[r, s]`` = what recipient ``r`` reads from sender ``s``);
+    honest rows are already broadcast in.  Mutators run on real ``Message``
+    envelopes in the object runtime's (sender, recipient) order, so stateful
+    strategies (crash progression, noise RNG streams) consume their state
+    identically; the produced messages are routed with the runtime's drop
+    rule and parsed with the process's coercion rule.
+    """
+    n = trial.state.shape[0]
+    dimension = trial.state.shape[1]
+    delivered: dict[int, list[Message]] = {}
+    for sender in sorted(trial.mutators):
+        mutator = trial.mutators[sender]
+        # Silence is the default: a faulty sender only reaches a recipient
+        # through a message that survives mutation and routing.
+        for recipient in range(n):
+            if recipient != sender:
+                reports[recipient, sender] = 0.0
+        payload_state = tuple(float(x) for x in trial.state[sender])
+        for recipient in range(n):
+            if recipient == sender:
+                continue
+            original = Message(
+                sender=sender,
+                recipient=recipient,
+                protocol="restricted_sync_bvc",
+                kind="STATE",
+                payload={"state": payload_state},
+                round_index=round_index,
+            )
+            for message in mutator.mutate(original):
+                if message.recipient == message.sender or not (0 <= message.recipient < n):
+                    trial.messages_dropped += 1
+                    continue
+                trial.messages_sent += 1
+                delivered.setdefault(message.recipient, []).append(message)
+    for recipient, inbox in delivered.items():
+        inbox.sort(key=lambda message: (message.sender, message.sequence))
+        for message in inbox:
+            if message.protocol != "restricted_sync_bvc" or message.kind != "STATE":
+                continue
+            if not isinstance(message.payload, dict):
+                continue
+            vector = _coerce_state(message.payload.get("state"), dimension)
+            if vector is not None:
+                reports[recipient, message.sender] = vector
+
+
+def _coerce_state(value: object, dimension: int) -> np.ndarray | None:
+    """Mirror of ``RestrictedSyncProcess._coerce_state``."""
+    try:
+        vector = np.asarray(value, dtype=float).reshape(-1)
+    except (TypeError, ValueError):
+        return None
+    if vector.shape != (dimension,) or not np.all(np.isfinite(vector)):
+        return None
+    return vector
+
+
+def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Columnar execution of a restricted-round synchronous trial batch."""
+    n = specs[0].process_count
+    dimension = specs[0].dimension
+    fault_bound = specs[0].fault_bound
+    quorum = n - fault_bound
+    chooser = SafeAreaCalculator(fault_bound=fault_bound)
+
+    results: dict[int, TrialResult] = {}
+    live: list[_LiveTrial] = []
+    for position, spec in enumerate(specs):
+        try:
+            live.append(_prepare_restricted_trial(position, spec))
+        except Exception as error:  # noqa: BLE001 — failures are campaign data
+            results[position] = _error_result(spec, error)
+
+    point_memo: dict[bytes, np.ndarray | None] = {}
+    round_index = 0
+    while live:
+        round_index += 1
+        active = [trial for trial in live if trial.failure is None]
+        # 1. Columnar report tensors: honest senders are one array broadcast.
+        tensors: list[np.ndarray] = []
+        for trial in active:
+            reports = np.broadcast_to(
+                trial.state[None, :, :], (n, n, dimension)
+            ).copy()
+            honest_senders = n - len(trial.mutators)
+            trial.messages_sent += honest_senders * (n - 1)
+            try:
+                _faulty_reports(trial, reports, round_index)
+            except Exception as error:  # noqa: BLE001
+                trial.failure = error
+            tensors.append(reports)
+
+        # 2. One multi-instance kernel pass for every Gamma query of the round.
+        view_updates = _round_view_updates(
+            [
+                (trial, tensor)
+                for trial, tensor in zip(active, tensors)
+                if trial.failure is None
+            ],
+            quorum,
+            fault_bound,
+            dimension,
+            chooser,
+            point_memo,
+        )
+
+        # 3. Apply updates, record histories, retire finished/failed trials.
+        still_live: list[_LiveTrial] = []
+        for trial, tensor in zip(active, tensors):
+            if trial.failure is None:
+                new_state = np.empty_like(trial.state)
+                for recipient in range(n):
+                    update = view_updates.get(tensor[recipient].tobytes())
+                    if isinstance(update, Exception):
+                        trial.failure = update
+                        break
+                    new_state[recipient] = update
+                else:
+                    trial.state = new_state
+                    trial.record_history()
+            if trial.failure is not None:
+                results[trial.position] = _error_result(trial.spec, trial.failure)
+                continue
+            if round_index >= trial.total_rounds:
+                results[trial.position] = _finish_restricted_trial(trial)
+            else:
+                still_live.append(trial)
+        live = still_live
+        if len(point_memo) > _MEMO_LIMIT:
+            point_memo.clear()
+
+    return [results[position] for position in range(len(specs))]
+
+
+def _round_view_updates(
+    active: list[tuple[_LiveTrial, np.ndarray]],
+    quorum: int,
+    fault_bound: int,
+    dimension: int,
+    chooser: SafeAreaCalculator,
+    point_memo: dict[bytes, np.ndarray | None],
+) -> dict[bytes, np.ndarray | Exception]:
+    """Compute the state update for every distinct receive view of the round.
+
+    Views are deduplicated bitwise across processes *and* trials; each
+    distinct view's Gamma queries are pushed through one
+    :meth:`GammaKernel.points_multi` pass (which dedupes clouds again and
+    solves each distinct cloud with the exact single-query program).  An
+    empty safe area maps the view to the same :class:`EmptyIntersectionError`
+    the per-process chooser raises.
+    """
+    views: dict[bytes, np.ndarray] = {}
+    for _, tensor in active:
+        for view in tensor:
+            key = view.tobytes()
+            if key not in views:
+                views[key] = view.copy()
+    view_clouds: dict[bytes, list[np.ndarray]] = {
+        key: restricted_round_clouds(view, quorum) for key, view in views.items()
+    }
+
+    pending: dict[bytes, np.ndarray] = {}
+    for clouds in view_clouds.values():
+        for cloud in clouds:
+            cloud_key = cloud.tobytes()
+            if cloud_key not in point_memo and cloud_key not in pending:
+                pending[cloud_key] = cloud
+    if pending:
+        try:
+            answers = chooser.resolve_multi(list(pending.values()))
+            point_memo.update(zip(pending.keys(), answers))
+        except Exception:  # noqa: BLE001 — re-solve per query for attribution
+            for cloud_key, cloud in pending.items():
+                try:
+                    point_memo[cloud_key] = chooser.choose(cloud)
+                except EmptyIntersectionError:
+                    point_memo[cloud_key] = None
+                except Exception as error:  # noqa: BLE001
+                    point_memo[cloud_key] = _LoudFailure(error)
+
+    updates: dict[bytes, np.ndarray | Exception] = {}
+    for key, clouds in view_clouds.items():
+        chosen: list[np.ndarray] = []
+        failure: Exception | None = None
+        for cloud in clouds:
+            answer = point_memo[cloud.tobytes()]
+            if isinstance(answer, _LoudFailure):
+                failure = answer.error
+                break
+            if answer is None:
+                # Same message SafeAreaCalculator.choose raises per query.
+                failure = EmptyIntersectionError(
+                    f"Gamma is empty for |Y|={quorum}, f={fault_bound}, d={dimension}"
+                )
+                break
+            chosen.append(answer)
+        updates[key] = failure if failure is not None else restricted_round_reduce(chosen)
+    return updates
+
+
+class _LoudFailure:
+    """A non-emptiness solver failure memoised for faithful re-raising."""
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+
+def _finish_restricted_trial(trial: _LiveTrial) -> TrialResult:
+    registry = trial.registry
+    decisions = {
+        process_id: np.asarray(trial.state[process_id], dtype=float)
+        for process_id in registry.honest_ids
+    }
+    try:
+        report = _verdict(registry, decisions, epsilon=trial.spec.epsilon)
+    except Exception as error:  # noqa: BLE001 — failures are campaign data
+        return _error_result(trial.spec, error)
+    return _result_row(
+        trial.spec,
+        registry,
+        decisions,
+        report,
+        rounds=trial.total_rounds,
+        messages_sent=trial.messages_sent,
+        messages_dropped=trial.messages_dropped,
+        state_histories=trial.histories if trial.spec.record_history else None,
+    )

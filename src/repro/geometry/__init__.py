@@ -28,6 +28,7 @@ from repro.geometry.kernel import (
     safe_area_interval_1d,
     safe_area_point_kernel,
     safe_area_points_batch,
+    safe_area_points_multi,
 )
 from repro.geometry.convex_hull import (
     ConvexHullRegion,
@@ -78,6 +79,7 @@ __all__ = [
     "safe_area_interval_1d",
     "safe_area_point_kernel",
     "safe_area_points_batch",
+    "safe_area_points_multi",
     "ConvexHullRegion",
     "contains_point",
     "convex_combination_weights",

@@ -70,6 +70,7 @@ __all__ = [
     "pruned_subset_family",
     "safe_area_point_kernel",
     "safe_area_points_batch",
+    "safe_area_points_multi",
     "safe_area_interval_1d",
 ]
 
@@ -379,6 +380,9 @@ class KernelStats:
     single_queries: int = 0
     batch_queries: int = 0
     batch_calls: int = 0
+    multi_queries: int = 0
+    multi_calls: int = 0
+    multi_dedup_hits: int = 0
     lp_solves: int = 0
     relaxed_solves: int = 0
     template_hits: int = 0
@@ -388,7 +392,8 @@ class KernelStats:
 
     def as_dict(self) -> dict[str, int]:
         return {name: int(getattr(self, name)) for name in (
-            "single_queries", "batch_queries", "batch_calls", "lp_solves",
+            "single_queries", "batch_queries", "batch_calls",
+            "multi_queries", "multi_calls", "multi_dedup_hits", "lp_solves",
             "relaxed_solves", "template_hits", "template_misses",
             "blocks_assembled", "blocks_pruned_away",
         )}
@@ -620,6 +625,80 @@ class GammaKernel:
             for array, families in zip(arrays, per_query_families)
         ]
 
+    def points_multi(
+        self,
+        clouds: Sequence[object],
+        fault_bound: int,
+        *,
+        objective: np.ndarray | Sequence[float] | None = None,
+        prune: bool = True,
+        fused: bool = False,
+    ) -> list[np.ndarray | None]:
+        """Answer a whole round's safe-area queries in one assembled pass.
+
+        The multi-instance entry point of the columnar execution substrate:
+        the caller hands over *every* ``Gamma`` query of a simulation round —
+        across all processes of all trials in the batch — and the kernel
+        dedupes bitwise-identical clouds (the common case once trials share
+        receive views or states collapse), solving each distinct cloud once.
+
+        Unlike :meth:`points_batch`, clouds may have heterogeneous shapes
+        (they are grouped internally), and the default ``fused=False`` mode
+        solves each distinct cloud through the exact same cached-template
+        program as :meth:`point` — so results are bitwise identical to
+        per-query single solves, which is what lets the columnar engine share
+        one solve across many object-runtime-equivalent processes.  With
+        ``fused=True`` the distinct same-shape clouds are additionally
+        stitched into block-diagonal LPs (one HiGHS call per shape class);
+        that is the fastest mode but the solver may then return a *different
+        (equally valid)* vertex of a non-degenerate ``Gamma`` than a single
+        solve would, so it must not be mixed with single-solve callers inside
+        one protocol execution.
+
+        Returns one entry per query, aligned with ``clouds``: the chosen
+        point, or ``None`` for an empty safe area.
+        """
+        if fault_bound < 0:
+            raise GeometryError("fault bound must be non-negative")
+        arrays = [_as_cloud_array(cloud) for cloud in clouds]
+        self.stats.multi_calls += 1
+        self.stats.multi_queries += len(arrays)
+        results: list[np.ndarray | None] = [None] * len(arrays)
+
+        # Dedupe bitwise-identical queries; remember one representative each.
+        order: list[tuple[tuple[int, int], bytes]] = []
+        representatives: dict[tuple[tuple[int, int], bytes], int] = {}
+        for index, array in enumerate(arrays):
+            key = (array.shape, array.tobytes())
+            if key in representatives:
+                self.stats.multi_dedup_hits += 1
+            else:
+                representatives[key] = index
+            order.append(key)
+
+        solved: dict[tuple[tuple[int, int], bytes], np.ndarray | None] = {}
+        if fused:
+            # Group distinct clouds by shape and solve each group as one
+            # block-diagonal program (per-query fallback on infeasibility).
+            by_shape: dict[tuple[int, int], list[tuple[tuple[tuple[int, int], bytes], int]]] = {}
+            for key, index in representatives.items():
+                by_shape.setdefault(key[0], []).append((key, index))
+            for shape, entries in by_shape.items():
+                group = [arrays[index] for _, index in entries]
+                answers = self.points_batch(
+                    group, fault_bound, objective=objective, prune=prune, fused=True
+                )
+                for (key, _), answer in zip(entries, answers):
+                    solved[key] = answer
+        else:
+            for key, index in representatives.items():
+                solved[key] = self.point(
+                    arrays[index], fault_bound, objective=objective, prune=prune
+                )
+        for index, key in enumerate(order):
+            results[index] = solved[key]
+        return results
+
     def _solve_fused(
         self,
         arrays: Sequence[np.ndarray],
@@ -808,6 +887,24 @@ def safe_area_point_kernel(
         objective=objective,
         subset_indices=subset_indices,
         prune=prune,
+    )
+
+
+def safe_area_points_multi(
+    clouds: Sequence[object],
+    fault_bound: int,
+    *,
+    objective: np.ndarray | Sequence[float] | None = None,
+    prune: bool = True,
+    fused: bool = False,
+) -> list[np.ndarray | None]:
+    """Module-level convenience over :data:`default_kernel` (multi-instance round pass)."""
+    return default_kernel.points_multi(
+        clouds,
+        fault_bound,
+        objective=objective,
+        prune=prune,
+        fused=fused,
     )
 
 

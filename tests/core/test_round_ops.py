@@ -1,0 +1,89 @@
+"""Unit tests for the shared pure round/decision functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation import SafeAverageAggregator
+from repro.core.baselines import coordinatewise_median
+from repro.core.round_ops import (
+    approx_subset_families,
+    coordinatewise_decision,
+    quorum_families,
+    restricted_round_clouds,
+    restricted_round_step,
+)
+
+
+class TestRestrictedRoundStep:
+    def test_matches_the_aggregator_on_full_membership(self):
+        # The process classes used SafeAverageAggregator before the
+        # extraction; on a full 0..n-1 membership the pure function must
+        # reproduce its update bit for bit.
+        rng = np.random.default_rng(7)
+        received = rng.uniform(0.0, 1.0, size=(5, 2))
+        aggregator = SafeAverageAggregator(fault_bound=1, quorum=4)
+        step = aggregator.aggregate({i: received[i] for i in range(5)})
+        update = restricted_round_step(received, fault_bound=1, quorum=4)
+        assert np.array_equal(step.new_state, update)
+
+    def test_cloud_enumeration_is_lexicographic(self):
+        received = np.arange(8.0).reshape(4, 2)
+        clouds = restricted_round_clouds(received, quorum=3)
+        families = quorum_families(4, 3)
+        assert families == [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)]
+        for cloud, family in zip(clouds, families):
+            assert np.array_equal(cloud, received[list(family)])
+
+    def test_memoised_choose_is_transparent(self):
+        rng = np.random.default_rng(8)
+        received = rng.uniform(0.0, 1.0, size=(5, 2))
+        plain = restricted_round_step(received, fault_bound=1, quorum=4)
+        from repro.core.safe_area import SafeAreaCalculator
+
+        chooser = SafeAreaCalculator(fault_bound=1)
+        cache: dict[bytes, np.ndarray] = {}
+
+        def memoised(cloud: np.ndarray) -> np.ndarray:
+            key = cloud.tobytes()
+            if key not in cache:
+                cache[key] = chooser.choose(cloud)
+            return cache[key]
+
+        assert np.array_equal(
+            plain, restricted_round_step(received, fault_bound=1, quorum=4, choose=memoised)
+        )
+
+
+class TestCoordinatewiseDecision:
+    def test_matches_baseline_median(self):
+        rng = np.random.default_rng(9)
+        cloud = rng.uniform(-1.0, 1.0, size=(6, 3))
+        assert np.array_equal(coordinatewise_decision(cloud), coordinatewise_median(cloud))
+
+
+class TestApproxSubsetFamilies:
+    def test_all_subsets_mode(self):
+        families = approx_subset_families([3, 1, 2], {}, quorum=2, subset_mode="all_subsets")
+        assert families == [(1, 3), (2, 3), (1, 2)]  # member order, sorted within
+
+    def test_witness_mode_filters_and_dedupes(self):
+        families = approx_subset_families(
+            [0, 1, 2, 3],
+            {
+                10: (1, 0),       # valid
+                11: (0, 1),       # duplicate of the first after sorting
+                12: (0, 9),       # unknown member -> dropped
+                13: (0, 1, 2),    # wrong size -> dropped
+                14: (2, 3),       # valid
+            },
+            quorum=2,
+            subset_mode="witness_subsets",
+        )
+        assert families == [(0, 1), (2, 3)]
+
+    def test_witness_mode_falls_back_to_enumeration(self):
+        families = approx_subset_families(
+            [0, 1, 2], {10: (0, 9)}, quorum=2, subset_mode="witness_subsets"
+        )
+        assert families == [(0, 1), (0, 2), (1, 2)]

@@ -8,8 +8,12 @@ output is byte-identical (modulo the ``elapsed_ms`` timing field) for any
 
 from __future__ import annotations
 
+import json
+
 from repro.engine import (
+    ENGINE_CHOICES,
     Campaign,
+    CampaignSummary,
     TrialSpec,
     execute_specs,
     read_jsonl,
@@ -198,3 +202,33 @@ class TestExecutor:
         assert row["campaign"] == "tiny"
         assert row["trials"] == 1
         assert row["errors"] == 0
+
+
+class TestCampaignSummary:
+    def _summary(self, elapsed_seconds: float) -> CampaignSummary:
+        return CampaignSummary(
+            name="s", trials=4, ok=4, errors=0, agreement_failures=0,
+            validity_failures=0, elapsed_seconds=elapsed_seconds, workers=1,
+            jsonl_path=None,
+        )
+
+    def test_trials_per_second_clamped_at_zero_elapsed(self):
+        # A clock-resolution-zero run must not report float("inf"):
+        # json.dumps would emit `Infinity`, which is not valid JSON.
+        assert self._summary(0.0).trials_per_second == 0.0
+        assert self._summary(2.0).trials_per_second == 2.0
+
+    def test_to_row_serialises_to_valid_json_at_zero_elapsed(self):
+        text = json.dumps(self._summary(0.0).to_row())
+        assert "Infinity" not in text
+        assert json.loads(text)["trials_per_s"] == 0.0
+
+    def test_to_row_records_engine(self):
+        campaign = Campaign.from_specs(
+            "engine-row",
+            [TrialSpec(protocol="exact", workload="uniform_box",
+                       process_count=5, dimension=2, fault_bound=1)],
+        )
+        for engine in ENGINE_CHOICES:
+            summary, _ = run_campaign(campaign, workers=1, engine=engine)
+            assert summary.to_row()["engine"] == engine

@@ -1,0 +1,270 @@
+"""Engine equivalence: the columnar substrate vs the object runtime.
+
+The vectorized engine's contract is strict: for every spec it accepts it must
+emit a :class:`~repro.engine.spec.TrialResult` row that is byte-identical
+(after :func:`~repro.engine.executor.strip_timing`) to the object runtime's —
+decisions, verdicts, round counts, message counters, and error rows alike —
+in the same order, at any worker count.  These tests assert that contract on
+a deterministic grid, on a randomized sample of eligible fuzz specs, and on
+the failure paths, plus the planner mechanics around it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Campaign,
+    TrialSpec,
+    execute_specs,
+    plan_specs,
+    run_specs_vectorized,
+    run_trial,
+    sample_specs,
+    spec_is_vectorizable,
+    strip_timing,
+    vectorized_group_key,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _rows(results) -> list[str]:
+    return strip_timing([result.to_row() for result in results])
+
+
+def _assert_engines_agree(specs) -> None:
+    object_rows = _rows(execute_specs(specs, engine="object"))
+    vectorized_rows = _rows(execute_specs(specs, engine="vectorized"))
+    assert object_rows == vectorized_rows
+    for row_text in object_rows:
+        assert json.loads(row_text)  # every row is valid JSON
+
+
+class TestEligibility:
+    def test_sync_protocols_eligible(self):
+        assert spec_is_vectorizable(TrialSpec(protocol="exact", workload="uniform_box"))
+        assert spec_is_vectorizable(
+            TrialSpec(protocol="restricted_sync", workload="uniform_box", adversary="crash")
+        )
+
+    def test_async_protocols_fall_back(self):
+        for protocol in ("approx", "restricted_async"):
+            assert not spec_is_vectorizable(
+                TrialSpec(protocol=protocol, workload="uniform_box")
+            )
+
+    def test_broadcast_protocols_require_fault_free(self):
+        for protocol in ("exact", "coordinatewise"):
+            assert not spec_is_vectorizable(
+                TrialSpec(protocol=protocol, workload="uniform_box", adversary="crash")
+            )
+
+    def test_coordinated_adversaries_fall_back(self):
+        for adversary in ("split_world", "hull_collapse", "adaptive_extreme", "theorem4_scenario"):
+            assert not spec_is_vectorizable(
+                TrialSpec(
+                    protocol="restricted_sync", workload="uniform_box", adversary=adversary
+                )
+            )
+
+
+class TestPlanner:
+    def _specs(self):
+        return [
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      process_count=5, dimension=2, fault_bound=1, seed=1, trial_index=0),
+            TrialSpec(protocol="approx", workload="uniform_box",
+                      process_count=4, dimension=1, fault_bound=1, seed=2, trial_index=1),
+            TrialSpec(protocol="restricted_sync", workload="gradient",
+                      process_count=5, dimension=2, fault_bound=1, seed=3, trial_index=2),
+            TrialSpec(protocol="exact", workload="uniform_box",
+                      process_count=5, dimension=2, fault_bound=1, seed=4, trial_index=3),
+        ]
+
+    def test_object_engine_plans_one_unit(self):
+        units = plan_specs(self._specs(), engine="object")
+        assert [unit.kind for unit in units] == ["object"]
+        assert units[0].positions == (0, 1, 2, 3)
+
+    def test_vectorized_engine_groups_by_shape(self):
+        units = plan_specs(self._specs(), engine="vectorized")
+        covered = sorted(position for unit in units for position in unit.positions)
+        assert covered == [0, 1, 2, 3]  # every spec exactly once
+        columnar = [unit for unit in units if unit.kind == "columnar"]
+        assert {unit.positions for unit in columnar} == {(0, 2), (3,)}
+
+    def test_auto_keeps_singleton_groups_on_object_engine(self):
+        units = plan_specs(self._specs(), engine="auto")
+        columnar = [unit for unit in units if unit.kind == "columnar"]
+        assert {unit.positions for unit in columnar} == {(0, 2)}
+        fallback = [unit for unit in units if unit.kind == "object"]
+        assert {position for unit in fallback for position in unit.positions} == {1, 3}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_specs(self._specs(), engine="warp")
+        with pytest.raises(ConfigurationError):
+            list(execute_specs(self._specs(), engine="warp"))
+
+    def test_batch_runner_rejects_mixed_groups(self):
+        specs = self._specs()
+        with pytest.raises(ConfigurationError):
+            run_specs_vectorized([specs[0], specs[3]])  # different shape groups
+        with pytest.raises(ConfigurationError):
+            run_specs_vectorized([specs[1]])  # not vectorizable at all
+
+
+class TestEquivalenceGrid:
+    """Deterministic grid across every eligible protocol/adversary combination."""
+
+    def test_restricted_sync_all_independent_adversaries(self):
+        campaign = Campaign.from_grid(
+            "equiv-restricted",
+            protocols=("restricted_sync",),
+            adversaries=("none", "crash", "equivocate", "outside_hull",
+                         "random_noise", "coordinate_attack"),
+            dimensions=(1, 2),
+            fault_bounds=(1,),
+            repeats=1,
+            base_seed=17,
+            max_rounds_override=3,
+        )
+        _assert_engines_agree(campaign.specs)
+
+    def test_broadcast_protocols_fault_free(self):
+        campaign = Campaign.from_grid(
+            "equiv-broadcast",
+            protocols=("exact", "coordinatewise"),
+            adversaries=("none",),
+            dimensions=(1, 2, 3),
+            fault_bounds=(1, 2),
+            repeats=2,
+            base_seed=23,
+        )
+        _assert_engines_agree(campaign.specs)
+
+    def test_worker_count_invariance_on_vectorized_engine(self, tmp_path):
+        campaign = Campaign.from_grid(
+            "equiv-workers",
+            protocols=("restricted_sync", "exact"),
+            adversaries=("none", "crash"),
+            dimensions=(2,),
+            fault_bounds=(1,),
+            repeats=2,
+            base_seed=29,
+            max_rounds_override=3,
+        )
+        inline = _rows(execute_specs(campaign.specs, engine="vectorized", workers=1))
+        pooled = _rows(execute_specs(campaign.specs, engine="vectorized", workers=2))
+        auto = _rows(execute_specs(campaign.specs, engine="auto", workers=2))
+        assert inline == pooled == auto
+
+    def test_results_arrive_in_spec_order(self):
+        campaign = Campaign.from_grid(
+            "equiv-order",
+            protocols=("restricted_sync", "exact"),
+            adversaries=("none", "crash"),
+            dimensions=(1,),
+            fault_bounds=(1,),
+            repeats=2,
+            base_seed=3,
+            max_rounds_override=2,
+        )
+        results = list(execute_specs(campaign.specs, engine="vectorized", workers=2))
+        assert [result.spec.trial_index for result in results] == list(range(len(campaign)))
+
+
+class TestEquivalenceSampled:
+    """Seeded property suite over the fuzz sampler's eligible shape class."""
+
+    def test_sampled_eligible_specs_agree(self):
+        sampled = sample_specs(60, seed=2024)
+        eligible = [spec for spec in sampled if spec_is_vectorizable(spec)]
+        assert len(eligible) >= 10  # the sample must actually exercise the engine
+        # Cap the restricted-round static rule so the object oracle stays fast;
+        # both engines receive the identical capped spec.
+        capped = [
+            dataclasses.replace(spec, max_rounds_override=3)
+            if spec.protocol == "restricted_sync"
+            else spec
+            for spec in eligible
+        ]
+        object_results = list(execute_specs(capped, engine="object"))
+        vectorized_results = list(execute_specs(capped, engine="vectorized"))
+        assert _rows(object_results) == _rows(vectorized_results)
+        for object_result, vectorized_result in zip(object_results, vectorized_results):
+            assert object_result.decision == vectorized_result.decision
+            assert object_result.agreement is vectorized_result.agreement
+            assert object_result.validity is vectorized_result.validity
+            assert object_result.rounds == vectorized_result.rounds
+
+
+class TestFailurePaths:
+    def test_error_rows_are_byte_identical(self):
+        specs = [
+            # Below the resilience bound.
+            TrialSpec(protocol="exact", workload="uniform_box",
+                      process_count=3, dimension=2, fault_bound=1, seed=1, trial_index=0),
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      process_count=4, dimension=2, fault_bound=1, seed=2, trial_index=1),
+            # Round budget too small for the protocol.
+            TrialSpec(protocol="coordinatewise", workload="uniform_box",
+                      process_count=4, dimension=2, fault_bound=1,
+                      max_rounds_override=1, seed=3, trial_index=2),
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      process_count=5, dimension=2, fault_bound=1,
+                      max_rounds_override=0, seed=4, trial_index=3),
+            # Invalid adversary parameterisation.
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      adversary="coordinate_attack", process_count=5, dimension=2,
+                      fault_bound=1, max_rounds_override=2, seed=5,
+                      adversary_params={"coordinate": 9, "target": 1.0}, trial_index=4),
+            # Fixed-instance workload vs mismatched declared shape.
+            TrialSpec(protocol="exact", workload="intro_counterexample",
+                      process_count=4, dimension=2, fault_bound=1, seed=6, trial_index=5),
+        ]
+        object_rows = _rows(execute_specs(specs, engine="object"))
+        vectorized_rows = _rows(execute_specs(specs, engine="vectorized"))
+        assert object_rows == vectorized_rows
+        statuses = [json.loads(row)["status"] for row in object_rows]
+        assert statuses == ["error"] * len(specs)
+
+
+class TestStateHistories:
+    def test_restricted_histories_match_object_runtime(self):
+        spec = TrialSpec(
+            protocol="restricted_sync", workload="uniform_box", adversary="equivocate",
+            process_count=5, dimension=2, fault_bound=1, max_rounds_override=4,
+            seed=11, record_history=True,
+        )
+        object_result = run_trial(spec)
+        (vectorized_result,) = run_specs_vectorized([spec])
+        assert object_result.ok and vectorized_result.ok
+        assert object_result.state_histories.keys() == vectorized_result.state_histories.keys()
+        for process_id, object_history in object_result.state_histories.items():
+            vectorized_history = vectorized_result.state_histories[process_id]
+            assert len(object_history) == len(vectorized_history) == 5
+            for object_state, vectorized_state in zip(object_history, vectorized_history):
+                assert np.array_equal(object_state, vectorized_state)
+
+
+class TestGroupKey:
+    def test_key_ignores_per_trial_data_axes(self):
+        base = TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                         process_count=5, dimension=2, fault_bound=1, seed=1)
+        other = dataclasses.replace(base, workload="gradient", seed=99, epsilon=0.4)
+        assert vectorized_group_key(base) == vectorized_group_key(other)
+
+    def test_key_separates_shapes(self):
+        base = TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                         process_count=5, dimension=2, fault_bound=1)
+        assert vectorized_group_key(base) != vectorized_group_key(
+            dataclasses.replace(base, process_count=9)
+        )
+        assert vectorized_group_key(base) != vectorized_group_key(
+            dataclasses.replace(base, adversary="crash")
+        )

@@ -35,6 +35,7 @@ from repro.geometry.kernel import (
     safe_area_interval_1d,
     safe_area_point_kernel,
     safe_area_points_batch,
+    safe_area_points_multi,
 )
 
 
@@ -366,3 +367,83 @@ class TestCalculatorEngines:
 
     def test_empty_choose_batch(self):
         assert SafeAreaCalculator(fault_bound=1).choose_batch([]) == []
+
+
+class TestMultiInstanceQueries:
+    """points_multi: the columnar engine's whole-round entry point."""
+
+    def test_dedup_mode_is_bit_identical_to_single_queries(self):
+        rng = np.random.default_rng(91)
+        kernel = GammaKernel()
+        distinct = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(3)]
+        # Duplicate clouds interleaved, as produced by identical receive views.
+        clouds = [distinct[0], distinct[1], distinct[0], distinct[2], distinct[1]]
+        answers = kernel.points_multi(clouds, 1)
+        assert kernel.stats.multi_queries == 5
+        assert kernel.stats.multi_dedup_hits == 2
+        for cloud, answer in zip(clouds, answers):
+            single = kernel.point(cloud, 1)
+            assert np.array_equal(single, answer)
+        # Duplicates share the exact same floats, not merely close ones.
+        assert np.array_equal(answers[0], answers[2])
+        assert np.array_equal(answers[1], answers[4])
+
+    def test_heterogeneous_shapes_in_one_call(self):
+        rng = np.random.default_rng(92)
+        small = rng.uniform(0.0, 1.0, size=(4, 1))
+        large = rng.uniform(0.0, 1.0, size=(6, 2))
+        answers = safe_area_points_multi([small, large], 1)
+        assert np.array_equal(answers[0], safe_area_point_kernel(small, 1))
+        assert np.array_equal(answers[1], safe_area_point_kernel(large, 1))
+
+    def test_empty_gamma_maps_to_none_per_query(self):
+        rng = np.random.default_rng(93)
+        healthy = rng.uniform(0.0, 1.0, size=(5, 2))
+        empty = np.vstack([np.eye(2), np.zeros((1, 2))])  # |Y|=3, f=1, d=2
+        answers = safe_area_points_multi([healthy, empty, healthy], 1)
+        assert answers[0] is not None and answers[2] is not None
+        assert answers[1] is None
+
+    def test_fused_mode_returns_valid_gamma_points(self):
+        rng = np.random.default_rng(94)
+        clouds = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(4)]
+        answers = safe_area_points_multi(clouds, 1, fused=True)
+        for cloud, answer in zip(clouds, answers):
+            assert answer is not None
+            assert safe_area_contains(cloud, 1, answer, tolerance=1e-5)
+
+    def test_empty_call_and_negative_faults(self):
+        assert safe_area_points_multi([], 1) == []
+        with pytest.raises(GeometryError):
+            safe_area_points_multi([np.zeros((3, 2))], -1)
+
+
+class TestCalculatorResolveMulti:
+    def test_bitwise_parity_with_choose(self):
+        rng = np.random.default_rng(95)
+        calculator = SafeAreaCalculator(fault_bound=1)
+        distinct = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(2)]
+        clouds = [distinct[0], distinct[1], distinct[0]]
+        answers = calculator.resolve_multi(clouds)
+        for cloud, answer in zip(clouds, answers):
+            assert np.array_equal(answer, calculator.choose(cloud))
+
+    def test_empty_gamma_returns_none_instead_of_raising(self):
+        healthy = np.random.default_rng(96).uniform(0.0, 1.0, size=(5, 2))
+        empty = np.vstack([np.eye(2), np.zeros((1, 2))])
+        answers = SafeAreaCalculator(fault_bound=1).resolve_multi([empty, healthy])
+        assert answers[0] is None and answers[1] is not None
+
+    def test_oracle_engine_loops_the_literal_program(self):
+        rng = np.random.default_rng(97)
+        calculator = SafeAreaCalculator(fault_bound=1, engine="oracle")
+        clouds = [rng.uniform(0.0, 1.0, size=(5, 2)) for _ in range(2)]
+        answers = calculator.resolve_multi(clouds)
+        for cloud, answer in zip(clouds, answers):
+            assert safe_area_contains(cloud, 1, answer, tolerance=1e-5)
+
+    def test_mixed_dimensions_rejected_and_empty_call(self):
+        calculator = SafeAreaCalculator(fault_bound=1)
+        assert calculator.resolve_multi([]) == []
+        with pytest.raises(GeometryError):
+            calculator.resolve_multi([np.zeros((4, 1)), np.zeros((4, 2))])

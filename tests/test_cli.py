@@ -202,3 +202,45 @@ class TestFuzzCommand:
         rows = [json.loads(line) for line in target.read_text().splitlines()]
         assert len(rows) == 4
         assert all(row["status"] == "ok" for row in rows)
+
+
+class TestEngineFlag:
+    def test_run_help_derives_experiment_range_from_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        ordered = _ordered_experiment_ids()
+        assert f"experiment id ({ordered[0]}..{ordered[-1]})" in output
+        assert "E1..E15" not in output  # the stale hard-coded range must be gone
+
+    def test_campaign_engine_choices_are_byte_identical(self, tmp_path, capsys):
+        args = ["campaign", "--protocols", "restricted_sync",
+                "--adversaries", "none", "crash",
+                "--dimensions", "2", "--repeats", "2", "--seed", "5",
+                "--max-rounds", "3"]
+        paths = {}
+        for engine in ("object", "vectorized", "auto"):
+            paths[engine] = tmp_path / f"{engine}.jsonl"
+            assert main(args + ["--engine", engine, "--jsonl", str(paths[engine])]) == 0
+        capsys.readouterr()
+        rows = {engine: strip_timing(read_jsonl(path)) for engine, path in paths.items()}
+        assert rows["object"] == rows["vectorized"] == rows["auto"]
+
+    def test_campaign_summary_reports_engine(self, capsys):
+        assert main(["campaign", "--protocols", "exact", "--adversaries", "none",
+                     "--dimensions", "1", "--repeats", "2", "--engine", "vectorized"]) == 0
+        output = capsys.readouterr().out
+        assert "vectorized" in output
+
+    def test_fuzz_accepts_engine_flag(self, tmp_path, capsys):
+        target = tmp_path / "fuzz.jsonl"
+        assert main(["fuzz", "--count", "4", "--seed", "19", "--protocols", "exact",
+                     "--engine", "vectorized", "--jsonl", str(target)]) == 0
+        assert "Fuzz summary" in capsys.readouterr().out
+        assert len(target.read_text().splitlines()) == 4
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--engine", "warp"])
+        assert excinfo.value.code == 2
