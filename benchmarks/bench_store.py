@@ -1,0 +1,94 @@
+"""Results-store throughput: cold (execute + record) vs warm (serve) campaigns.
+
+Not a paper experiment — this benchmarks the content-addressed store layer.
+The reference grid is the same synchronous restricted-round campaign as
+``bench_vectorized.py`` (``restricted_sync``, ``d = 2, n = 13, f = 1`` under
+the recipient-uniform adversaries): the **cold** run executes every trial on
+the ``auto`` engine and commits each execution unit to a fresh SQLite store;
+the **warm** run replays the identical campaign against the populated store,
+where every trial is a cache hit and nothing is executed.
+
+The acceptance bar is **warm >= 10x cold trials/second** on the reference
+grid; in practice warm throughput is bounded by SQLite reads plus JSONL
+serialisation and lands orders of magnitude above that.  The correctness
+assertions are the store contract: the warm hit-rate is 100%, and cold and
+warm runs export byte-identical rows (modulo ``elapsed_ms``).
+
+The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke), and the
+speedup bar drops with it — a sub-second cold run leaves the warm ratio at
+the mercy of timer resolution.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import Campaign, read_jsonl, run_campaign, strip_timing
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+PROCESS_COUNT = 9 if SMOKE else 13
+REPEATS = 1 if SMOKE else 3
+ROUNDS = 2 if SMOKE else 3
+MIN_WARM_SPEEDUP = 3.0 if SMOKE else 10.0
+
+
+def _reference_campaign() -> Campaign:
+    return Campaign.from_grid(
+        "bench-store",
+        protocols=("restricted_sync",),
+        adversaries=("none", "crash", "outside_hull", "coordinate_attack"),
+        dimensions=(2,),
+        fault_bounds=(1,),
+        process_counts=(PROCESS_COUNT,),
+        repeats=REPEATS,
+        base_seed=7,
+        max_rounds_override=ROUNDS,
+    )
+
+
+def test_store_cold_vs_warm_throughput(benchmark, record_table, tmp_path):
+    campaign = _reference_campaign()
+    store_path = tmp_path / "store.db"
+
+    def run_cold_then_warm() -> list[dict[str, object]]:
+        rows = []
+        for phase in ("cold", "warm"):
+            jsonl_path = tmp_path / f"{phase}.jsonl"
+            summary, _ = run_campaign(
+                campaign, workers=1, jsonl_path=jsonl_path,
+                engine="auto", store=store_path,
+            )
+            rows.append(
+                summary.to_row()
+                | {"phase": phase, "jsonl_rows": len(read_jsonl(jsonl_path))}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_cold_then_warm, rounds=1, iterations=1)
+    cold, warm = rows
+    assert cold["phase"] == "cold" and warm["phase"] == "warm"
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == len(campaign)
+    # The store contract: a populated store serves the whole campaign.
+    assert cold["cache_hits"] == 0
+    assert warm["cache_hits"] == len(campaign), "warm hit-rate must be 100%"
+    # ... with byte-identical exported rows.
+    assert strip_timing(read_jsonl(tmp_path / "cold.jsonl")) == strip_timing(
+        read_jsonl(tmp_path / "warm.jsonl")
+    )
+
+    speedup = warm["trials_per_s"] / max(cold["trials_per_s"], 1e-9)
+    for row in rows:
+        row["speedup_vs_cold"] = round(row["trials_per_s"] / max(cold["trials_per_s"], 1e-9), 1)
+    record_table(
+        "E20_store_throughput",
+        rows,
+        "Results store — campaign trials/second, cold (execute + record) vs "
+        f"warm (serve) (restricted_sync, d=2, n={PROCESS_COUNT}, f=1, {ROUNDS} rounds)",
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm store rerun is only {speedup:.2f}x the cold run "
+        f"(needs >= {MIN_WARM_SPEEDUP}x on the reference grid)"
+    )

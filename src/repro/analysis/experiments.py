@@ -50,6 +50,7 @@ from repro.workloads.generators import intro_counterexample_registry
 
 __all__ = [
     "make_strategy",
+    "set_result_store",
     "experiment_baseline_validity",
     "experiment_sync_impossibility",
     "experiment_async_impossibility",
@@ -67,6 +68,27 @@ __all__ = [
 ]
 
 
+# Process-wide results store for campaign-backed experiments (None = run
+# everything live).  Set via set_result_store / the CLI's `run --store`.
+_RESULT_STORE = None
+
+
+def set_result_store(store):
+    """Route campaign-backed experiments through a results store; returns the previous setting.
+
+    ``store`` is a :class:`~repro.store.backend.ResultStore`, a path (opened
+    per campaign via :func:`~repro.store.backend.open_store`), or ``None`` to
+    go back to live execution.  With a populated store, experiment tables are
+    served from cached rows — byte-identical to a live run, courtesy of the
+    engine's purity guarantee — and any trials the store is missing are run
+    and recorded.
+    """
+    global _RESULT_STORE
+    previous = _RESULT_STORE
+    _RESULT_STORE = store
+    return previous
+
+
 def _run(campaign: Campaign) -> list[TrialResult]:
     """Execute a campaign inline and return its results in trial order.
 
@@ -74,10 +96,13 @@ def _run(campaign: Campaign) -> list[TrialResult]:
     parallel path for big sweeps), so they run single-worker on the ``auto``
     engine: eligible synchronous trials execute on the columnar substrate
     (byte-identical results, less wall-clock), the rest on the object runtime.
-    Any trial error is a bug in the experiment declaration and is surfaced
-    immediately.
+    When a results store is configured (:func:`set_result_store`), cached
+    trials are served from it instead of re-executing.  Any trial error is a
+    bug in the experiment declaration and is surfaced immediately.
     """
-    _, results = run_campaign(campaign, workers=1, collect=True, engine="auto")
+    _, results = run_campaign(
+        campaign, workers=1, collect=True, engine="auto", store=_RESULT_STORE
+    )
     for result in results:
         if not result.ok:
             raise RuntimeError(f"trial {result.spec.trial_index} failed: {result.error}")

@@ -8,7 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run E8 --output out.txt   # also write the table to a file
     python -m repro.cli bounds --dimension 3 --faults 2   # query the resilience bounds
     python -m repro.cli campaign --workers 4 --jsonl out.jsonl   # parallel trial sweep
+    python -m repro.cli campaign --store sweep.db --resume       # resumable, cached sweep
     python -m repro.cli fuzz --count 200 --workers 4      # random-scenario invariant fuzz
+    python -m repro.cli store stats --store sweep.db      # inspect a results store
     python -m repro.cli --help                    # usage examples + documentation map
 
 The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``; E15 is the
@@ -19,12 +21,17 @@ adversary, scheduler, n/d/f, epsilon, repeat) grid — from flags or a JSON
 file — into deterministic trials and fans them out over a worker pool,
 streaming one JSON line per trial.  The ``fuzz`` command samples random
 scenario compositions (including the coordinated adversaries) at or above
-the resilience bounds and asserts agreement + validity on every run.
+the resilience bounds and asserts agreement + validity on every run.  Both
+accept ``--store PATH`` to record every trial in a content-addressed results
+store and ``--resume`` to serve already-stored trials without re-executing
+them; the ``store`` command group (``stats`` / ``query`` / ``export`` /
+``gc`` / ``import``) inspects and manages such stores.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
@@ -45,6 +52,14 @@ from repro.engine import (
     Campaign,
     run_campaign,
     run_fuzz,
+)
+from repro.store import (
+    BACKEND_CHOICES,
+    ENGINE_VERSION,
+    TrialFilter,
+    aggregate_store,
+    open_store,
+    query_store,
 )
 
 __all__ = ["EXPERIMENT_REGISTRY", "build_parser", "main"]
@@ -141,11 +156,22 @@ examples:
                                               columnar batch execution
   python -m repro.cli fuzz --count 200 --seed 0 --workers 4 --jsonl fuzz.jsonl
                                               random scenarios, invariants asserted
+  python -m repro.cli campaign --store sweep.db --jsonl sweep.jsonl
+                                              record every trial in a results store
+  python -m repro.cli campaign --store sweep.db --resume --jsonl sweep.jsonl
+                                              resume: serve stored trials, run only misses
+  python -m repro.cli store stats --store sweep.db
+  python -m repro.cli store query --store sweep.db --protocol exact --status error
+  python -m repro.cli store export --store sweep.db --output rows.jsonl
+  python -m repro.cli store gc --store sweep.db   drop rows from older engine versions
 
 campaigns and fuzz runs are deterministic: the same --seed produces
 byte-identical JSONL rows (modulo the elapsed_ms timing field) for any
 --workers value and any --engine choice (eligible synchronous trials run as
 columnar array batches; everything else falls back to the object runtime).
+that purity is what makes the results store safe: trials are keyed by a
+content address of their spec, so an interrupted --store run resumed with
+--resume executes only the missing trials and exports identical rows.
 
 documentation:
   README.md                  install, quickstart, paper-section -> module map
@@ -184,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--output", type=Path, default=None, help="also write the rendered table(s) to this file"
+    )
+    run_parser.add_argument(
+        "--store", type=Path, default=None,
+        help="serve campaign-backed experiment trials from this results store "
+             "(missing trials run and are recorded)",
+    )
+    run_parser.add_argument(
+        "--store-backend", choices=BACKEND_CHOICES, default="auto",
+        help="results-store backend (auto: directory/suffix-less path = jsonl, else sqlite)",
     )
 
     bounds_parser = subparsers.add_parser("bounds", help="print the resilience bounds for (d, f)")
@@ -259,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
              "'auto' (default) picks per shape group; rows are byte-identical "
              "(modulo elapsed_ms) for every choice",
     )
+    _add_store_run_flags(campaign_parser)
 
     fuzz_parser = subparsers.add_parser(
         "fuzz",
@@ -296,8 +332,114 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_CHOICES, default="auto",
         help="execution substrate (see 'campaign --engine')",
     )
+    _add_store_run_flags(fuzz_parser)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and manage a content-addressed results store",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--store", type=Path, required=True, help="results-store path"
+        )
+        sub_parser.add_argument(
+            "--store-backend", choices=BACKEND_CHOICES, default="auto",
+            help="results-store backend (auto: directory/suffix-less path = jsonl, else sqlite)",
+        )
+
+    def _store_filters(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--protocol", default=None, help="filter: protocol name")
+        sub_parser.add_argument("--workload", default=None, help="filter: workload name")
+        sub_parser.add_argument("--adversary", default=None, help="filter: adversary strategy")
+        sub_parser.add_argument("--scheduler", default=None, help="filter: delivery scheduler")
+        sub_parser.add_argument("--status", default=None, choices=("ok", "error"),
+                                help="filter: trial status")
+        sub_parser.add_argument("--dimension", type=int, default=None, help="filter: d")
+        sub_parser.add_argument("--fault-bound", type=int, default=None, help="filter: f")
+        sub_parser.add_argument("--process-count", type=int, default=None, help="filter: n")
+
+    stats_parser = store_sub.add_parser(
+        "stats", help="row counts by status and engine version"
+    )
+    _store_common(stats_parser)
+
+    query_parser = store_sub.add_parser(
+        "query", help="list stored trials matching shape filters"
+    )
+    _store_common(query_parser)
+    _store_filters(query_parser)
+    query_parser.add_argument(
+        "--limit", type=int, default=50, help="maximum rows to print (0 = no limit)"
+    )
+    query_parser.add_argument(
+        "--aggregate", nargs="+", default=None, metavar="COLUMN",
+        help="instead of listing trials, aggregate outcome counters grouped "
+             "by these spec columns (e.g. --aggregate protocol adversary)",
+    )
+
+    export_parser = store_sub.add_parser(
+        "export", help="write stored trial rows as JSONL (campaign-row schema)"
+    )
+    _store_common(export_parser)
+    _store_filters(export_parser)
+    export_parser.add_argument(
+        "--output", type=Path, default=None,
+        help="JSONL destination (default: stdout)",
+    )
+    export_parser.add_argument(
+        "--engine-version", default=ENGINE_VERSION,
+        help="export only rows recorded under this engine revision (default: "
+             "the current one), keeping exports version-homogeneous — a "
+             "re-import under one declared --engine-version stays truthful",
+    )
+
+    gc_parser = store_sub.add_parser(
+        "gc", help="delete rows recorded under older engine versions (unreachable by lookup)"
+    )
+    _store_common(gc_parser)
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="only report how many rows would be deleted"
+    )
+
+    import_parser = store_sub.add_parser(
+        "import", help="ingest a campaign/fuzz JSONL export into the store"
+    )
+    _store_common(import_parser)
+    import_parser.add_argument(
+        "--jsonl", type=Path, required=True, help="campaign/fuzz JSONL file to ingest"
+    )
+    import_parser.add_argument(
+        "--engine-version", default=ENGINE_VERSION,
+        help="engine revision that produced the rows (JSONL carries no stamp; "
+             "importing an old export under its true version keeps its rows "
+             "unreachable by current lookups instead of serving stale results; "
+             f"default: {ENGINE_VERSION})",
+    )
 
     return parser
+
+
+def _add_store_run_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Attach the --store/--resume trio shared by `campaign` and `fuzz`."""
+    sub_parser.add_argument(
+        "--store", type=Path, default=None,
+        help="record every trial row in this content-addressed results store "
+             "(transactional per execution unit, so interrupted runs keep "
+             "their completed work)",
+    )
+    sub_parser.add_argument(
+        "--store-backend", choices=BACKEND_CHOICES, default="auto",
+        help="results-store backend (auto: directory/suffix-less path = jsonl, else sqlite)",
+    )
+    sub_parser.add_argument(
+        "--resume", action="store_true",
+        help="serve trials already present in --store instead of re-executing "
+             "them; only the missing trials run (requires --store)",
+    )
 
 
 def _run_experiments(ids: Sequence[str]) -> str:
@@ -328,6 +470,24 @@ def _build_campaign(arguments: argparse.Namespace) -> Campaign:
     )
 
 
+def _open_run_store(arguments: argparse.Namespace):
+    """Resolve the --store/--store-backend/--resume trio for campaign/fuzz.
+
+    Returns ``(store, reuse_cached)``; the caller owns closing the store.
+    """
+    if arguments.resume and arguments.store is None:
+        raise SystemExit("--resume requires --store (nothing to resume from)")
+    if arguments.store is None:
+        return None, False
+    return open_store(arguments.store, backend=arguments.store_backend), arguments.resume
+
+
+def _print_store_outcome(arguments: argparse.Namespace, cache_hits: int, trials: int) -> None:
+    executed = trials - cache_hits
+    mode = "resume" if arguments.resume else "record"
+    print(f"store {arguments.store} ({mode}): {cache_hits} served from cache, {executed} executed")
+
+
 def _run_campaign_command(arguments: argparse.Namespace) -> int:
     campaign = _build_campaign(arguments)
     shape = campaign.describe()
@@ -336,13 +496,22 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
         f"(protocols={','.join(shape['protocols'])} adversaries={','.join(shape['adversaries'])}) "
         f"on {arguments.workers} worker(s)"
     )
-    summary, _ = run_campaign(
-        campaign,
-        workers=arguments.workers,
-        jsonl_path=arguments.jsonl,
-        engine=arguments.engine,
-    )
+    store, reuse_cached = _open_run_store(arguments)
+    try:
+        summary, _ = run_campaign(
+            campaign,
+            workers=arguments.workers,
+            jsonl_path=arguments.jsonl,
+            engine=arguments.engine,
+            store=store,
+            reuse_cached=reuse_cached,
+        )
+    finally:
+        if store is not None:
+            store.close()
     print(render_table([summary.to_row()], title="Campaign summary"))
+    if store is not None:
+        _print_store_outcome(arguments, summary.cache_hits, summary.trials)
     if arguments.jsonl is not None:
         print(f"wrote {summary.trials} rows to {arguments.jsonl}")
     return 0 if summary.errors == 0 else 1
@@ -353,17 +522,26 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
         f"fuzz: {arguments.count} scenario compositions (seed {arguments.seed}) "
         f"on {arguments.workers} worker(s)"
     )
-    report = run_fuzz(
-        count=arguments.count,
-        seed=arguments.seed,
-        workers=arguments.workers,
-        jsonl_path=arguments.jsonl,
-        protocols=arguments.protocols,
-        workloads=arguments.workloads,
-        adversaries=arguments.adversaries,
-        schedulers=arguments.schedulers,
-        engine=arguments.engine,
-    )
+    store, reuse_cached = _open_run_store(arguments)
+    try:
+        report = run_fuzz(
+            count=arguments.count,
+            seed=arguments.seed,
+            workers=arguments.workers,
+            jsonl_path=arguments.jsonl,
+            protocols=arguments.protocols,
+            workloads=arguments.workloads,
+            adversaries=arguments.adversaries,
+            schedulers=arguments.schedulers,
+            engine=arguments.engine,
+            store=store,
+            reuse_cached=reuse_cached,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if store is not None:
+        _print_store_outcome(arguments, report.cache_hits, report.runs)
     print(render_table([report.to_row()], title="Fuzz summary"))
     if arguments.jsonl is not None:
         print(f"wrote {report.runs} rows to {arguments.jsonl}")
@@ -377,6 +555,87 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
         return 1
     print("all scenarios upheld agreement and validity")
     return 0
+
+
+def _store_filter(arguments: argparse.Namespace) -> TrialFilter:
+    return TrialFilter(
+        protocol=arguments.protocol,
+        workload=arguments.workload,
+        adversary=arguments.adversary,
+        scheduler=arguments.scheduler,
+        status=arguments.status,
+        dimension=arguments.dimension,
+        fault_bound=arguments.fault_bound,
+        process_count=arguments.process_count,
+    )
+
+
+def _run_store_command(arguments: argparse.Namespace) -> int:
+    with open_store(arguments.store, backend=arguments.store_backend) as store:
+        if arguments.store_command == "stats":
+            stats = store.stats()
+            print(render_table([{
+                "backend": stats["backend"],
+                "trials": stats["trials"],
+                "stale": stats["stale_trials"],
+                "engine_version": stats["current_engine_version"],
+            }], title=f"Store {stats['path']}"))
+            for title, counts in (("By status", stats["statuses"]),
+                                  ("By engine version", stats["engine_versions"])):
+                if counts:
+                    rows = [{"value": value, "trials": count} for value, count in counts.items()]
+                    print(render_table(rows, title=title))
+            return 0
+        if arguments.store_command == "query":
+            trial_filter = _store_filter(arguments)
+            if arguments.aggregate:
+                rows = aggregate_store(
+                    store, group_by=tuple(arguments.aggregate), trial_filter=trial_filter
+                )
+                print(render_table(rows, title="Store aggregate") if rows else "no matching trials")
+                return 0
+            if arguments.limit < 0:
+                raise SystemExit("--limit must be >= 0 (0 means no limit)")
+            limit = arguments.limit if arguments.limit > 0 else None
+            hits = query_store(store, trial_filter, limit=limit)
+            if not hits:
+                print("no matching trials")
+                return 0
+            print(render_table([hit.to_row() for hit in hits], title="Store query"))
+            return 0
+        if arguments.store_command == "export":
+            # Stream straight off iter_entries (key order, constant memory) —
+            # query_store would buffer the whole result set as typed rows.
+            # The stored row *is* the serialised form, so re-dumping it with
+            # sorted keys reproduces TrialResult.to_json() byte-for-byte
+            # without materialising results (and without tripping over rows
+            # whose schema predates the current code).
+            where = _store_filter(arguments).to_where()
+            where["engine_version"] = arguments.engine_version
+            lines = (
+                json.dumps(entry.row, sort_keys=True)
+                for entry in store.iter_entries(where=where)
+            )
+            if arguments.output is not None:
+                with arguments.output.open("w", encoding="utf-8") as handle:
+                    count = 0
+                    for line in lines:
+                        handle.write(line + "\n")
+                        count += 1
+                print(f"exported {count} rows to {arguments.output}")
+            else:
+                for line in lines:
+                    print(line)
+            return 0
+        if arguments.store_command == "gc":
+            stale = store.gc(dry_run=arguments.dry_run)
+            verb = "would delete" if arguments.dry_run else "deleted"
+            print(f"{verb} {stale} rows from engine versions other than {ENGINE_VERSION}")
+            return 0
+        # store_command == "import"
+        ingested = store.import_jsonl(arguments.jsonl, engine_version=arguments.engine_version)
+        print(f"imported {ingested} rows from {arguments.jsonl}")
+        return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -403,6 +662,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.command == "fuzz":
         return _run_fuzz_command(arguments)
 
+    if arguments.command == "store":
+        return _run_store_command(arguments)
+
     # command == "run"
     requested = arguments.experiment.upper()
     if requested == "ALL":
@@ -414,7 +676,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown experiment '{arguments.experiment}'; known ids: {known}, or 'all'", file=sys.stderr)
         return 2
 
-    text = _run_experiments(ids)
+    store = (
+        open_store(arguments.store, backend=arguments.store_backend)
+        if arguments.store is not None
+        else None
+    )
+    previous = experiments.set_result_store(store) if store is not None else None
+    try:
+        text = _run_experiments(ids)
+    finally:
+        if store is not None:
+            experiments.set_result_store(previous)
+            store.close()
     print(text)
     if arguments.output is not None:
         arguments.output.write_text(text + "\n")

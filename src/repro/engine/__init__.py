@@ -21,7 +21,9 @@ from repro.engine.executor import (
     CampaignSummary,
     ExecutionUnit,
     JsonlSink,
+    StoreCacheStats,
     execute_specs,
+    iter_jsonl,
     plan_specs,
     read_jsonl,
     run_campaign,
@@ -79,6 +81,7 @@ __all__ = [
     "FuzzReport",
     "FuzzViolation",
     "JsonlSink",
+    "StoreCacheStats",
     "TrialResult",
     "TrialSpec",
     "build_mutators",
@@ -86,6 +89,7 @@ __all__ = [
     "build_scheduler",
     "derive_faulty_seeds",
     "execute_specs",
+    "iter_jsonl",
     "make_adversaries",
     "make_strategy",
     "minimum_processes_for",

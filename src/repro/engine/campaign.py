@@ -152,18 +152,48 @@ class Campaign:
         )
         return cls(name=name, specs=indexed)
 
+    # Grid keys taking one scalar value; every other from_grid parameter is an
+    # axis and must be a JSON array.
+    _SCALAR_GRID_KEYS = frozenset({"repeats", "base_seed", "max_rounds_override"})
+
     @classmethod
     def from_file(cls, path: str | Path) -> "Campaign":
-        """Load a campaign from JSON: ``{"grid": {...}}`` or ``{"trials": [...]}``."""
+        """Load a campaign from JSON: ``{"grid": {...}}`` or ``{"trials": [...]}``.
+
+        Malformed declarations raise :class:`ConfigurationError` naming the
+        offending key (or trial entry) — a grid file is user input, so a bare
+        ``TypeError`` escaping from the dataclass constructor is a bug here,
+        not an acceptable answer.
+        """
         path = Path(path)
         declaration = json.loads(path.read_text())
         if not isinstance(declaration, Mapping):
             raise ConfigurationError(f"{path}: campaign file must be a JSON object")
         name = str(declaration.get("name", path.stem))
         if "trials" in declaration:
-            specs = [TrialSpec.from_dict(record) for record in declaration["trials"]]
+            records = declaration["trials"]
+            if isinstance(records, (str, bytes)) or not isinstance(records, Sequence):
+                raise ConfigurationError(f"{path}: 'trials' must be a list of trial objects")
+            specs: list[TrialSpec] = []
+            for index, record in enumerate(records):
+                if not isinstance(record, Mapping):
+                    raise ConfigurationError(
+                        f"{path}: trials[{index}] must be a JSON object, got {type(record).__name__}"
+                    )
+                try:
+                    specs.append(TrialSpec.from_dict(record))
+                except ConfigurationError as error:
+                    raise ConfigurationError(f"{path}: trials[{index}]: {error}") from error
+                except (TypeError, ValueError) as error:
+                    # e.g. a parameter mapping spelled as a scalar — surface
+                    # the entry and the field-level complaint, not a traceback.
+                    raise ConfigurationError(
+                        f"{path}: trials[{index}]: malformed trial entry: {error}"
+                    ) from error
             return cls.from_specs(name, specs)
         if "grid" in declaration:
+            if not isinstance(declaration["grid"], Mapping):
+                raise ConfigurationError(f"{path}: 'grid' must be a JSON object")
             grid: dict[str, Any] = dict(declaration["grid"])
             axes = set(inspect.signature(cls.from_grid).parameters) - {"name"}
             unknown = set(grid) - axes
@@ -171,7 +201,27 @@ class Campaign:
                 raise ConfigurationError(
                     f"{path}: unknown grid axes {sorted(unknown)}; known: {sorted(axes)}"
                 )
-            return cls.from_grid(name, **grid)
+            for key, value in grid.items():
+                if key in cls._SCALAR_GRID_KEYS:
+                    valid = value is None if key == "max_rounds_override" else False
+                    if not valid and (isinstance(value, bool) or not isinstance(value, int)):
+                        raise ConfigurationError(
+                            f"{path}: grid key {key!r} must be an integer, got {value!r}"
+                        )
+                elif value is None and key == "process_counts":
+                    pass  # explicit null = from_grid's own "paper minimum n" default
+                elif isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+                    raise ConfigurationError(
+                        f"{path}: grid axis {key!r} must be a list of values, got {value!r}"
+                    )
+            try:
+                return cls.from_grid(name, **grid)
+            except ConfigurationError:
+                raise
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(
+                    f"{path}: malformed grid declaration: {error}"
+                ) from error
         raise ConfigurationError(f"{path}: campaign file needs a 'grid' or 'trials' key")
 
     # -- views -----------------------------------------------------------------

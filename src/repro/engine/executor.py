@@ -22,6 +22,14 @@ one is a full protocol simulation plus LP solves).  Whatever the engine or
 worker count, results are always emitted in spec order and are byte-identical
 for any ``workers`` value (every trial is a pure function of its spec; only
 the ``elapsed_ms`` timing field varies run to run).
+
+Passing a :class:`~repro.store.backend.ResultStore` (``store=``) turns the
+executor into a **write-through cache** over that purity guarantee: every
+spec is content-addressed (:func:`~repro.store.keys.trial_key`), cached rows
+are served without spawning workers, only the misses are planned and run,
+and each completed execution unit commits to the store in one transaction
+*before* its rows are emitted — so an interrupted campaign can be resumed
+with only the missing trials executed.
 """
 
 from __future__ import annotations
@@ -29,9 +37,9 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.campaign import Campaign
 from repro.engine.spec import TrialResult, TrialSpec
@@ -43,14 +51,19 @@ from repro.engine.vectorized import (
 )
 from repro.exceptions import ConfigurationError
 
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.store.backend import ResultStore
+
 __all__ = [
     "ENGINE_CHOICES",
     "CampaignSummary",
     "JsonlSink",
     "ExecutionUnit",
+    "StoreCacheStats",
     "plan_specs",
     "execute_specs",
     "run_campaign",
+    "iter_jsonl",
     "read_jsonl",
     "strip_timing",
 ]
@@ -84,15 +97,23 @@ class JsonlSink:
             self._handle = None
 
 
-def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Load every row of a campaign JSONL file back into dictionaries."""
-    rows = []
+def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream a campaign JSONL file one row dictionary at a time.
+
+    Constant memory in the file size — the row consumers (equivalence
+    comparisons, store imports) never need the whole file as a list.  Blank
+    lines are skipped.
+    """
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                rows.append(json.loads(line))
-    return rows
+                yield json.loads(line)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load every row of a campaign JSONL file back into dictionaries."""
+    return list(iter_jsonl(path))
 
 
 def strip_timing(rows: Iterable[dict[str, Any]]) -> list[str]:
@@ -173,11 +194,159 @@ def _execute_unit_task(payload: tuple[ExecutionUnit, tuple[TrialSpec, ...]]) -> 
     return [run_trial(spec) for spec in unit_specs]
 
 
+@dataclass
+class StoreCacheStats:
+    """Cache outcome of one store-backed execution (filled by ``execute_specs``)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of specs served from the store (0.0 on an empty spec list)."""
+        return self.hits / self.total if self.total else 0.0
+
+
+#: Object-engine units are re-chunked to at most this many trials in store
+#: mode, bounding how much completed work one interruption can lose (each
+#: chunk commits transactionally on completion).  Kept small: a store commit
+#: costs milliseconds while a protocol trial costs ~a second, so a narrow
+#: loss window is nearly free.
+STORE_COMMIT_CHUNK = 4
+
+#: Cache hits are fetched from the store in slices of this many rows at
+#: emission time, keeping warm-resume memory bounded by the batch size (plus
+#: the reorder window) instead of the campaign size.
+_SERVE_BATCH = 1024
+
+
+def _split_units_for_commit(units: list[ExecutionUnit]) -> list[ExecutionUnit]:
+    """Cap object units at :data:`STORE_COMMIT_CHUNK` trials per transaction.
+
+    Columnar units ship whole — the batch is solved as one array program, so
+    it completes (and commits) as one unit anyway.
+    """
+    split: list[ExecutionUnit] = []
+    for unit in units:
+        if unit.kind == "object" and len(unit.positions) > STORE_COMMIT_CHUNK:
+            for start in range(0, len(unit.positions), STORE_COMMIT_CHUNK):
+                split.append(
+                    ExecutionUnit("object", unit.positions[start : start + STORE_COMMIT_CHUNK])
+                )
+        else:
+            split.append(unit)
+    return split
+
+
+def _execute_specs_stored(
+    specs: Sequence[TrialSpec],
+    store: "ResultStore",
+    workers: int,
+    engine: str,
+    reuse_cached: bool,
+    cache_stats: StoreCacheStats | None,
+) -> Iterator[TrialResult]:
+    """Store-backed execution: serve cached rows, run misses, commit per unit.
+
+    ``record_history`` specs are never *served* from the store (per-round
+    state histories are not serialised, so a cached row cannot satisfy the
+    in-memory consumer), but their rows are still recorded — under a key
+    that, by construction, a history-free spec resolves to as well.
+    """
+    from repro.store.keys import trial_key
+
+    keys = [trial_key(spec) for spec in specs]
+    # Only the *keys* of cache hits are held for the whole run; the rows
+    # themselves are fetched in _SERVE_BATCH-sized slices at emission time,
+    # so a warm million-trial resume never materialises the campaign.
+    hit_keys: dict[int, str] = {}
+    if reuse_cached:
+        servable = [key for spec, key in zip(specs, keys) if not spec.record_history]
+        present = store.contains_keys(servable)
+        for position, (spec, key) in enumerate(zip(specs, keys)):
+            if not spec.record_history and key in present:
+                hit_keys[position] = key
+    if cache_stats is not None:
+        cache_stats.hits = len(hit_keys)
+        cache_stats.misses = len(specs) - len(hit_keys)
+    miss_positions = [position for position in range(len(specs)) if position not in hit_keys]
+    miss_specs = [specs[position] for position in miss_positions]
+
+    pending: dict[int, TrialResult] = {}
+    emitted = 0
+
+    def _drain() -> Iterator[TrialResult]:
+        nonlocal emitted
+        while True:
+            if emitted in pending:
+                yield pending.pop(emitted)
+                emitted += 1
+            elif emitted in hit_keys:
+                # Serve the next contiguous run of cached positions in one
+                # bounded fetch.
+                batch = []
+                position = emitted
+                while position in hit_keys and len(batch) < _SERVE_BATCH:
+                    batch.append(position)
+                    position += 1
+                rows = store.get_rows([hit_keys[position] for position in batch])
+                for position in batch:
+                    row = rows.get(hit_keys[position])
+                    if row is None:
+                        raise RuntimeError(
+                            f"store row for trial {position} vanished during execution; "
+                            "result stores must not be mutated concurrently with a run"
+                        )
+                    # Reattach the *requested* spec: the stored row may carry
+                    # a different trial_index (key-excluded field), and the
+                    # emitted row must be byte-identical to a fresh run.
+                    yield replace(TrialResult.from_row(row), spec=specs[position])
+                    del hit_keys[position]
+                    emitted = position + 1
+            else:
+                return
+
+    # Serve every prefix-complete cached row before any execution starts.
+    yield from _drain()
+    units = _split_units_for_commit(plan_specs(miss_specs, engine))
+
+    def _commit(unit: ExecutionUnit, unit_result: list[TrialResult]) -> None:
+        # Commit-then-emit: once a row has been yielded downstream, it is
+        # guaranteed to be in the store, so resuming after an interruption
+        # can never lose acknowledged work.
+        store.put_results(
+            (keys[miss_positions[local]], result)
+            for local, result in zip(unit.positions, unit_result)
+        )
+        for local, result in zip(unit.positions, unit_result):
+            pending[miss_positions[local]] = result
+
+    if workers <= 1 or len(units) <= 1:
+        for unit in units:
+            _commit(unit, _execute_unit(unit, miss_specs))
+            yield from _drain()
+        return
+    payloads = [
+        (unit, tuple(miss_specs[position] for position in unit.positions)) for unit in units
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for unit, unit_result in zip(units, pool.map(_execute_unit_task, payloads)):
+            _commit(unit, unit_result)
+            yield from _drain()
+
+
 def execute_specs(
     specs: Sequence[TrialSpec],
     workers: int = 1,
     chunksize: int | None = None,
     engine: str = "auto",
+    store: "ResultStore | None" = None,
+    reuse_cached: bool = True,
+    cache_stats: StoreCacheStats | None = None,
 ) -> Iterator[TrialResult]:
     """Yield one :class:`TrialResult` per spec, in spec order.
 
@@ -186,11 +355,23 @@ def execute_specs(
     engine and worker count.  ``workers <= 1`` runs inline (no subprocess
     overhead, simplest debugging); otherwise a process pool fans the plan's
     execution units out while this iterator yields results back in order.
+
+    With ``store`` set, execution becomes a write-through cache: cached rows
+    are served without running anything (unless ``reuse_cached`` is False,
+    which forces recomputation while still recording), misses commit to the
+    store transactionally per execution unit, and ``cache_stats`` — if
+    provided — is filled with the hit/miss split.  Rows remain byte-identical
+    to an uncached run, whichever side of the cache they came from.
     """
     if engine not in ENGINE_CHOICES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
         )
+    if store is not None:
+        yield from _execute_specs_stored(
+            specs, store, workers, engine, reuse_cached, cache_stats
+        )
+        return
     if engine == "object":
         if workers <= 1 or len(specs) <= 1:
             for spec in specs:
@@ -259,6 +440,8 @@ class CampaignSummary:
     workers: int
     jsonl_path: str | None
     engine: str = "object"
+    #: Trials served straight from the results store (0 without a store).
+    cache_hits: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -281,6 +464,7 @@ class CampaignSummary:
             "agreement_failures": self.agreement_failures,
             "validity_failures": self.validity_failures,
             "workers": self.workers,
+            "cache_hits": self.cache_hits,
             "seconds": round(self.elapsed_seconds, 3),
             "trials_per_s": round(self.trials_per_second, 1),
         }
@@ -293,17 +477,32 @@ def run_campaign(
     on_result: Callable[[TrialResult], None] | None = None,
     collect: bool = False,
     engine: str = "auto",
+    store: "ResultStore | str | Path | None" = None,
+    reuse_cached: bool = True,
 ) -> tuple[CampaignSummary, list[TrialResult]]:
     """Run every trial of the campaign, streaming rows to the optional sink.
 
     ``engine`` selects the execution substrate (:data:`ENGINE_CHOICES`); rows
-    are byte-identical across engines modulo ``elapsed_ms``.  Returns the
-    summary and — only when ``collect=True`` — the full result list (large
-    sweeps should rely on the JSONL sink instead and keep ``collect`` off).
+    are byte-identical across engines modulo ``elapsed_ms``.  ``store`` — a
+    :class:`~repro.store.backend.ResultStore` or a path, opened (and closed)
+    here via :func:`~repro.store.backend.open_store` — enables the
+    write-through cache: cached trials are served without execution (set
+    ``reuse_cached=False`` to force recomputation while still recording),
+    misses commit per execution unit, and the summary's ``cache_hits``
+    reports the split.  Returns the summary and — only when ``collect=True``
+    — the full result list (large sweeps should rely on the JSONL sink
+    instead and keep ``collect`` off).
     """
     start = time.perf_counter()
     ok = errors = agreement_failures = validity_failures = 0
     collected: list[TrialResult] = []
+
+    opened_store: "ResultStore | None" = None
+    if isinstance(store, (str, Path)):
+        from repro.store.backend import open_store
+
+        store = opened_store = open_store(store)
+    cache_stats = StoreCacheStats() if store is not None else None
 
     def _consume(results: Iterable[TrialResult]) -> None:
         nonlocal ok, errors, agreement_failures, validity_failures
@@ -323,12 +522,24 @@ def run_campaign(
             if collect:
                 collected.append(result)
 
-    if jsonl_path is not None:
-        with JsonlSink(jsonl_path) as sink:
-            _consume(execute_specs(campaign.specs, workers=workers, engine=engine))
-    else:
-        sink = None
-        _consume(execute_specs(campaign.specs, workers=workers, engine=engine))
+    try:
+        results = execute_specs(
+            campaign.specs,
+            workers=workers,
+            engine=engine,
+            store=store,
+            reuse_cached=reuse_cached,
+            cache_stats=cache_stats,
+        )
+        if jsonl_path is not None:
+            with JsonlSink(jsonl_path) as sink:
+                _consume(results)
+        else:
+            sink = None
+            _consume(results)
+    finally:
+        if opened_store is not None:
+            opened_store.close()
 
     summary = CampaignSummary(
         name=campaign.name,
@@ -341,5 +552,6 @@ def run_campaign(
         workers=workers,
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
         engine=engine,
+        cache_hits=cache_stats.hits if cache_stats is not None else 0,
     )
     return summary, collected

@@ -200,6 +200,8 @@ class FuzzReport:
     workers: int
     jsonl_path: str | None
     violations: tuple[FuzzViolation, ...] = field(default=())
+    #: Scenarios served straight from the results store (0 without a store).
+    cache_hits: int = 0
 
     @property
     def clean(self) -> bool:
@@ -216,6 +218,7 @@ class FuzzReport:
             "validity_failures": self.validity_failures,
             "violations": len(self.violations),
             "workers": self.workers,
+            "cache_hits": self.cache_hits,
             "seconds": round(self.elapsed_seconds, 3),
         }
 
@@ -251,15 +254,20 @@ def run_fuzz(
     adversaries: Sequence[str] = FUZZ_ADVERSARIES,
     schedulers: Sequence[str] = SCHEDULER_NAMES,
     engine: str = "auto",
+    store: Any = None,
+    reuse_cached: bool = True,
 ) -> FuzzReport:
     """Sample ``count`` scenarios and execute them, checking both invariants.
 
     Runs through :func:`~repro.engine.executor.run_campaign`, so rows stream
     to the optional JSONL sink in trial order and the output is
-    worker-count-invariant.  The report collects one
-    :class:`FuzzViolation` per trial that errored, disagreed, or decided
-    outside the honest hull; a clean report means every composition upheld
-    the paper's guarantees.
+    worker-count-invariant.  ``store`` (a
+    :class:`~repro.store.backend.ResultStore` or path) enables the engine's
+    write-through cache — invariants are still asserted on served rows, so a
+    resumed fuzz run re-checks everything while recomputing nothing.  The
+    report collects one :class:`FuzzViolation` per trial that errored,
+    disagreed, or decided outside the honest hull; a clean report means
+    every composition upheld the paper's guarantees.
     """
     specs = sample_specs(
         count,
@@ -278,7 +286,13 @@ def run_fuzz(
             violations.append(violation)
 
     summary, _ = run_campaign(
-        campaign, workers=workers, jsonl_path=jsonl_path, on_result=_check, engine=engine
+        campaign,
+        workers=workers,
+        jsonl_path=jsonl_path,
+        on_result=_check,
+        engine=engine,
+        store=store,
+        reuse_cached=reuse_cached,
     )
     return FuzzReport(
         name=campaign.name,
@@ -291,4 +305,5 @@ def run_fuzz(
         workers=workers,
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
         violations=tuple(violations),
+        cache_hits=summary.cache_hits,
     )

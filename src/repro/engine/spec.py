@@ -229,3 +229,38 @@ class TrialResult:
     def to_json(self) -> str:
         """One deterministic JSONL line (keys sorted, timing field included)."""
         return json.dumps(self.to_row(), sort_keys=True)
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "TrialResult":
+        """Rebuild a result from :meth:`to_row` / :meth:`to_json` output.
+
+        The exact inverse of the row serialisation (needed by the results
+        store): ``from_row(result.to_row()).to_row() == result.to_row()``,
+        error rows included.  ``state_histories`` is the one lossy field — it
+        is never serialised, so it comes back ``None``.  Unknown keys are
+        rejected rather than dropped: a row that does not round-trip is a
+        schema mismatch, not data.
+        """
+        spec_record: dict[str, Any] = {}
+        outcome: dict[str, Any] = {}
+        known = {
+            result_field.name
+            for result_field in fields(cls)
+            if result_field.name not in ("spec", "state_histories")
+        }
+        for key, value in row.items():
+            if key.startswith("spec_"):
+                spec_record[key[len("spec_") :]] = value
+            elif key in known:
+                outcome[key] = value
+            else:
+                raise ConfigurationError(f"unknown TrialResult row field {key!r}")
+        if "status" not in outcome:
+            raise ConfigurationError("TrialResult row is missing the 'status' field")
+        try:
+            spec = TrialSpec.from_dict(spec_record)
+        except TypeError as error:
+            raise ConfigurationError(f"malformed spec fields in row: {error}") from error
+        if outcome.get("decision") is not None:
+            outcome["decision"] = tuple(float(value) for value in outcome["decision"])
+        return cls(spec=spec, **outcome)

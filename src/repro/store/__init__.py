@@ -1,0 +1,58 @@
+"""Content-addressed results store: resumable campaigns and cross-run caching.
+
+The deterministic engine (PRs 2–4) makes every trial a pure function of its
+:class:`~repro.engine.spec.TrialSpec`.  This package turns that guarantee
+into a serving substrate: trial rows are warehoused under a content address
+derived from the spec itself (:mod:`repro.store.keys`), behind one
+:class:`~repro.store.backend.ResultStore` interface with SQLite and
+JSONL-directory backends (:mod:`repro.store.backend`), and queried without
+re-execution through :mod:`repro.store.query`.
+
+The executor (:mod:`repro.engine.executor`) consults a store before planning
+— cached trials are served without spawning workers, only misses run — which
+is what makes interrupted campaigns resumable and repeated grids cheap.  The
+``python -m repro.cli store`` command group (``stats`` / ``query`` /
+``export`` / ``gc`` / ``import``) manages stores from the shell.
+"""
+
+from repro.store.backend import (
+    BACKEND_CHOICES,
+    INDEXED_COLUMNS,
+    JsonlDirectoryStore,
+    ResultStore,
+    SqliteResultStore,
+    StoreEntry,
+    open_store,
+)
+from repro.store.keys import (
+    ENGINE_VERSION,
+    VOLATILE_SPEC_FIELDS,
+    canonical_spec_payload,
+    trial_key,
+)
+from repro.store.query import (
+    AGGREGATE_COLUMNS,
+    StoredTrial,
+    TrialFilter,
+    aggregate_store,
+    query_store,
+)
+
+__all__ = [
+    "AGGREGATE_COLUMNS",
+    "BACKEND_CHOICES",
+    "ENGINE_VERSION",
+    "INDEXED_COLUMNS",
+    "VOLATILE_SPEC_FIELDS",
+    "JsonlDirectoryStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "StoreEntry",
+    "StoredTrial",
+    "TrialFilter",
+    "aggregate_store",
+    "canonical_spec_payload",
+    "open_store",
+    "query_store",
+    "trial_key",
+]

@@ -1,0 +1,584 @@
+"""Result-store backends: one ``ResultStore`` interface, two on-disk layouts.
+
+A :class:`ResultStore` is an append-mostly warehouse of trial rows keyed by
+:func:`~repro.store.keys.trial_key` content addresses.  Both backends share
+the same durability contract the executor's resume path relies on:
+
+* :meth:`ResultStore.put_results` is **transactional on the SQLite backend**
+  (one SQL transaction per call) and per-shard-append on the JSONL backend —
+  the executor calls it once per completed execution unit, so an interrupted
+  campaign leaves the store at a clean unit boundary on SQLite, and at worst
+  a partially-appended unit (whole rows, at most one torn trailing line) on
+  JSONL;
+* writes are **idempotent** — re-putting a key overwrites with the same
+  bytes, so replaying a partial or whole unit after a crash is harmless;
+  this is what keeps the JSONL backend's weaker atomicity safe: resume
+  simply re-runs whatever the store is missing;
+* rows are stamped with the :data:`~repro.store.keys.ENGINE_VERSION` they
+  were produced under.  Because keys are salted with that version, stale
+  rows are unreachable by lookup; :meth:`ResultStore.gc` deletes them.
+
+Backends:
+
+* :class:`SqliteResultStore` — a single SQLite file with the spec's shape
+  columns mirrored into indexed columns, so the query layer can push
+  ``WHERE`` clauses into the database.  This is the scale backend (atomic
+  transactions, cheap point lookups at millions of rows).
+* :class:`JsonlDirectoryStore` — a directory of append-only JSON-lines
+  shards (fanned out by the first key byte), fully greppable and
+  merge-friendly.  The whole index is held in memory, which is fine at
+  campaign scale; a torn trailing line from an interrupted append is
+  detected and skipped on load (and reported via ``corrupt_lines``).
+
+:func:`open_store` picks a backend from the path (existing directory or
+suffix-less path → JSONL directory, anything else → SQLite) unless told
+explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.engine.executor import iter_jsonl
+from repro.engine.spec import TrialResult
+from repro.exceptions import ConfigurationError
+from repro.store.keys import ENGINE_VERSION, trial_key
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "INDEXED_COLUMNS",
+    "StoreEntry",
+    "ResultStore",
+    "SqliteResultStore",
+    "JsonlDirectoryStore",
+    "open_store",
+]
+
+#: Backend names accepted by :func:`open_store` (and the CLI's ``--store-backend``).
+BACKEND_CHOICES = ("auto", "sqlite", "jsonl")
+
+#: Spec/outcome columns every backend can filter on without parsing rows.
+#: The SQLite backend mirrors them into indexed columns; the JSONL backend
+#: filters its in-memory index.  Keys of the ``where`` mapping accepted by
+#: :meth:`ResultStore.iter_entries` must come from this set.
+INDEXED_COLUMNS = (
+    "protocol",
+    "workload",
+    "adversary",
+    "scheduler",
+    "process_count",
+    "dimension",
+    "fault_bound",
+    "status",
+    "engine_version",
+)
+
+# Row-dict field backing each indexed column ("engine_version" is stamp
+# metadata, not a row field, and is handled separately).
+_ROW_FIELD = {
+    "protocol": "spec_protocol",
+    "workload": "spec_workload",
+    "adversary": "spec_adversary",
+    "scheduler": "spec_scheduler",
+    "process_count": "spec_process_count",
+    "dimension": "spec_dimension",
+    "fault_bound": "spec_fault_bound",
+    "status": "status",
+}
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored trial: content address, provenance stamps, and the row."""
+
+    key: str
+    engine_version: str
+    created_at: float
+    row: dict[str, Any]
+
+    @property
+    def stale(self) -> bool:
+        """True when the row was written under a different engine revision."""
+        return self.engine_version != ENGINE_VERSION
+
+    def result(self) -> TrialResult:
+        """Materialise the row back into a :class:`TrialResult`."""
+        return TrialResult.from_row(self.row)
+
+
+def _check_where(where: Mapping[str, Any] | None) -> dict[str, Any]:
+    if not where:
+        return {}
+    unknown = set(where) - set(INDEXED_COLUMNS)
+    if unknown:
+        raise ConfigurationError(
+            f"unfilterable store columns: {sorted(unknown)}; "
+            f"indexed columns are {', '.join(INDEXED_COLUMNS)}"
+        )
+    return dict(where)
+
+
+class ResultStore(ABC):
+    """Content-addressed warehouse of trial rows (see module docstring)."""
+
+    #: Human-readable backend name ("sqlite" | "jsonl").
+    backend_name: str
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- required backend primitives -------------------------------------------
+
+    @abstractmethod
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Return ``{key: row}`` for every requested key present in the store."""
+
+    @abstractmethod
+    def put_rows(
+        self,
+        entries: Sequence[tuple[str, dict[str, Any]]],
+        engine_version: str = ENGINE_VERSION,
+    ) -> int:
+        """Write ``(key, row)`` pairs in **one transaction**; last write wins.
+
+        Returns the number of rows written.  ``engine_version`` is the stamp
+        recorded on each row (tests and importers may backdate it; the
+        executor always writes the current revision).
+        """
+
+    @abstractmethod
+    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
+        """Yield stored entries, optionally filtered on :data:`INDEXED_COLUMNS`."""
+
+    @abstractmethod
+    def delete_keys(self, keys: Sequence[str]) -> int:
+        """Delete the given keys (missing ones ignored); returns rows removed."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    # -- shared convenience layer ----------------------------------------------
+
+    def contains_keys(self, keys: Sequence[str]) -> set[str]:
+        """Return the subset of ``keys`` present in the store.
+
+        The executor uses this for its cache-hit census so that a warm run
+        never has to materialise every cached row at once; backends override
+        it with an index-only implementation.
+        """
+        return set(self.get_rows(keys))
+
+    def __contains__(self, key: str) -> bool:
+        return bool(self.contains_keys([key]))
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def put_results(self, pairs: Iterable[tuple[str, TrialResult]]) -> int:
+        """Store ``(key, result)`` pairs as one transactional batch."""
+        return self.put_rows([(key, result.to_row()) for key, result in pairs])
+
+    def gc(self, engine_version: str = ENGINE_VERSION, dry_run: bool = False) -> int:
+        """Delete (or with ``dry_run`` just count) rows under any other engine salt.
+
+        Those rows are unreachable by lookup — their keys were derived under
+        a salt no current :func:`~repro.store.keys.trial_key` call uses — so
+        removing them only reclaims space, never cache hits.
+        """
+        stale = [entry.key for entry in self.iter_entries() if entry.engine_version != engine_version]
+        if dry_run:
+            return len(stale)
+        return self.delete_keys(stale)
+
+    def import_jsonl(
+        self,
+        path: str | Path,
+        batch_size: int = 256,
+        engine_version: str = ENGINE_VERSION,
+    ) -> int:
+        """Ingest a campaign/fuzz JSONL export, re-deriving each row's key.
+
+        Rows stream through :func:`~repro.engine.executor.iter_jsonl` (the
+        file is never materialised whole) and commit in transactional
+        batches.  Returns the number of rows ingested; malformed rows raise
+        :class:`~repro.exceptions.ConfigurationError` rather than importing a
+        corrupt warehouse.
+
+        ``engine_version`` is the provenance claim for the file: JSONL rows
+        carry no version stamp, so the caller must say which engine revision
+        produced them (default: the current one, i.e. a fresh export).  Keys
+        are salted with that version *and* the rows are stamped with it —
+        importing an old export under its true version keeps its rows
+        unreachable by current lookups instead of laundering them into
+        cache hits.
+        """
+        # Validation pass first: nothing is committed until the whole file
+        # parses, so a malformed row cannot leave a half-imported warehouse.
+        for row_number, row in enumerate(iter_jsonl(path), start=1):
+            # Row ordinal, not file line: iter_jsonl skips blank lines.
+            try:
+                TrialResult.from_row(row)
+            except ConfigurationError as error:
+                raise ConfigurationError(f"{path}: row {row_number}: {error}") from error
+        ingested = 0
+        batch: list[tuple[str, dict[str, Any]]] = []
+        for row in iter_jsonl(path):
+            result = TrialResult.from_row(row)
+            batch.append((trial_key(result.spec, engine_version=engine_version), result.to_row()))
+            if len(batch) >= batch_size:
+                ingested += self.put_rows(batch, engine_version=engine_version)
+                batch.clear()
+        if batch:
+            ingested += self.put_rows(batch, engine_version=engine_version)
+        return ingested
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate view for the CLI: counts by engine version and status."""
+        by_version: dict[str, int] = {}
+        by_status: dict[str, int] = {}
+        total = 0
+        for entry in self.iter_entries():
+            total += 1
+            by_version[entry.engine_version] = by_version.get(entry.engine_version, 0) + 1
+            status = str(entry.row.get("status"))
+            by_status[status] = by_status.get(status, 0) + 1
+        return {
+            "backend": self.backend_name,
+            "path": str(self.path),
+            "trials": total,
+            "current_engine_version": ENGINE_VERSION,
+            "stale_trials": total - by_version.get(ENGINE_VERSION, 0),
+            "engine_versions": dict(sorted(by_version.items())),
+            "statuses": dict(sorted(by_status.items())),
+        }
+
+
+def _indexed_values(row: Mapping[str, Any]) -> tuple[Any, ...]:
+    return tuple(row.get(_ROW_FIELD[column]) for column in _ROW_FIELD)
+
+
+_SQLITE_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS trials (
+    key TEXT PRIMARY KEY,
+    engine_version TEXT NOT NULL,
+    {", ".join(f"{column} {'INTEGER' if column in ('process_count', 'dimension', 'fault_bound') else 'TEXT'}" for column in _ROW_FIELD)},
+    created_at REAL NOT NULL,
+    row TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_trials_shape
+    ON trials (protocol, dimension, fault_bound, adversary);
+CREATE INDEX IF NOT EXISTS idx_trials_version ON trials (engine_version);
+"""
+
+# SQLite caps bound parameters per statement; stay well under the historic
+# 999 default.
+_SQLITE_KEY_CHUNK = 500
+
+
+class SqliteResultStore(ResultStore):
+    """Single-file SQLite warehouse with indexed shape columns."""
+
+    backend_name = "sqlite"
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(str(self.path))
+        except sqlite3.Error as error:  # e.g. the path is a directory
+            raise ConfigurationError(
+                f"{self.path} is not a usable SQLite result store: {error}"
+            ) from error
+        try:
+            self._connection.executescript(_SQLITE_SCHEMA)
+            self._connection.commit()
+        except sqlite3.DatabaseError as error:
+            self._connection.close()
+            raise ConfigurationError(
+                f"{self.path} is not a usable SQLite result store: {error}"
+            ) from error
+
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        found: dict[str, dict[str, Any]] = {}
+        for start in range(0, len(keys), _SQLITE_KEY_CHUNK):
+            chunk = list(keys[start : start + _SQLITE_KEY_CHUNK])
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self._connection.execute(
+                f"SELECT key, row FROM trials WHERE key IN ({placeholders})", chunk
+            )
+            for key, row_text in cursor:
+                found[key] = json.loads(row_text)
+        return found
+
+    def contains_keys(self, keys: Sequence[str]) -> set[str]:
+        present: set[str] = set()
+        for start in range(0, len(keys), _SQLITE_KEY_CHUNK):
+            chunk = list(keys[start : start + _SQLITE_KEY_CHUNK])
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self._connection.execute(
+                f"SELECT key FROM trials WHERE key IN ({placeholders})", chunk
+            )
+            present.update(key for (key,) in cursor)
+        return present
+
+    def put_rows(
+        self,
+        entries: Sequence[tuple[str, dict[str, Any]]],
+        engine_version: str = ENGINE_VERSION,
+    ) -> int:
+        now = time.time()
+        records = [
+            (key, engine_version, *_indexed_values(row), now, json.dumps(row, sort_keys=True))
+            for key, row in entries
+        ]
+        columns = ", ".join(_ROW_FIELD)
+        placeholders = ",".join("?" for _ in range(len(_ROW_FIELD) + 4))
+        with self._connection:  # one transaction per call — the unit-commit contract
+            self._connection.executemany(
+                f"INSERT OR REPLACE INTO trials (key, engine_version, {columns}, created_at, row) "
+                f"VALUES ({placeholders})",
+                records,
+            )
+        return len(records)
+
+    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
+        filters = _check_where(where)
+        clause = ""
+        values: list[Any] = []
+        if filters:
+            clause = " WHERE " + " AND ".join(f"{column} = ?" for column in filters)
+            values = list(filters.values())
+        cursor = self._connection.execute(
+            f"SELECT key, engine_version, created_at, row FROM trials{clause} ORDER BY key",
+            values,
+        )
+        for key, engine_version, created_at, row_text in cursor:
+            yield StoreEntry(key, engine_version, created_at, json.loads(row_text))
+
+    def delete_keys(self, keys: Sequence[str]) -> int:
+        deleted = 0
+        with self._connection:
+            for start in range(0, len(keys), _SQLITE_KEY_CHUNK):
+                chunk = list(keys[start : start + _SQLITE_KEY_CHUNK])
+                placeholders = ",".join("?" for _ in chunk)
+                cursor = self._connection.execute(
+                    f"DELETE FROM trials WHERE key IN ({placeholders})", chunk
+                )
+                deleted += cursor.rowcount
+        return deleted
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM trials").fetchone()
+        return int(count)
+
+    def gc(self, engine_version: str = ENGINE_VERSION, dry_run: bool = False) -> int:
+        # SQL fast path: engine_version is an indexed column, so neither the
+        # count nor the delete needs to parse a single row.
+        if dry_run:
+            (stale,) = self._connection.execute(
+                "SELECT COUNT(*) FROM trials WHERE engine_version != ?", (engine_version,)
+            ).fetchone()
+            return int(stale)
+        with self._connection:
+            cursor = self._connection.execute(
+                "DELETE FROM trials WHERE engine_version != ?", (engine_version,)
+            )
+        return cursor.rowcount
+
+    def stats(self) -> dict[str, Any]:
+        # SQL fast path over the indexed columns (same shape as the base
+        # implementation, without deserialising any row).
+        by_version = {
+            version: int(count)
+            for version, count in self._connection.execute(
+                "SELECT engine_version, COUNT(*) FROM trials "
+                "GROUP BY engine_version ORDER BY engine_version"
+            )
+        }
+        by_status = {
+            status: int(count)
+            for status, count in self._connection.execute(
+                "SELECT status, COUNT(*) FROM trials GROUP BY status ORDER BY status"
+            )
+        }
+        total = sum(by_version.values())
+        return {
+            "backend": self.backend_name,
+            "path": str(self.path),
+            "trials": total,
+            "current_engine_version": ENGINE_VERSION,
+            "stale_trials": total - by_version.get(ENGINE_VERSION, 0),
+            "engine_versions": by_version,
+            "statuses": by_status,
+        }
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class JsonlDirectoryStore(ResultStore):
+    """Directory of append-only JSONL shards, indexed in memory.
+
+    Layout: ``<dir>/<key[:2]>.jsonl``, one JSON object per line carrying the
+    key, the stamps and the row.  Appends flush per ``put_rows`` call;
+    duplicate keys resolve last-write-wins at load time.  Durability is
+    weaker than SQLite's: a ``put_rows`` spanning several shards is not
+    atomic across them, and an interrupted append can tear the final line
+    of one shard (skipped and counted on load) — safe only because trials
+    are individually keyed and idempotently re-put on resume, never because
+    a unit is assumed whole-or-absent.
+    """
+
+    backend_name = "jsonl"
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise ConfigurationError(
+                f"{self.path} exists and is not a directory; "
+                "the jsonl backend stores shards under a directory"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        #: Lines that failed to parse during load (torn trailing appends).
+        self.corrupt_lines = 0
+        self._entries: dict[str, StoreEntry] = {}
+        for shard in sorted(self.path.glob("*.jsonl")):
+            with shard.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        entry = StoreEntry(
+                            key=record["key"],
+                            engine_version=record["engine_version"],
+                            created_at=float(record["created_at"]),
+                            row=record["row"],
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        self.corrupt_lines += 1
+                        continue
+                    self._entries[entry.key] = entry
+
+    def _shard(self, key: str) -> Path:
+        return self.path / f"{key[:2]}.jsonl"
+
+    @staticmethod
+    def _shard_line(entry: StoreEntry) -> str:
+        """The single on-disk record shape (shared by append and rewrite)."""
+        return json.dumps(
+            {
+                "key": entry.key,
+                "engine_version": entry.engine_version,
+                "created_at": entry.created_at,
+                "row": entry.row,
+            },
+            sort_keys=True,
+        )
+
+    def get_rows(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        return {key: self._entries[key].row for key in keys if key in self._entries}
+
+    def contains_keys(self, keys: Sequence[str]) -> set[str]:
+        return {key for key in keys if key in self._entries}
+
+    def put_rows(
+        self,
+        entries: Sequence[tuple[str, dict[str, Any]]],
+        engine_version: str = ENGINE_VERSION,
+    ) -> int:
+        now = time.time()
+        by_shard: dict[Path, list[StoreEntry]] = {}
+        for key, row in entries:
+            entry = StoreEntry(key=key, engine_version=engine_version, created_at=now, row=row)
+            by_shard.setdefault(self._shard(key), []).append(entry)
+        for shard, shard_entries in sorted(by_shard.items()):
+            with shard.open("a", encoding="utf-8") as handle:
+                for entry in shard_entries:
+                    handle.write(self._shard_line(entry) + "\n")
+                handle.flush()
+        for _, shard_entries in sorted(by_shard.items()):
+            for entry in shard_entries:
+                self._entries[entry.key] = entry
+        return len(entries)
+
+    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
+        filters = _check_where(where)
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            matches = True
+            for column, wanted in filters.items():
+                actual = (
+                    entry.engine_version
+                    if column == "engine_version"
+                    else entry.row.get(_ROW_FIELD[column])
+                )
+                if actual != wanted:
+                    matches = False
+                    break
+            if matches:
+                yield entry
+
+    def delete_keys(self, keys: Sequence[str]) -> int:
+        doomed = [key for key in keys if key in self._entries]
+        for key in doomed:
+            del self._entries[key]
+        # Rewrite each affected shard atomically (write-new + rename) from the
+        # surviving in-memory entries, bucketed in one pass over the index.
+        affected = {key[:2] for key in doomed}
+        survivors_by_prefix: dict[str, list[StoreEntry]] = {prefix: [] for prefix in affected}
+        for key in sorted(self._entries):
+            if key[:2] in affected:
+                survivors_by_prefix[key[:2]].append(self._entries[key])
+        for prefix in sorted(affected):
+            shard = self.path / f"{prefix}.jsonl"
+            survivors = survivors_by_prefix[prefix]
+            replacement = shard.with_suffix(".jsonl.tmp")
+            with replacement.open("w", encoding="utf-8") as handle:
+                for entry in survivors:
+                    handle.write(self._shard_line(entry) + "\n")
+            if survivors:
+                os.replace(replacement, shard)
+            else:
+                replacement.unlink()
+                shard.unlink(missing_ok=True)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def open_store(path: str | Path, backend: str = "auto") -> ResultStore:
+    """Open (creating if needed) a result store at ``path``.
+
+    ``backend="auto"`` resolves from the path: an existing directory — or a
+    fresh path with no suffix — becomes a JSONL directory store; anything
+    else (``.db``, ``.sqlite``, any file) opens as SQLite.
+    """
+    if backend not in BACKEND_CHOICES:
+        raise ConfigurationError(
+            f"unknown store backend {backend!r}; known: {', '.join(BACKEND_CHOICES)}"
+        )
+    path = Path(path)
+    if backend == "auto":
+        if path.is_dir() or (not path.exists() and path.suffix == ""):
+            backend = "jsonl"
+        else:
+            backend = "sqlite"
+    if backend == "jsonl":
+        return JsonlDirectoryStore(path)
+    return SqliteResultStore(path)

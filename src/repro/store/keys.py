@@ -1,0 +1,77 @@
+"""Content addresses for trial results: canonical spec hashing.
+
+A trial is a pure function of its :class:`~repro.engine.spec.TrialSpec`
+(engine guarantee since PR 2), so the spec itself — not a run id, not a
+timestamp — is the natural address of its result.  :func:`trial_key` derives
+that address as a SHA-256 over the *canonical* spec payload:
+
+* the payload is ``TrialSpec.to_dict()`` minus the fields that provably do
+  not influence the outcome (:data:`VOLATILE_SPEC_FIELDS`): ``trial_index``
+  is bookkeeping (the campaign position; seeds are carried explicitly on the
+  spec, never derived from the index) and ``record_history`` only controls
+  whether in-memory per-round states are retained — the serialised row is
+  byte-identical either way.  Excluding them is what makes the cache work
+  *across* runs: the same physical trial at a different grid position, or
+  re-run without histories, resolves to the same address;
+* values are normalised through the spec module's JSON coercion (tuples
+  become lists, numpy scalars become Python scalars) and serialised with
+  sorted keys, so logically equal specs hash equally regardless of how their
+  parameter mappings were spelled;
+* the payload is salted with :data:`ENGINE_VERSION`.  Rows written by an
+  older engine revision are thereby *unreachable* (a lookup under the new
+  salt can never return them) rather than silently wrong —
+  ``ResultStore.gc`` reclaims the dead space.
+
+**Bump discipline:** any change that alters what a spec executes to — a
+protocol fix, a seed-derivation change, an adversary behaviour change, a new
+field on the serialised row — must bump :data:`ENGINE_VERSION`.  Leaving it
+alone asserts "every row ever stored under this salt is still exactly what
+the current engine would produce".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.engine.spec import TrialSpec, _jsonify
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ENGINE_VERSION", "VOLATILE_SPEC_FIELDS", "canonical_spec_payload", "trial_key"]
+
+#: Salt folded into every trial key.  Format: ``<package version>/<row schema
+#: revision>``; bump the revision whenever trial semantics or the serialised
+#: row change (see the module docstring for the discipline).
+ENGINE_VERSION = "1.0.0/rows1"
+
+#: Spec fields excluded from the key because they cannot influence the
+#: serialised outcome row (see module docstring).
+VOLATILE_SPEC_FIELDS = ("trial_index", "record_history")
+
+
+def canonical_spec_payload(spec: TrialSpec) -> dict[str, Any]:
+    """Return the spec fields that determine the trial outcome, JSON-normalised."""
+    payload = spec.to_dict()
+    for field_name in VOLATILE_SPEC_FIELDS:
+        payload.pop(field_name, None)
+    return _jsonify(payload)
+
+
+def trial_key(spec: TrialSpec, engine_version: str = ENGINE_VERSION) -> str:
+    """Return the content address (hex SHA-256) of ``spec``'s result.
+
+    Two specs get the same key iff they execute to byte-identical rows under
+    the engine revision named by ``engine_version`` — equal outcome-relevant
+    fields, same salt.
+    """
+    try:
+        payload = json.dumps(
+            canonical_spec_payload(spec), sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"spec is not content-addressable (non-JSON parameter value): {error}"
+        ) from error
+    digest = hashlib.sha256(f"{engine_version}\n{payload}".encode("utf-8"))
+    return digest.hexdigest()

@@ -112,6 +112,26 @@ class TestProtocolExperiments:
             assert row["agreement"] and row["validity"]
         assert rows[0]["decision_is_distribution"] is True
 
+    def test_experiments_serve_from_a_result_store(self, tmp_path):
+        # With a store configured, the first run populates it and the second
+        # is served from it — producing the identical table either way.
+        store_path = tmp_path / "experiments.db"
+        previous = experiments.set_result_store(store_path)
+        try:
+            cold = experiments.experiment_exact_bvc(
+                configurations=((2, 1),), strategies=("crash",)
+            )
+            warm = experiments.experiment_exact_bvc(
+                configurations=((2, 1),), strategies=("crash",)
+            )
+        finally:
+            assert experiments.set_result_store(previous) == store_path
+        assert cold == warm
+        from repro.store import open_store
+
+        with open_store(store_path) as store:
+            assert len(store) == 1
+
     def test_e16_adversary_coordination(self):
         rows = experiments.experiment_adversary_coordination(dimension=1, epsilon=0.3)
         # Five independent strategies plus the four coordinated ones.

@@ -134,3 +134,75 @@ class TestCampaignFromFile:
         path.write_text(json.dumps({"grid": {"dimension": [1, 2]}}))  # typo for "dimensions"
         with pytest.raises(ConfigurationError, match="unknown grid axes"):
             Campaign.from_file(path)
+
+
+class TestCampaignFromFileMalformedEntries:
+    """Malformed declarations must raise ConfigurationError naming the key,
+    never a bare TypeError from the dataclass constructor."""
+
+    def _write(self, tmp_path, declaration) -> str:
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(declaration))
+        return path
+
+    def test_grid_axis_spelled_as_scalar_names_the_axis(self, tmp_path):
+        path = self._write(tmp_path, {"grid": {"protocols": "exact"}})
+        with pytest.raises(ConfigurationError, match="grid axis 'protocols'"):
+            Campaign.from_file(path)
+
+    def test_grid_scalar_spelled_as_wrong_type_names_the_key(self, tmp_path):
+        path = self._write(tmp_path, {"grid": {"repeats": "three"}})
+        with pytest.raises(ConfigurationError, match="grid key 'repeats'"):
+            Campaign.from_file(path)
+        path = self._write(tmp_path, {"grid": {"base_seed": True}})
+        with pytest.raises(ConfigurationError, match="grid key 'base_seed'"):
+            Campaign.from_file(path)
+
+    def test_grid_max_rounds_override_accepts_null(self, tmp_path):
+        path = self._write(
+            tmp_path, {"grid": {"protocols": ["exact"], "max_rounds_override": None}}
+        )
+        assert len(Campaign.from_file(path)) == 1
+
+    def test_grid_process_counts_accepts_explicit_null(self, tmp_path):
+        # null means from_grid's own default: the paper's minimum n per (d, f).
+        path = self._write(
+            tmp_path, {"grid": {"protocols": ["exact"], "process_counts": None}}
+        )
+        campaign = Campaign.from_file(path)
+        assert campaign.specs[0].process_count == minimum_processes_for("exact", 2, 1)
+
+    def test_grid_must_be_an_object(self, tmp_path):
+        path = self._write(tmp_path, {"grid": ["exact"]})
+        with pytest.raises(ConfigurationError, match="'grid' must be a JSON object"):
+            Campaign.from_file(path)
+
+    def test_trials_must_be_a_list(self, tmp_path):
+        path = self._write(tmp_path, {"trials": {"protocol": "exact"}})
+        with pytest.raises(ConfigurationError, match="'trials' must be a list"):
+            Campaign.from_file(path)
+
+    def test_trial_entry_must_be_an_object_with_index_in_message(self, tmp_path):
+        spec = TrialSpec(protocol="exact", workload="uniform_box", seed=1)
+        path = self._write(tmp_path, {"trials": [spec.to_dict(), 42]})
+        with pytest.raises(ConfigurationError, match=r"trials\[1\] must be a JSON object"):
+            Campaign.from_file(path)
+
+    def test_trial_entry_unknown_field_names_entry_and_field(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"trials": [{"protocol": "exact", "workload": "uniform_box", "bogus": 1}]},
+        )
+        with pytest.raises(ConfigurationError, match=r"trials\[0\].*bogus"):
+            Campaign.from_file(path)
+
+    def test_trial_entry_malformed_params_is_configuration_error(self, tmp_path):
+        # workload_params spelled as a scalar used to escape as a bare
+        # TypeError out of the frozen-dataclass parameter normalisation.
+        path = self._write(
+            tmp_path,
+            {"trials": [{"protocol": "exact", "workload": "uniform_box",
+                         "workload_params": 5}]},
+        )
+        with pytest.raises(ConfigurationError, match=r"trials\[0\]: malformed trial entry"):
+            Campaign.from_file(path)

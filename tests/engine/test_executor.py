@@ -16,6 +16,7 @@ from repro.engine import (
     CampaignSummary,
     TrialSpec,
     execute_specs,
+    iter_jsonl,
     read_jsonl,
     run_campaign,
     run_trial,
@@ -162,8 +163,10 @@ class TestExecutor:
         summary_one, _ = run_campaign(campaign, workers=1, jsonl_path=sequential)
         summary_two, _ = run_campaign(campaign, workers=2, jsonl_path=pooled)
         assert summary_one.trials == summary_two.trials == len(campaign)
-        rows_one = strip_timing(read_jsonl(sequential))
-        rows_two = strip_timing(read_jsonl(pooled))
+        # The equivalence comparison streams both files (strip_timing accepts
+        # any row iterable) — no full materialisation needed.
+        rows_one = strip_timing(iter_jsonl(sequential))
+        rows_two = strip_timing(iter_jsonl(pooled))
         assert rows_one == rows_two
 
     def test_results_arrive_in_spec_order(self):
@@ -202,6 +205,31 @@ class TestExecutor:
         assert row["campaign"] == "tiny"
         assert row["trials"] == 1
         assert row["errors"] == 0
+
+
+class TestIterJsonl:
+    def test_streams_rows_lazily(self, tmp_path):
+        import json
+        from itertools import islice
+
+        path = tmp_path / "rows.jsonl"
+        path.write_text(
+            "".join(json.dumps({"index": index}) + "\n" for index in range(100))
+            + "\n\n"  # trailing blank lines are skipped
+        )
+        iterator = iter_jsonl(path)
+        assert iter(iterator) is iterator  # a generator, not a list
+        head = list(islice(iterator, 3))
+        assert head == [{"index": 0}, {"index": 1}, {"index": 2}]
+        iterator.close()  # closing early must not error (file handle released)
+
+    def test_read_jsonl_is_the_materialised_view(self, tmp_path):
+        import json
+
+        path = tmp_path / "rows.jsonl"
+        path.write_text("\n".join(json.dumps({"index": index}) for index in range(5)) + "\n")
+        assert read_jsonl(path) == list(iter_jsonl(path))
+        assert len(read_jsonl(path)) == 5
 
 
 class TestCampaignSummary:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.engine import (
     COORDINATED_STRATEGY_NAMES,
-    read_jsonl,
+    iter_jsonl,
     run_fuzz,
     sample_specs,
     strip_timing,
@@ -88,7 +88,7 @@ class TestRunFuzz:
         report_1 = run_fuzz(count=6, seed=21, workers=1, jsonl_path=sequential)
         report_2 = run_fuzz(count=6, seed=21, workers=2, jsonl_path=pooled)
         assert report_1.clean and report_2.clean
-        assert strip_timing(read_jsonl(sequential)) == strip_timing(read_jsonl(pooled))
+        assert strip_timing(iter_jsonl(sequential)) == strip_timing(iter_jsonl(pooled))
 
     def test_coordinated_adversaries_survive_fuzzing(self):
         report = run_fuzz(

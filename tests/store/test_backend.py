@@ -1,0 +1,219 @@
+"""Unit tests for repro.store.backend: both ResultStore implementations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import TrialResult, TrialSpec, run_trial
+from repro.exceptions import ConfigurationError
+from repro.store import (
+    ENGINE_VERSION,
+    JsonlDirectoryStore,
+    SqliteResultStore,
+    open_store,
+    trial_key,
+)
+
+BACKENDS = ("sqlite", "jsonl")
+
+
+def _make_store(backend: str, tmp_path):
+    if backend == "sqlite":
+        return SqliteResultStore(tmp_path / "store.db")
+    return JsonlDirectoryStore(tmp_path / "store-dir")
+
+
+def _result(seed: int = 1, process_count: int = 5) -> TrialResult:
+    # Under-provisioned specs (n=3) produce deterministic error rows without
+    # touching the LP stack — cheap fodder for storage tests.
+    spec = TrialSpec(protocol="exact", workload="uniform_box",
+                     process_count=process_count, dimension=2, fault_bound=1, seed=seed)
+    return run_trial(spec)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestResultStoreContract:
+    def test_put_get_roundtrip_and_contains(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        result = _result(seed=1)
+        key = trial_key(result.spec)
+        assert key not in store
+        assert store.put_results([(key, result)]) == 1
+        assert key in store
+        assert len(store) == 1
+        assert store.get_rows([key]) == {key: result.to_row()}
+        assert store.get_rows(["0" * 64]) == {}
+
+    def test_error_rows_store_like_any_other(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        error_result = _result(seed=2, process_count=3)
+        assert error_result.status == "error"
+        key = trial_key(error_result.spec)
+        store.put_results([(key, error_result)])
+        (entry,) = list(store.iter_entries())
+        assert entry.row["status"] == "error"
+        assert entry.result().to_row() == error_result.to_row()
+
+    def test_last_write_wins(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        result = _result(seed=3)
+        key = trial_key(result.spec)
+        store.put_results([(key, result)])
+        store.put_results([(key, result)])
+        assert len(store) == 1
+
+    def test_persistence_across_reopen(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        results = [_result(seed=seed, process_count=3) for seed in range(5)]
+        store.put_results([(trial_key(result.spec), result) for result in results])
+        store.close()
+        reopened = _make_store(backend, tmp_path)
+        assert len(reopened) == 5
+        for result in results:
+            assert trial_key(result.spec) in reopened
+        reopened.close()
+
+    def test_delete_keys_and_len(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        results = [_result(seed=seed, process_count=3) for seed in range(4)]
+        keys = [trial_key(result.spec) for result in results]
+        store.put_results(zip(keys, results))
+        assert store.delete_keys(keys[:2] + ["0" * 64]) == 2
+        assert len(store) == 2
+        # Deletion survives reopen (the jsonl backend must rewrite shards).
+        store.close()
+        reopened = _make_store(backend, tmp_path)
+        assert len(reopened) == 2
+        assert keys[0] not in reopened and keys[2] in reopened
+        reopened.close()
+
+    def test_gc_deletes_only_stale_engine_versions(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        fresh = _result(seed=10, process_count=3)
+        stale = _result(seed=11, process_count=3)
+        store.put_rows([(trial_key(fresh.spec), fresh.to_row())])
+        store.put_rows(
+            [(trial_key(stale.spec, engine_version="0.0.1/rows0"), stale.to_row())],
+            engine_version="0.0.1/rows0",
+        )
+        assert store.stats()["stale_trials"] == 1
+        assert store.gc(dry_run=True) == 1
+        assert len(store) == 2  # dry run deletes nothing
+        assert store.gc() == 1
+        assert len(store) == 1
+        (entry,) = list(store.iter_entries())
+        assert entry.engine_version == ENGINE_VERSION
+
+    def test_iter_entries_sorted_and_filterable(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        ok_result = _result(seed=5)
+        error_result = _result(seed=6, process_count=3)
+        store.put_results([
+            (trial_key(ok_result.spec), ok_result),
+            (trial_key(error_result.spec), error_result),
+        ])
+        keys = [entry.key for entry in store.iter_entries()]
+        assert keys == sorted(keys)
+        errors = list(store.iter_entries(where={"status": "error"}))
+        assert [entry.row["status"] for entry in errors] == ["error"]
+        shaped = list(store.iter_entries(where={"process_count": 5, "status": "ok"}))
+        assert len(shaped) == 1
+        with pytest.raises(ConfigurationError, match="unfilterable"):
+            list(store.iter_entries(where={"bogus": 1}))
+
+    def test_import_jsonl_rederives_keys(self, backend, tmp_path):
+        results = [_result(seed=seed, process_count=3) for seed in range(3)]
+        jsonl = tmp_path / "campaign.jsonl"
+        jsonl.write_text("".join(result.to_json() + "\n" for result in results))
+        store = _make_store(backend, tmp_path)
+        assert store.import_jsonl(jsonl) == 3
+        for result in results:
+            assert trial_key(result.spec) in store
+
+    def test_import_rejects_malformed_rows(self, backend, tmp_path):
+        jsonl = tmp_path / "bad.jsonl"
+        jsonl.write_text(json.dumps({"status": "ok", "bogus_field": 1}) + "\n")
+        store = _make_store(backend, tmp_path)
+        with pytest.raises(ConfigurationError, match="bad.jsonl: row 1"):
+            store.import_jsonl(jsonl)
+
+    def test_import_commits_nothing_when_a_later_row_is_malformed(self, backend, tmp_path):
+        # Validation runs over the whole file before the first commit, so a
+        # bad row 4 must not leave rows 1-3 servable in the store.
+        results = [_result(seed=seed, process_count=3) for seed in range(3)]
+        jsonl = tmp_path / "tail-bad.jsonl"
+        jsonl.write_text(
+            "".join(result.to_json() + "\n" for result in results)
+            + json.dumps({"status": "ok", "bogus_field": 1}) + "\n"
+        )
+        store = _make_store(backend, tmp_path)
+        with pytest.raises(ConfigurationError, match="row 4"):
+            store.import_jsonl(jsonl, batch_size=2)  # batches smaller than the file
+        assert len(store) == 0
+
+    def test_import_under_old_engine_version_stays_unreachable(self, backend, tmp_path):
+        # An old export imported under its true provenance must not become a
+        # cache hit for current-salt lookups — it lands stale and gc'able.
+        result = _result(seed=4, process_count=3)
+        jsonl = tmp_path / "old.jsonl"
+        jsonl.write_text(result.to_json() + "\n")
+        store = _make_store(backend, tmp_path)
+        assert store.import_jsonl(jsonl, engine_version="0.0.1/rows0") == 1
+        assert trial_key(result.spec) not in store  # current salt cannot reach it
+        assert trial_key(result.spec, engine_version="0.0.1/rows0") in store
+        assert store.stats()["stale_trials"] == 1
+        assert store.gc() == 1
+
+
+class TestJsonlDurability:
+    def test_torn_trailing_line_is_skipped_on_load(self, tmp_path):
+        store = JsonlDirectoryStore(tmp_path / "dir")
+        result = _result(seed=1, process_count=3)
+        key = trial_key(result.spec)
+        store.put_results([(key, result)])
+        (shard,) = list((tmp_path / "dir").glob("*.jsonl"))
+        with shard.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "interrupted-mid-wr')  # torn append
+        reopened = JsonlDirectoryStore(tmp_path / "dir")
+        assert reopened.corrupt_lines == 1
+        assert len(reopened) == 1
+        assert key in reopened
+
+    def test_rejects_file_path(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("hello")
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            JsonlDirectoryStore(target)
+
+
+class TestOpenStore:
+    def test_auto_detection(self, tmp_path):
+        assert open_store(tmp_path / "warehouse.db").backend_name == "sqlite"
+        assert open_store(tmp_path / "warehouse").backend_name == "jsonl"
+        # Existing layouts win over suffix heuristics.
+        directory = tmp_path / "existing.db"
+        directory.mkdir()
+        assert open_store(directory).backend_name == "jsonl"
+
+    def test_explicit_backend(self, tmp_path):
+        assert open_store(tmp_path / "x", backend="sqlite").backend_name == "sqlite"
+        assert open_store(tmp_path / "y.db", backend="jsonl").backend_name == "jsonl"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown store backend"):
+            open_store(tmp_path / "x", backend="warp")
+
+    def test_non_database_file_rejected(self, tmp_path):
+        target = tmp_path / "corrupt.db"
+        target.write_text("this is not a sqlite database, not even close")
+        with pytest.raises(ConfigurationError, match="not a usable SQLite"):
+            open_store(target)
+
+    def test_unopenable_sqlite_path_rejected(self, tmp_path):
+        # e.g. pointing the sqlite backend at a directory a jsonl store made.
+        directory = tmp_path / "jsonl-store"
+        directory.mkdir()
+        with pytest.raises(ConfigurationError, match="not a usable SQLite"):
+            open_store(directory, backend="sqlite")

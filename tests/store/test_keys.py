@@ -1,0 +1,70 @@
+"""Unit tests for repro.store.keys: canonical content addresses."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import TrialSpec
+from repro.exceptions import ConfigurationError
+from repro.store import ENGINE_VERSION, VOLATILE_SPEC_FIELDS, canonical_spec_payload, trial_key
+
+
+def _spec(**overrides) -> TrialSpec:
+    base = dict(protocol="exact", workload="uniform_box", adversary="crash",
+                process_count=5, dimension=2, fault_bound=1, seed=7)
+    base.update(overrides)
+    return TrialSpec(**base)
+
+
+class TestTrialKey:
+    def test_deterministic_and_hex(self):
+        assert trial_key(_spec()) == trial_key(_spec())
+        assert len(trial_key(_spec())) == 64
+        int(trial_key(_spec()), 16)  # valid hex digest
+
+    def test_every_outcome_relevant_field_changes_the_key(self):
+        base = trial_key(_spec())
+        assert trial_key(_spec(seed=8)) != base
+        assert trial_key(_spec(adversary="outside_hull")) != base
+        assert trial_key(_spec(process_count=6)) != base
+        assert trial_key(_spec(epsilon=0.3)) != base
+        assert trial_key(_spec(adversary_params={"x": 1})) != base
+        assert trial_key(_spec(workload_seed=3)) != base
+
+    def test_volatile_fields_do_not_change_the_key(self):
+        # trial_index is campaign bookkeeping and record_history only affects
+        # in-memory state retention — the serialised row is identical, so the
+        # same physical trial must resolve to the same address across runs.
+        assert VOLATILE_SPEC_FIELDS == ("trial_index", "record_history")
+        base = trial_key(_spec())
+        assert trial_key(replace(_spec(), trial_index=42)) == base
+        assert trial_key(replace(_spec(), record_history=True)) == base
+
+    def test_param_spelling_is_canonicalised(self):
+        # dict vs pre-sorted tuple-of-pairs, and tuple vs list values, are the
+        # same logical spec and must share an address.
+        as_dict = _spec(adversary_params={"b": 2, "a": 1})
+        as_pairs = _spec(adversary_params=(("a", 1), ("b", 2)))
+        assert trial_key(as_dict) == trial_key(as_pairs)
+        tuple_value = _spec(workload_params={"box": (0.0, 1.0)})
+        list_value = _spec(workload_params={"box": [0.0, 1.0]})
+        assert trial_key(tuple_value) == trial_key(list_value)
+
+    def test_engine_version_salts_the_key(self):
+        spec = _spec()
+        assert trial_key(spec) == trial_key(spec, engine_version=ENGINE_VERSION)
+        assert trial_key(spec, engine_version="0.9.9/rows0") != trial_key(spec)
+
+    def test_payload_excludes_volatile_fields_only(self):
+        payload = canonical_spec_payload(replace(_spec(), trial_index=3, record_history=True))
+        assert "trial_index" not in payload
+        assert "record_history" not in payload
+        assert payload["protocol"] == "exact"
+        assert payload["seed"] == 7
+
+    def test_non_json_parameter_value_is_rejected(self):
+        spec = _spec(workload_params={"callback": object()})
+        with pytest.raises(ConfigurationError, match="content-addressable"):
+            trial_key(spec)

@@ -204,6 +204,170 @@ class TestFuzzCommand:
         assert all(row["status"] == "ok" for row in rows)
 
 
+class TestStoreFlags:
+    ARGS = ["campaign", "--protocols", "restricted_sync", "--adversaries", "none", "crash",
+            "--dimensions", "1", "--repeats", "2", "--seed", "17", "--max-rounds", "2"]
+
+    def test_parser_accepts_store_trio(self):
+        arguments = build_parser().parse_args(
+            self.ARGS + ["--store", "s.db", "--store-backend", "sqlite", "--resume"]
+        )
+        assert str(arguments.store) == "s.db"
+        assert arguments.store_backend == "sqlite"
+        assert arguments.resume is True
+
+    def test_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit, match="--resume requires --store"):
+            main(self.ARGS + ["--resume"])
+
+    def test_campaign_store_roundtrip_serves_cached_trials(self, tmp_path, capsys):
+        store = tmp_path / "s.db"
+        cold = tmp_path / "cold.jsonl"
+        warm = tmp_path / "warm.jsonl"
+        assert main(self.ARGS + ["--store", str(store), "--jsonl", str(cold)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "0 served from cache, 4 executed" in cold_out
+        assert main(self.ARGS + ["--store", str(store), "--resume",
+                                 "--jsonl", str(warm)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "4 served from cache, 0 executed" in warm_out
+        assert strip_timing(read_jsonl(cold)) == strip_timing(read_jsonl(warm))
+
+    def test_without_resume_store_records_but_does_not_serve(self, tmp_path, capsys):
+        store = tmp_path / "s.db"
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--store", str(store)]) == 0
+        assert "0 served from cache" in capsys.readouterr().out
+
+    def test_fuzz_accepts_store_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "fuzz.db"
+        args = ["fuzz", "--count", "4", "--seed", "19", "--protocols", "exact",
+                "--store", str(store)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "4 served from cache, 0 executed" in output
+        assert "all scenarios upheld agreement and validity" in output
+
+    def test_run_experiment_against_store(self, tmp_path, capsys):
+        from repro.store import open_store
+
+        store = tmp_path / "exp.db"
+        assert main(["run", "E5", "--store", str(store)]) == 0
+        capsys.readouterr()
+        with open_store(store) as opened:
+            populated = len(opened)
+        assert populated > 0
+        # Warm rerun serves from the store and renders the same table.
+        assert main(["run", "E5", "--store", str(store)]) == 0
+        assert "Theorem 3" in capsys.readouterr().out
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path, capsys):
+        store = tmp_path / "s.db"
+        jsonl = tmp_path / "rows.jsonl"
+        assert main(["campaign", "--protocols", "restricted_sync",
+                     "--adversaries", "none", "crash", "--dimensions", "1",
+                     "--repeats", "2", "--seed", "17", "--max-rounds", "2",
+                     "--store", str(store), "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        return store, jsonl
+
+    def test_stats(self, tmp_path, capsys):
+        store, _ = self._populate(tmp_path, capsys)
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "sqlite" in output
+        assert "By status" in output
+
+    def test_query_with_filters_and_limit(self, tmp_path, capsys):
+        store, _ = self._populate(tmp_path, capsys)
+        assert main(["store", "query", "--store", str(store),
+                     "--adversary", "crash", "--limit", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Store query" in output
+        assert "crash" in output
+        assert main(["store", "query", "--store", str(store),
+                     "--protocol", "approx"]) == 0
+        assert "no matching trials" in capsys.readouterr().out
+
+    def test_query_aggregate(self, tmp_path, capsys):
+        store, _ = self._populate(tmp_path, capsys)
+        assert main(["store", "query", "--store", str(store),
+                     "--aggregate", "protocol", "adversary"]) == 0
+        output = capsys.readouterr().out
+        assert "Store aggregate" in output
+        assert "restricted_sync" in output
+
+    def test_export_matches_campaign_jsonl(self, tmp_path, capsys):
+        store, jsonl = self._populate(tmp_path, capsys)
+        exported = tmp_path / "export.jsonl"
+        assert main(["store", "export", "--store", str(store),
+                     "--output", str(exported)]) == 0
+        assert "exported 4 rows" in capsys.readouterr().out
+        # Same rows, just store-ordered (by content key) instead of spec order.
+        assert sorted(strip_timing(read_jsonl(exported))) == sorted(
+            strip_timing(read_jsonl(jsonl))
+        )
+
+    def test_export_excludes_other_engine_versions_by_default(self, tmp_path, capsys):
+        # A version-mixed store must not produce a version-mixed (and
+        # therefore unlabellable) export: only the requested revision ships.
+        from repro.store import open_store
+
+        store, jsonl = self._populate(tmp_path, capsys)
+        with open_store(store) as opened:
+            opened.import_jsonl(jsonl, engine_version="0.0.1/rows0")
+            assert len(opened) == 8  # 4 current + 4 stale
+        exported = tmp_path / "export.jsonl"
+        assert main(["store", "export", "--store", str(store),
+                     "--output", str(exported)]) == 0
+        assert "exported 4 rows" in capsys.readouterr().out
+        stale_export = tmp_path / "stale.jsonl"
+        assert main(["store", "export", "--store", str(store),
+                     "--engine-version", "0.0.1/rows0",
+                     "--output", str(stale_export)]) == 0
+        assert "exported 4 rows" in capsys.readouterr().out
+
+    def test_gc_reports_zero_on_fresh_store(self, tmp_path, capsys):
+        store, _ = self._populate(tmp_path, capsys)
+        assert main(["store", "gc", "--store", str(store), "--dry-run"]) == 0
+        assert "would delete 0 rows" in capsys.readouterr().out
+
+    def test_query_rejects_negative_limit(self, tmp_path, capsys):
+        store, _ = self._populate(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="--limit must be >= 0"):
+            main(["store", "query", "--store", str(store), "--limit", "-5"])
+
+    def test_import_with_stale_engine_version_is_not_served(self, tmp_path, capsys):
+        _, jsonl = self._populate(tmp_path, capsys)
+        rebuilt = tmp_path / "stale.db"
+        assert main(["store", "import", "--store", str(rebuilt), "--jsonl", str(jsonl),
+                     "--engine-version", "0.0.1/rows0"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--protocols", "restricted_sync",
+                     "--adversaries", "none", "crash", "--dimensions", "1",
+                     "--repeats", "2", "--seed", "17", "--max-rounds", "2",
+                     "--store", str(rebuilt), "--resume"]) == 0
+        # Old-engine rows must not launder into cache hits.
+        assert "0 served from cache, 4 executed" in capsys.readouterr().out
+
+    def test_import_rebuilds_a_servable_store(self, tmp_path, capsys):
+        _, jsonl = self._populate(tmp_path, capsys)
+        rebuilt = tmp_path / "rebuilt.db"
+        assert main(["store", "import", "--store", str(rebuilt),
+                     "--jsonl", str(jsonl)]) == 0
+        assert "imported 4 rows" in capsys.readouterr().out
+        assert main(["campaign", "--protocols", "restricted_sync",
+                     "--adversaries", "none", "crash", "--dimensions", "1",
+                     "--repeats", "2", "--seed", "17", "--max-rounds", "2",
+                     "--store", str(rebuilt), "--resume"]) == 0
+        assert "4 served from cache, 0 executed" in capsys.readouterr().out
+
+
 class TestEngineFlag:
     def test_run_help_derives_experiment_range_from_registry(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
