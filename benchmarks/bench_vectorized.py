@@ -15,7 +15,14 @@ worker count.  A second recorded row runs the per-recipient ``equivocate``
 adversary, where views diverge and deduplication cannot help — documenting
 the honest lower end of the speedup rather than hiding it.
 
-The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
+A second recorded table covers the *coordinated* reference grid
+(``split_world`` / ``hull_collapse`` / ``adaptive_extreme`` at ``d = 2``):
+the scenario class PR 6 moved onto the columnar path, where the batched
+coordinator planning hooks reuse one plan per trial group and view
+deduplication amortises the Gamma solves.  Its acceptance bar is **>= 10x
+single-worker trials/s over the object engine** on the grid aggregate.
+
+The grids shrink when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
 """
 
 from __future__ import annotations
@@ -30,6 +37,12 @@ PROCESS_COUNT = 9 if SMOKE else 13
 REPEATS = 1 if SMOKE else 3
 ROUNDS = 2 if SMOKE else 3
 MIN_SPEEDUP = 1.2 if SMOKE else 5.0
+
+# The coordinated grid needs a larger n: split_world keeps d + 1 = 3 distinct
+# camp views alive per round, so the dedup ratio (and with it the speedup)
+# grows with the number of honest recipients sharing each view.
+COORDINATED_PROCESS_COUNT = 9 if SMOKE else 17
+MIN_COORDINATED_SPEEDUP = 1.2 if SMOKE else 10.0
 
 
 def _reference_campaign() -> Campaign:
@@ -118,3 +131,62 @@ def test_vectorized_campaign_throughput(benchmark, record_table, tmp_path):
     assert strip_timing(read_jsonl(tmp_path / "equivocate-object-w1.jsonl")) == strip_timing(
         read_jsonl(tmp_path / "equivocate-vectorized-w1.jsonl")
     )
+
+
+def _coordinated_campaign() -> Campaign:
+    return Campaign.from_grid(
+        "bench-vectorized-coordinated",
+        protocols=("restricted_sync",),
+        adversaries=("split_world", "hull_collapse", "adaptive_extreme"),
+        dimensions=(2,),
+        fault_bounds=(1,),
+        process_counts=(COORDINATED_PROCESS_COUNT,),
+        repeats=REPEATS,
+        base_seed=7,
+        max_rounds_override=ROUNDS,
+    )
+
+
+def test_vectorized_coordinated_throughput(benchmark, record_table, tmp_path):
+    campaign = _coordinated_campaign()
+
+    def run_matrix() -> list[dict[str, object]]:
+        rows = []
+        for engine, workers in (("object", 1), ("vectorized", 1), ("vectorized", 4)):
+            jsonl_path = tmp_path / f"coordinated-{engine}-w{workers}.jsonl"
+            summary, _ = run_campaign(
+                campaign, workers=workers, jsonl_path=jsonl_path, engine=engine
+            )
+            rows.append(summary.to_row() | {"jsonl_rows": len(read_jsonl(jsonl_path))})
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == len(campaign)
+        # Every coordinated spec now plans onto the columnar path: the only
+        # fallbacks allowed are the forced ones on the object-engine row.
+        if row["engine"] == "vectorized":
+            assert row["fallbacks"] == 0
+
+    by_key = {(row["engine"], row["workers"]): row for row in rows}
+    object_rate = max(by_key[("object", 1)]["trials_per_s"], 1e-9)
+    speedup = by_key[("vectorized", 1)]["trials_per_s"] / object_rate
+    for row in rows:
+        row["speedup_vs_object_w1"] = round(row["trials_per_s"] / object_rate, 2)
+    record_table(
+        "E19_vectorized_coordinated",
+        rows,
+        "Columnar engine — coordinated-adversary reference grid "
+        "(restricted_sync, d=2, split_world/hull_collapse/adaptive_extreme, "
+        f"n={COORDINATED_PROCESS_COUNT}, f=1, {ROUNDS} rounds)",
+    )
+    assert speedup >= MIN_COORDINATED_SPEEDUP, (
+        f"vectorized engine is only {speedup:.2f}x the object engine on the "
+        f"coordinated grid (needs >= {MIN_COORDINATED_SPEEDUP}x)"
+    )
+
+    # The differential contract holds on the benchmark grid itself.
+    canonical = strip_timing(read_jsonl(tmp_path / "coordinated-object-w1.jsonl"))
+    assert canonical == strip_timing(read_jsonl(tmp_path / "coordinated-vectorized-w1.jsonl"))
+    assert canonical == strip_timing(read_jsonl(tmp_path / "coordinated-vectorized-w4.jsonl"))

@@ -236,6 +236,19 @@ class AdversaryCoordinator:
             if len(bucket) < _MAX_SIGHTINGS_PER_ROUND:
                 bucket.extend(collect_value_leaves(message.payload, self._dimension))
 
+    def observe_value(self, round_key: int, value: np.ndarray) -> None:
+        """Record one honest value sighting directly (no message wrapper).
+
+        The columnar engine routes whole trial groups without materialising
+        :class:`~repro.network.message.Message` objects, so it feeds the
+        coordinator the honest state vectors straight from its arrays.  The
+        bookkeeping is identical to :meth:`observe`: same per-round buckets,
+        same sighting cap.
+        """
+        bucket = self._sightings.setdefault(int(round_key), [])
+        if len(bucket) < _MAX_SIGHTINGS_PER_ROUND:
+            bucket.append(np.array(value, dtype=float))
+
     # -- planning --------------------------------------------------------------
 
     def plan(self, faulty_id: int, message: Message) -> Sequence[Message]:
@@ -253,6 +266,40 @@ class AdversaryCoordinator:
             crash = CrashStrategy(crash_round=int(self.params.get("crash_round", 1)))
             self._crash_mutators[faulty_id] = crash
         return crash.mutate(message)
+
+    # -- batched planning ------------------------------------------------------
+    #
+    # The columnar engine computes the coalition's reports for a whole round
+    # without routing per-message mutators.  These accessors expose the exact
+    # memoised decisions the mutators consult, so a batched round and a
+    # message-by-message round agree bit for bit.
+
+    @property
+    def honest_cloud(self) -> np.ndarray:
+        """The honest input cloud ``(h, d)`` the coordinator reasons over."""
+        return self._honest_cloud
+
+    def camp_values(self) -> dict[int, np.ndarray]:
+        """Public view of the split_world camp map (see :meth:`_camp_values`)."""
+        return self._camp_values()
+
+    def collapse_point(self) -> np.ndarray:
+        """Public view of the hull_collapse report (see :meth:`_collapse_point`)."""
+        return self._collapse_point()
+
+    def seed_collapse_point(self, point: np.ndarray) -> None:
+        """Install a pre-computed hull_collapse target (batched kernel solve).
+
+        Only takes effect when no target is memoised yet and the strategy has
+        no explicit ``target`` parameter — an explicit target still goes
+        through :meth:`_collapse_point`'s shape validation.
+        """
+        if self._collapse_target is None and self.params.get("target") is None:
+            self._collapse_target = np.asarray(point, dtype=float)
+
+    def adaptive_aim(self, round_key: int) -> np.ndarray:
+        """Public view of the adaptive_extreme aim (see :meth:`_adaptive_aim`)."""
+        return self._adaptive_aim(round_key)
 
     # -- split_world -----------------------------------------------------------
 

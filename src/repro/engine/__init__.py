@@ -56,9 +56,12 @@ from repro.engine.fuzz import (
 from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
 from repro.engine.trial import run_trial
 from repro.engine.vectorized import (
+    VECTORIZED_ASYNC_SCHEDULERS,
     VECTORIZED_RESTRICTED_ADVERSARIES,
+    FallbackReason,
     run_specs_vectorized,
     spec_is_vectorizable,
+    vectorization_fallback,
     vectorized_group_key,
 )
 
@@ -72,9 +75,11 @@ __all__ = [
     "PROTOCOLS",
     "SCHEDULER_NAMES",
     "STRATEGY_NAMES",
+    "VECTORIZED_ASYNC_SCHEDULERS",
     "VECTORIZED_RESTRICTED_ADVERSARIES",
     "WORKLOAD_NAMES",
     "AdversaryBundle",
+    "FallbackReason",
     "Campaign",
     "CampaignSummary",
     "ExecutionUnit",
@@ -103,5 +108,6 @@ __all__ = [
     "sample_specs",
     "spec_is_vectorizable",
     "strip_timing",
+    "vectorization_fallback",
     "vectorized_group_key",
 ]

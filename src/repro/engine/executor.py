@@ -10,11 +10,13 @@ The executor maps a campaign's specs onto one of two execution substrates:
 
 :func:`plan_specs` is the batch planner: it groups a spec list by
 :func:`~repro.engine.vectorized.vectorized_group_key` shape class, routes
-eligible groups to the columnar engine and everything else — asynchronous
-protocols, coordinated adversaries, ineligible shapes — back to
-``run_trial``.  ``engine="auto"`` additionally keeps singleton groups on the
-object engine (no batch to amortise); ``engine="object"`` bypasses planning
-entirely and preserves the original streaming behaviour.
+eligible groups to the columnar engine and everything else back to
+``run_trial``, recording a structured
+:class:`~repro.engine.vectorized.FallbackReason` count for every demotion
+(surfaced on :class:`CampaignSummary`).  ``engine="auto"`` additionally keeps
+singleton groups on the object engine (no batch to amortise);
+``engine="object"`` bypasses planning entirely and preserves the original
+streaming behaviour.
 
 With ``workers > 1`` the plan's execution units fan out over a
 ``concurrent.futures`` ``ProcessPoolExecutor`` (trials are CPU-bound: each
@@ -37,7 +39,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
@@ -45,8 +47,9 @@ from repro.engine.campaign import Campaign
 from repro.engine.spec import TrialResult, TrialSpec
 from repro.engine.trial import run_trial
 from repro.engine.vectorized import (
+    FallbackReason,
     run_specs_vectorized,
-    spec_is_vectorizable,
+    vectorization_fallback,
     vectorized_group_key,
 )
 from repro.exceptions import ConfigurationError
@@ -143,33 +146,53 @@ class ExecutionUnit:
     positions: tuple[int, ...]
 
 
-def plan_specs(specs: Sequence[TrialSpec], engine: str = "auto") -> list[ExecutionUnit]:
+def plan_specs(
+    specs: Sequence[TrialSpec],
+    engine: str = "auto",
+    fallback_reasons: dict[str, int] | None = None,
+) -> list[ExecutionUnit]:
     """Partition a spec list into columnar groups and object-engine chunks.
 
-    Eligible synchronous specs are grouped by
+    Eligible specs are grouped by
     :func:`~repro.engine.vectorized.vectorized_group_key`; everything else
     stays on the object engine.  ``engine="auto"`` sends singleton groups to
     the object engine too (a batch of one amortises nothing);
     ``engine="vectorized"`` routes every eligible spec columnar;
     ``engine="object"`` plans one object chunk.
+
+    ``fallback_reasons`` — when provided — is filled with a count per
+    :class:`~repro.engine.vectorized.FallbackReason` value for every spec the
+    plan routes to the object engine, so a campaign summary can say *why*
+    trials missed the columnar engine instead of silently falling back.
     """
     if engine not in ENGINE_CHOICES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
         )
+
+    def count_fallback(reason: FallbackReason, occurrences: int = 1) -> None:
+        if fallback_reasons is not None and occurrences:
+            fallback_reasons[reason.value] = (
+                fallback_reasons.get(reason.value, 0) + occurrences
+            )
+
     if engine == "object":
+        count_fallback(FallbackReason.FORCED_OBJECT, len(specs))
         return [ExecutionUnit("object", tuple(range(len(specs))))] if specs else []
     groups: dict[tuple, list[int]] = {}
     fallback: list[int] = []
     for position, spec in enumerate(specs):
-        if spec_is_vectorizable(spec):
+        reason = vectorization_fallback(spec)
+        if reason is None:
             groups.setdefault(vectorized_group_key(spec), []).append(position)
         else:
             fallback.append(position)
+            count_fallback(reason)
     units: list[ExecutionUnit] = []
     for positions in groups.values():
         if engine == "auto" and len(positions) < 2:
             fallback.extend(positions)
+            count_fallback(FallbackReason.SINGLETON_GROUP, len(positions))
         else:
             units.append(ExecutionUnit("columnar", tuple(positions)))
     if fallback:
@@ -249,6 +272,7 @@ def _execute_specs_stored(
     engine: str,
     reuse_cached: bool,
     cache_stats: StoreCacheStats | None,
+    fallback_reasons: dict[str, int] | None = None,
 ) -> Iterator[TrialResult]:
     """Store-backed execution: serve cached rows, run misses, commit per unit.
 
@@ -312,7 +336,7 @@ def _execute_specs_stored(
 
     # Serve every prefix-complete cached row before any execution starts.
     yield from _drain()
-    units = _split_units_for_commit(plan_specs(miss_specs, engine))
+    units = _split_units_for_commit(plan_specs(miss_specs, engine, fallback_reasons))
 
     def _commit(unit: ExecutionUnit, unit_result: list[TrialResult]) -> None:
         # Commit-then-emit: once a row has been yielded downstream, it is
@@ -347,6 +371,7 @@ def execute_specs(
     store: "ResultStore | None" = None,
     reuse_cached: bool = True,
     cache_stats: StoreCacheStats | None = None,
+    fallback_reasons: dict[str, int] | None = None,
 ) -> Iterator[TrialResult]:
     """Yield one :class:`TrialResult` per spec, in spec order.
 
@@ -369,10 +394,14 @@ def execute_specs(
         )
     if store is not None:
         yield from _execute_specs_stored(
-            specs, store, workers, engine, reuse_cached, cache_stats
+            specs, store, workers, engine, reuse_cached, cache_stats, fallback_reasons
         )
         return
     if engine == "object":
+        if fallback_reasons is not None:
+            # The object fast path bypasses planning; run the planner purely
+            # for its fallback accounting.
+            plan_specs(specs, engine, fallback_reasons)
         if workers <= 1 or len(specs) <= 1:
             for spec in specs:
                 yield run_trial(spec)
@@ -383,7 +412,7 @@ def execute_specs(
             yield from pool.map(run_trial, specs, chunksize=chunksize)
         return
 
-    units = plan_specs(specs, engine)
+    units = plan_specs(specs, engine, fallback_reasons)
     # Reorder buffer: holds only results that arrived ahead of spec order;
     # every emitted result is released immediately, so memory stays bounded
     # by the out-of-order window rather than the campaign size.
@@ -442,6 +471,10 @@ class CampaignSummary:
     engine: str = "object"
     #: Trials served straight from the results store (0 without a store).
     cache_hits: int = 0
+    #: Executed trials the planner routed to the object engine, counted per
+    #: :class:`~repro.engine.vectorized.FallbackReason` value.  Store-served
+    #: trials are never planned, so they are not counted here.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def trials_per_second(self) -> float:
@@ -465,6 +498,7 @@ class CampaignSummary:
             "validity_failures": self.validity_failures,
             "workers": self.workers,
             "cache_hits": self.cache_hits,
+            "fallbacks": sum(self.fallback_reasons.values()),
             "seconds": round(self.elapsed_seconds, 3),
             "trials_per_s": round(self.trials_per_second, 1),
         }
@@ -503,6 +537,7 @@ def run_campaign(
 
         store = opened_store = open_store(store)
     cache_stats = StoreCacheStats() if store is not None else None
+    fallback_reasons: dict[str, int] = {}
 
     def _consume(results: Iterable[TrialResult]) -> None:
         nonlocal ok, errors, agreement_failures, validity_failures
@@ -530,6 +565,7 @@ def run_campaign(
             store=store,
             reuse_cached=reuse_cached,
             cache_stats=cache_stats,
+            fallback_reasons=fallback_reasons,
         )
         if jsonl_path is not None:
             with JsonlSink(jsonl_path) as sink:
@@ -553,5 +589,6 @@ def run_campaign(
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
         engine=engine,
         cache_hits=cache_stats.hits if cache_stats is not None else 0,
+        fallback_reasons=fallback_reasons,
     )
     return summary, collected

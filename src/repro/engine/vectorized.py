@@ -31,19 +31,40 @@ deterministic solve the object runtime would perform, the emitted
 engine's (modulo the ``elapsed_ms`` timing field) — including error rows,
 which re-raise through the same validation calls in the same order.
 
-Eligibility (everything else must fall back to ``run_trial``):
+Coordinated (whole-coalition) adversaries are batched too: ``split_world``,
+``hull_collapse`` and ``adaptive_extreme`` are round-synchronous functions of
+the honest state, so instead of routing per-message mutators the engine asks
+the trial's :class:`~repro.byzantine.coordinator.AdversaryCoordinator` for the
+round's per-recipient report points directly (feeding the coordinator's
+traffic-sighting buckets in the object runtime's exact observation order, and
+pre-seeding the ``hull_collapse`` targets of a whole group through one
+:meth:`~repro.geometry.kernel.GammaKernel.points_multi` pass).
+``theorem4_scenario`` reduces to per-process crash faults and runs through
+the generic mutator-driven path.
 
-* synchronous protocols only (``exact``, ``coordinatewise``,
-  ``restricted_sync``); the asynchronous protocols' outcomes depend on
-  scheduler-chosen delivery interleavings that have no columnar equivalent;
-* ``restricted_sync`` supports every *independent* adversary strategy (its
-  round messages are plain state reports the mutators act on directly);
+The restricted *asynchronous* protocol is batched when its delivery order is
+deterministic: a trial's event structure (which process aggregates which
+senders' round-``t`` states, in which order) depends only on the scheduler
+decision sequence, never on the state values, so trials sharing a scheduler
+signature share one recorded event skeleton and replay their own values
+through it (one real scheduler-driven run per signature, memoised ``Gamma``
+choices across the group).
+
+Eligibility (:func:`vectorization_fallback` names the reason for everything
+that must fall back to ``run_trial``):
+
+* ``restricted_sync`` supports every independent adversary strategy *and*
+  the coordinated strategies (see above);
 * ``exact`` and ``coordinatewise`` are supported fault-free
   (``adversary == "none"``): their round traffic is EIG relay trees, which
   the columnar substrate collapses to the known fault-free resolution —
   under an active adversary that shortcut would not be faithful;
-* coordinated (whole-coalition) adversaries need the full-information
-  traffic tap of the object runtime and always fall back.
+* ``restricted_async`` is supported fault-free under the deterministic
+  schedulers (:data:`VECTORIZED_ASYNC_SCHEDULERS`); the ``random`` scheduler
+  has no reusable decision sequence, and adversaries would make the event
+  structure value-dependent;
+* ``approx`` (witness-based asynchronous) always falls back: its per-process
+  witness bookkeeping has no columnar equivalent.
 """
 
 from __future__ import annotations
@@ -51,12 +72,16 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from enum import Enum
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.byzantine.coordinator import AdversaryCoordinator
+from repro.core.aggregation import AggregationStep, SafeAverageAggregator
 from repro.core.approx_bvc import contraction_factor, round_threshold
 from repro.core.conditions import check_exact_sync, check_restricted_sync
+from repro.core.restricted_async import RestrictedAsyncProcess
 from repro.core.round_ops import (
     coordinatewise_decision,
     restricted_round_clouds,
@@ -68,40 +93,109 @@ from repro.core.validity import (
     check_approximate_outcome,
     check_exact_outcome,
 )
-from repro.engine.factories import build_registry, make_adversaries
+from repro.engine.factories import build_registry, build_scheduler, make_adversaries
 from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
 from repro.exceptions import (
     ConfigurationError,
     EmptyIntersectionError,
     TerminationError,
 )
+from repro.geometry.kernel import default_kernel
+from repro.geometry.multisets import PointMultiset
+from repro.network.async_runtime import AsynchronousRuntime
 from repro.network.message import Message
 from repro.processes.registry import ProcessRegistry
 
 __all__ = [
     "VECTORIZED_RESTRICTED_ADVERSARIES",
+    "VECTORIZED_ASYNC_SCHEDULERS",
+    "FallbackReason",
+    "vectorization_fallback",
     "spec_is_vectorizable",
     "vectorized_group_key",
     "run_specs_vectorized",
 ]
 
-#: Independent adversary strategies the restricted-round columnar path drives
-#: faithfully (through the real mutator objects, in object-runtime order).
+#: Adversary strategies the restricted-round columnar path drives faithfully:
+#: the independent strategies run through the real mutator objects in
+#: object-runtime order, and the coordinated strategies through the shared
+#: coordinator's batched planning accessors.
 VECTORIZED_RESTRICTED_ADVERSARIES = frozenset(
-    {"none", "crash", "equivocate", "outside_hull", "random_noise", "coordinate_attack"}
+    {
+        "none",
+        "crash",
+        "equivocate",
+        "outside_hull",
+        "random_noise",
+        "coordinate_attack",
+        "split_world",
+        "hull_collapse",
+        "adaptive_extreme",
+        "theorem4_scenario",
+    }
 )
+
+#: Coordinated strategies whose whole-round reports the engine computes
+#: directly from the coordinator's memoised state (no per-message mutators).
+#: ``theorem4_scenario`` is deliberately absent: it reduces to per-process
+#: crash faults, which the generic mutator-driven path already handles.
+_BATCHED_COORDINATED = frozenset({"split_world", "hull_collapse", "adaptive_extreme"})
+
+#: Deterministic delivery schedulers whose decision sequence depends only on
+#: the event structure — the property that lets restricted-async trials share
+#: one recorded skeleton.  ``random`` consumes its RNG per *choice*, which is
+#: still deterministic per trial, but its stream is seed-specific, so there is
+#: nothing to share; more importantly its decisions are not reconstructible
+#: from the structure alone once the group batches trials.
+VECTORIZED_ASYNC_SCHEDULERS = frozenset({"round_robin", "lagging"})
 
 #: Bound on the cross-round Gamma-solution memo (distinct clouds) per group.
 _MEMO_LIMIT = 200_000
 
 
+class FallbackReason(str, Enum):
+    """Why the planner routed a spec to the object engine.
+
+    The values are plain strings so they serialise straight into summary
+    rows; :func:`vectorization_fallback` maps a spec to its reason (or None
+    when the columnar engine takes it).
+    """
+
+    #: The caller forced ``engine="object"``.
+    FORCED_OBJECT = "forced_object"
+    #: ``engine="auto"`` demoted a one-trial shape group (nothing to amortise).
+    SINGLETON_GROUP = "singleton_group"
+    #: The protocol/adversary combination has no faithful columnar program.
+    ADVERSARY_NOT_COLUMNAR = "adversary_not_columnar"
+    #: ``restricted_async`` under a scheduler with no shareable decision
+    #: sequence (``random``).
+    SCHEDULER_NOT_DETERMINISTIC = "scheduler_not_deterministic"
+    #: The witness-based asynchronous protocol (``approx``) is never columnar.
+    ASYNC_PROTOCOL_NOT_COLUMNAR = "async_protocol_not_columnar"
+
+
+def vectorization_fallback(spec: TrialSpec) -> FallbackReason | None:
+    """The reason the spec must run on the object engine, or None if columnar."""
+    if PROTOCOLS[spec.protocol][0] == "sync":
+        if spec.protocol == "restricted_sync":
+            if spec.adversary in VECTORIZED_RESTRICTED_ADVERSARIES:
+                return None
+            return FallbackReason.ADVERSARY_NOT_COLUMNAR
+        if spec.adversary == "none":
+            return None
+        return FallbackReason.ADVERSARY_NOT_COLUMNAR
+    if spec.protocol == "restricted_async":
+        if spec.adversary != "none":
+            return FallbackReason.ADVERSARY_NOT_COLUMNAR
+        if spec.scheduler not in VECTORIZED_ASYNC_SCHEDULERS:
+            return FallbackReason.SCHEDULER_NOT_DETERMINISTIC
+        return None
+    return FallbackReason.ASYNC_PROTOCOL_NOT_COLUMNAR
+
+
 def spec_is_vectorizable(spec: TrialSpec) -> bool:
     """True when the columnar substrate can execute the spec faithfully."""
-    if PROTOCOLS[spec.protocol][0] != "sync":
-        return False
-    if spec.protocol == "restricted_sync":
-        return spec.adversary in VECTORIZED_RESTRICTED_ADVERSARIES
-    return spec.adversary == "none"
+    return vectorization_fallback(spec) is None
 
 
 def vectorized_group_key(spec: TrialSpec) -> tuple:
@@ -144,6 +238,8 @@ def run_specs_vectorized(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     start = time.perf_counter()
     if specs[0].protocol == "restricted_sync":
         results = _run_restricted_group(specs)
+    elif specs[0].protocol == "restricted_async":
+        results = _run_async_group(specs)
     else:
         results = _run_broadcast_group(specs)
     elapsed_ms = (time.perf_counter() - start) * 1e3 / len(specs)
@@ -293,6 +389,7 @@ class _LiveTrial:
     spec: TrialSpec
     registry: ProcessRegistry
     mutators: dict[int, object]
+    coordinator: AdversaryCoordinator | None
     total_rounds: int
     state: np.ndarray  # (n, d) — row i is process i's current state
     messages_sent: int = 0
@@ -343,6 +440,7 @@ def _prepare_restricted_trial(position: int, spec: TrialSpec) -> _LiveTrial:
         spec=spec,
         registry=registry,
         mutators=dict(bundle.mutators),
+        coordinator=bundle.coordinator,
         total_rounds=total_rounds,
         state=state,
         histories=histories,
@@ -413,6 +511,96 @@ def _coerce_state(value: object, dimension: int) -> np.ndarray | None:
     return vector
 
 
+def _coordinated_reports(
+    trial: _LiveTrial, reports: np.ndarray, round_index: int
+) -> None:
+    """Emit the whole coalition's round reports from the coordinator's memos.
+
+    The three batched coordinated strategies choose one report *point* per
+    recipient per round, all faulty senders alike, so instead of driving
+    ``n - 1`` mutators per faulty sender the engine asks the shared
+    :class:`AdversaryCoordinator` for the points directly.  The accessors hit
+    the same memoised decisions the per-message mutators would, and for
+    ``adaptive_extreme`` the honest traffic sightings are fed in the object
+    runtime's exact observation order (senders in id order, ``n - 1``
+    messages each, the aim memoised at the first faulty sender's turn) — so
+    the batched round is bit-for-bit the message-by-message round.
+    """
+    coordinator = trial.coordinator
+    n = trial.state.shape[0]
+    faulty = sorted(trial.mutators)
+    # Silence is the default, exactly as in the mutator-driven path: a report
+    # survives only if its point parses like a routed message would.
+    for sender in faulty:
+        for recipient in range(n):
+            if recipient != sender:
+                reports[recipient, sender] = 0.0
+    if coordinator.strategy == "adaptive_extreme":
+        # Observation order of the object runtime's collect phase: honest
+        # senders with ids below the first faulty sender are routed (and
+        # sighted) before the coalition plans; the rest are sighted after the
+        # aim is memoised and only matter for later rounds' fallback buckets.
+        first_faulty = faulty[0]
+        honest_ids = sorted(trial.registry.honest_ids)
+        for process_id in honest_ids:
+            if process_id < first_faulty:
+                for _ in range(n - 1):
+                    coordinator.observe_value(round_index, trial.state[process_id])
+        aim = coordinator.adaptive_aim(round_index)
+        for process_id in honest_ids:
+            if process_id > first_faulty:
+                for _ in range(n - 1):
+                    coordinator.observe_value(round_index, trial.state[process_id])
+        points: Mapping[int, np.ndarray] = {recipient: aim for recipient in range(n)}
+    elif coordinator.strategy == "hull_collapse":
+        point = coordinator.collapse_point()
+        points = {recipient: point for recipient in range(n)}
+    else:  # split_world
+        points = coordinator.camp_values()
+    trial.messages_sent += len(faulty) * (n - 1)
+    for recipient in range(n):
+        point = points.get(recipient)
+        if point is None or not np.all(np.isfinite(point)):
+            # A non-finite report fails the recipient's state coercion and is
+            # silently ignored — the zero default stands (same as the object
+            # runtime's parse rejection).
+            continue
+        for sender in faulty:
+            if recipient != sender:
+                reports[recipient, sender] = point
+
+
+def _seed_collapse_points(trials: list[_LiveTrial], fault_bound: int) -> None:
+    """One batched kernel pass for every hull_collapse trial lacking a target.
+
+    ``points_multi`` (unfused) answers each distinct honest cloud through the
+    exact single-query program ``AdversaryCoordinator`` would run lazily, so
+    pre-seeding never changes a target bitwise; if the batched pass fails for
+    any reason, seeding is skipped and the lazy per-trial path keeps its
+    exact error attribution.
+    """
+    pending = [
+        trial
+        for trial in trials
+        if trial.coordinator is not None
+        and trial.coordinator.params.get("target") is None
+    ]
+    if not pending:
+        return
+    clouds = [trial.coordinator.honest_cloud for trial in pending]
+    try:
+        answers = default_kernel.points_multi(clouds, fault_bound)
+    except Exception:  # noqa: BLE001 — lazy path keeps error attribution
+        return
+    for trial, answer in zip(pending, answers):
+        point = (
+            answer
+            if answer is not None
+            else trial.coordinator.honest_cloud.mean(axis=0)
+        )
+        trial.coordinator.seed_collapse_point(point)
+
+
 def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     """Columnar execution of a restricted-round synchronous trial batch."""
     n = specs[0].process_count
@@ -428,6 +616,8 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             live.append(_prepare_restricted_trial(position, spec))
         except Exception as error:  # noqa: BLE001 — failures are campaign data
             results[position] = _error_result(spec, error)
+    if specs[0].adversary == "hull_collapse":
+        _seed_collapse_points(live, fault_bound)
 
     point_memo: dict[bytes, np.ndarray | None] = {}
     round_index = 0
@@ -443,7 +633,13 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             honest_senders = n - len(trial.mutators)
             trial.messages_sent += honest_senders * (n - 1)
             try:
-                _faulty_reports(trial, reports, round_index)
+                if (
+                    trial.coordinator is not None
+                    and trial.spec.adversary in _BATCHED_COORDINATED
+                ):
+                    _coordinated_reports(trial, reports, round_index)
+                else:
+                    _faulty_reports(trial, reports, round_index)
             except Exception as error:  # noqa: BLE001
                 trial.failure = error
             tensors.append(reports)
@@ -582,4 +778,239 @@ def _finish_restricted_trial(trial: _LiveTrial) -> TrialResult:
         messages_sent=trial.messages_sent,
         messages_dropped=trial.messages_dropped,
         state_histories=trial.histories if trial.spec.record_history else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Restricted-round asynchronous protocol (deterministic schedulers)
+# ---------------------------------------------------------------------------
+#
+# A restricted-async execution's *event structure* — which (process, round)
+# aggregates which senders' states, in which chronological order, and how
+# many messages hit the network — is a pure function of the configuration and
+# the scheduler decision sequence.  The state values never feed back into it:
+# honest payload states are always finite ``(d,)`` vectors, so every receive
+# filter (`_coerce_state`, round tags, first-per-sender) resolves identically
+# whatever the values are, and the deterministic schedulers read only the
+# busy-channel structure (plus, for ``lagging``, a values-blind RNG stream
+# seeded per trial).  The engine therefore records the structure once per
+# scheduler signature by running the *real* runtime with value-free recorder
+# cores, and replays each trial's actual inputs through the recorded event
+# list with the real aggregator — identical clouds, identical ``Gamma``
+# choices, identical first exception, byte-identical rows.
+
+@dataclass
+class _AsyncSkeleton:
+    """The value-free structure shared by every trial of one signature.
+
+    ``events`` is the chronological aggregate log: one ``(process, round,
+    members)`` entry per completed state update, where ``members`` are the
+    sender ids (self included) whose round states fed the update.
+    """
+
+    events: list[tuple[int, int, tuple[int, ...]]]
+    messages_sent: int
+    messages_dropped: int
+
+
+class _RecordingAggregator:
+    """Aggregator stand-in that logs events and returns a placeholder state."""
+
+    def __init__(self, core: RestrictedAsyncProcess, events: list) -> None:
+        self._core = core
+        self._events = events
+        self._zero = np.zeros(core.configuration.dimension)
+
+    def aggregate(self, vectors: Mapping[int, np.ndarray]) -> AggregationStep:
+        self._events.append(
+            (self._core.process_id, self._core._current_round, tuple(sorted(vectors)))
+        )
+        return AggregationStep(
+            new_state=self._zero.copy(), subset_count=0, chosen_points=()
+        )
+
+
+class _MemoChooser:
+    """Bitwise-memoising wrapper over a ``SafeAreaCalculator`` (async replay).
+
+    ``choose`` is deterministic per cloud, so the memo only ever reuses the
+    answer — or re-raises the exception — the wrapped chooser produced for a
+    bitwise-identical cloud.
+    """
+
+    def __init__(self, chooser: SafeAreaCalculator, memo: dict) -> None:
+        self._chooser = chooser
+        self._memo = memo
+
+    def choose(self, multiset: PointMultiset) -> np.ndarray:
+        key = (multiset.cloud.shape, multiset.cloud.tobytes())
+        cached = self._memo.get(key)
+        if cached is None:
+            try:
+                cached = self._chooser.choose(multiset)
+            except Exception as error:  # noqa: BLE001 — deterministic re-raise
+                cached = error
+            self._memo[key] = cached
+        if isinstance(cached, Exception):
+            raise cached
+        return cached
+
+
+def _run_async_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Columnar execution of a deterministic-scheduler restricted-async batch."""
+    results: dict[int, TrialResult] = {}
+    skeletons: dict[tuple, _AsyncSkeleton | Exception] = {}
+    choose_memo: dict[tuple, np.ndarray | Exception] = {}
+    for position, spec in enumerate(specs):
+        try:
+            results[position] = _execute_async_trial(spec, skeletons, choose_memo)
+        except Exception as error:  # noqa: BLE001 — failures are campaign data
+            results[position] = _error_result(spec, error)
+        if len(choose_memo) > _MEMO_LIMIT:
+            choose_memo.clear()
+    return [results[position] for position in range(len(specs))]
+
+
+def _execute_async_trial(
+    spec: TrialSpec,
+    skeletons: dict[tuple, "_AsyncSkeleton | Exception"],
+    choose_memo: dict,
+) -> TrialResult:
+    """One restricted-async trial: shared skeleton, per-trial value replay.
+
+    The prologue runs the object runtime's validation calls in its exact
+    order (workload, adversary, scheduler, process construction, runtime
+    size), so error rows raise identically.
+    """
+    registry = build_registry(spec)
+    make_adversaries(spec, registry)  # adversary == "none": validation no-op
+    scheduler = build_scheduler(spec, registry)
+    configuration = registry.configuration
+    value_lower, value_upper = registry.value_bounds()
+    cores: dict[int, RestrictedAsyncProcess] = {}
+    for process_id in registry.process_ids:
+        cores[process_id] = RestrictedAsyncProcess(
+            process_id=process_id,
+            configuration=configuration,
+            input_vector=registry.input_of(process_id),
+            epsilon=spec.epsilon,
+            value_lower=value_lower,
+            value_upper=value_upper,
+            max_rounds_override=spec.max_rounds_override,
+        )
+    if len(cores) < 2:
+        # RuntimeCore's size check, raised with its exact message.
+        raise ConfigurationError("a asynchronous run needs at least two processes")
+    total_rounds = max(cores[pid].total_rounds for pid in registry.honest_ids)
+
+    if spec.scheduler == "round_robin":
+        scheduler_signature: tuple = ("round_robin",)
+    else:  # lagging: the RNG stream is seed- and slow-set-specific
+        _, _, scheduler_seed = spec.resolved_seeds()
+        scheduler_signature = (
+            "lagging",
+            scheduler_seed,
+            tuple(sorted(scheduler.slow_processes)),
+        )
+    key = (
+        tuple(registry.process_ids),
+        tuple(sorted(registry.faulty_ids)),
+        total_rounds,
+        scheduler_signature,
+    )
+    skeleton = skeletons.get(key)
+    if skeleton is None:
+        try:
+            skeleton = _async_skeleton(registry, scheduler, total_rounds)
+        except (TerminationError, ConfigurationError) as error:
+            skeleton = error
+        skeletons[key] = skeleton
+    if isinstance(skeleton, Exception):
+        raise skeleton
+
+    fault_bound = configuration.fault_bound
+    quorum = max(1, configuration.process_count - 3 * fault_bound)
+    aggregator = SafeAverageAggregator(fault_bound, quorum)
+    aggregator._chooser = _MemoChooser(aggregator._chooser, choose_memo)
+    states: dict[int, list[np.ndarray]] = {
+        process_id: [np.asarray(registry.input_of(process_id), dtype=float)]
+        for process_id in registry.process_ids
+    }
+    for process_id, round_index, members in skeleton.events:
+        # Sender ``m``'s round-``r`` payload carries its state after ``r - 1``
+        # updates; the recorded chronology guarantees that state exists.
+        collected = {
+            member: (
+                states[process_id][round_index - 1].copy()
+                if member == process_id
+                else states[member][round_index - 1]
+            )
+            for member in members
+        }
+        step = aggregator.aggregate(collected)
+        states[process_id].append(step.new_state)
+
+    # The decision is the state after the *last* aggregate, which is round
+    # ``total_rounds`` on every normal run but round 1 under a zero-round
+    # override (a process only checks its budget after finishing a round).
+    decisions = {
+        process_id: np.asarray(states[process_id][-1], dtype=float)
+        for process_id in registry.honest_ids
+    }
+    report = _verdict(registry, decisions, epsilon=spec.epsilon)
+    return _result_row(
+        spec,
+        registry,
+        decisions,
+        report,
+        rounds=total_rounds,
+        messages_sent=skeleton.messages_sent,
+        messages_dropped=skeleton.messages_dropped,
+        state_histories=(
+            {process_id: states[process_id] for process_id in registry.honest_ids}
+            if spec.record_history
+            else None
+        ),
+    )
+
+
+def _async_skeleton(
+    registry: ProcessRegistry,
+    scheduler: object,
+    total_rounds: int,
+) -> _AsyncSkeleton:
+    """Record one scheduler signature's event structure with the real runtime.
+
+    The recorder cores are real :class:`RestrictedAsyncProcess` objects with
+    zero inputs and their aggregator swapped for the event logger, driven by
+    the real :class:`AsynchronousRuntime` and the real scheduler — so the
+    delivery order, traffic counters and any :class:`TerminationError`
+    (budget, quiescence) are exactly the object runtime's.
+    """
+    configuration = registry.configuration
+    events: list[tuple[int, int, tuple[int, ...]]] = []
+    zero = np.zeros(configuration.dimension)
+    processes: dict[int, RestrictedAsyncProcess] = {}
+    for process_id in registry.process_ids:
+        core = RestrictedAsyncProcess(
+            process_id=process_id,
+            configuration=configuration,
+            input_vector=zero,
+            epsilon=1.0,
+            value_lower=0.0,
+            value_upper=0.0,
+            max_rounds_override=total_rounds,
+        )
+        core._aggregator = _RecordingAggregator(core, events)
+        processes[process_id] = core
+    runtime = AsynchronousRuntime(
+        processes,
+        honest_ids=registry.honest_ids,
+        scheduler=scheduler,
+    )
+    result = runtime.run()
+    return _AsyncSkeleton(
+        events=events,
+        messages_sent=result.traffic.messages_sent,
+        messages_dropped=result.traffic.messages_dropped,
     )

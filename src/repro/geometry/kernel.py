@@ -63,6 +63,7 @@ from scipy.sparse import csc_matrix
 from repro.exceptions import GeometryError, LinearProgramError
 
 __all__ = [
+    "DENSE_POINT_CROSSOVER",
     "KernelStats",
     "GammaKernel",
     "default_kernel",
@@ -77,6 +78,15 @@ __all__ = [
 #: Relative tolerance accepted by the minimum-slack fallback before declaring
 #: the safe area genuinely empty (matches the oracle in ``core.safe_area``).
 _SLACK_TOLERANCE = 1e-6
+
+#: Largest cloud (point count) solved through the direct dense path instead of
+#: the cached sparse templates.  At this scale (the E15 ``n <= 9`` regime) a
+#: query is solver-latency bound: the HiGHS call dominates and the template
+#: scatter/permute machinery is pure overhead, so a plain dense ``A_eq``
+#: assembly is faster.  Both assemblies describe the identical equality
+#: system in the identical row/column layout, and HiGHS resolves them to the
+#: same vertex, so the crossover never changes a returned point.
+DENSE_POINT_CROSSOVER = 9
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +394,7 @@ class KernelStats:
     multi_calls: int = 0
     multi_dedup_hits: int = 0
     lp_solves: int = 0
+    dense_solves: int = 0
     relaxed_solves: int = 0
     template_hits: int = 0
     template_misses: int = 0
@@ -394,8 +405,8 @@ class KernelStats:
         return {name: int(getattr(self, name)) for name in (
             "single_queries", "batch_queries", "batch_calls",
             "multi_queries", "multi_calls", "multi_dedup_hits", "lp_solves",
-            "relaxed_solves", "template_hits", "template_misses",
-            "blocks_assembled", "blocks_pruned_away",
+            "dense_solves", "relaxed_solves", "template_hits",
+            "template_misses", "blocks_assembled", "blocks_pruned_away",
         )}
 
 
@@ -411,14 +422,29 @@ class GammaKernel:
         max_cached_templates: bound on distinct LP shapes kept alive (the
             protocols only ever touch a handful; the bound guards pathological
             sweeps over many configurations).
+        dense_crossover: clouds of at most this many points are solved through
+            the direct dense assembly instead of the sparse templates (see
+            :data:`DENSE_POINT_CROSSOVER`); set to 0 to force the template
+            path everywhere.
     """
 
-    def __init__(self, max_cached_templates: int = 64) -> None:
+    def __init__(
+        self,
+        max_cached_templates: int = 64,
+        dense_crossover: int = DENSE_POINT_CROSSOVER,
+    ) -> None:
         if max_cached_templates < 1:
             raise GeometryError("the template cache must hold at least one shape")
+        if dense_crossover < 0:
+            raise GeometryError("the dense crossover must be non-negative")
         self._max_cached_templates = max_cached_templates
+        self._dense_crossover = dense_crossover
         self._templates: dict[tuple[int, int, int], _ConstraintTemplate] = {}
         self.stats = KernelStats()
+
+    def uses_dense_path(self, point_count: int) -> bool:
+        """True when a ``point_count``-point cloud dispatches to the dense path."""
+        return 0 < point_count <= self._dense_crossover
 
     # -- cache -------------------------------------------------------------------
 
@@ -517,10 +543,16 @@ class GammaKernel:
 
         dimension = cloud.shape[1]
         block_size = len(families[0])
-        template = self._template(len(families), block_size, dimension)
         families_flat = np.asarray(families, dtype=np.int64)
-        matrix = template.matrix_for(cloud, families_flat)
-        objective = np.zeros(template.variable_count)
+        if self.uses_dense_path(cloud.shape[0]):
+            matrix, rhs, bounds = self._dense_equality_system(cloud, families_flat)
+            self.stats.dense_solves += 1
+        else:
+            template = self._template(len(families), block_size, dimension)
+            matrix = template.matrix_for(cloud, families_flat)
+            rhs = template.rhs
+            bounds = list(template.bounds)
+        objective = np.zeros(matrix.shape[1])
         objective[:dimension] = objective_head
 
         self.stats.lp_solves += 1
@@ -529,8 +561,8 @@ class GammaKernel:
             result = solve_linear_program(
                 objective,
                 equality_matrix=matrix,
-                equality_rhs=template.rhs,
-                bounds=list(template.bounds),
+                equality_rhs=rhs,
+                bounds=bounds,
             )
         except LinearProgramError as error:
             # Clusters of near-coincident points (honest states late in a
@@ -546,6 +578,38 @@ class GammaKernel:
         if result is not None and result.feasible and result.solution is not None:
             return result.solution[:dimension]
         return self._relaxed_point(cloud, families_flat)
+
+    def _dense_equality_system(
+        self, cloud: np.ndarray, families_flat: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[float | None, float | None]]]:
+        """Assemble the Section 2.2 equality system as one dense array.
+
+        Identical rows, columns and coefficients to
+        :meth:`_ConstraintTemplate.matrix_for` — per block ``d`` rows of
+        ``z - Y_T^T alpha = 0`` followed by ``sum(alpha) = 1`` — just without
+        the scatter/permute machinery, which dominates the per-query cost at
+        small point counts.
+        """
+        block_count, block_size = families_flat.shape
+        dimension = cloud.shape[1]
+        row_count = block_count * (dimension + 1)
+        variable_count = dimension + block_count * block_size
+        matrix = np.zeros((row_count, variable_count))
+        gathered = cloud[families_flat].transpose(0, 2, 1)  # (B, d, s)
+        identity = np.eye(dimension)
+        for block in range(block_count):
+            row_base = block * (dimension + 1)
+            col_base = dimension + block * block_size
+            matrix[row_base : row_base + dimension, :dimension] = identity
+            matrix[row_base : row_base + dimension, col_base : col_base + block_size] = (
+                -gathered[block]
+            )
+            matrix[row_base + dimension, col_base : col_base + block_size] = 1.0
+        rhs = np.tile(np.concatenate([np.zeros(dimension), [1.0]]), block_count)
+        bounds: list[tuple[float | None, float | None]] = (
+            [(None, None)] * dimension + [(0.0, None)] * (block_count * block_size)
+        )
+        return matrix, rhs, bounds
 
     # -- batched queries ---------------------------------------------------------
 

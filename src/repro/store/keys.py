@@ -43,7 +43,7 @@ __all__ = ["ENGINE_VERSION", "VOLATILE_SPEC_FIELDS", "canonical_spec_payload", "
 #: Salt folded into every trial key.  Format: ``<package version>/<row schema
 #: revision>``; bump the revision whenever trial semantics or the serialised
 #: row change (see the module docstring for the discipline).
-ENGINE_VERSION = "1.0.0/rows1"
+ENGINE_VERSION = "1.1.0/rows1"
 
 #: Spec fields excluded from the key because they cannot influence the
 #: serialised outcome row (see module docstring).

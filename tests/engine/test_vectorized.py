@@ -16,17 +16,24 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine import (
+    COORDINATED_STRATEGY_NAMES,
     Campaign,
+    FallbackReason,
     TrialSpec,
     execute_specs,
+    minimum_processes_for,
     plan_specs,
+    run_campaign,
     run_specs_vectorized,
     run_trial,
     sample_specs,
     spec_is_vectorizable,
     strip_timing,
+    vectorization_fallback,
     vectorized_group_key,
 )
 from repro.exceptions import ConfigurationError
@@ -51,25 +58,49 @@ class TestEligibility:
             TrialSpec(protocol="restricted_sync", workload="uniform_box", adversary="crash")
         )
 
-    def test_async_protocols_fall_back(self):
-        for protocol in ("approx", "restricted_async"):
-            assert not spec_is_vectorizable(
-                TrialSpec(protocol=protocol, workload="uniform_box")
-            )
+    def test_approx_protocol_falls_back(self):
+        spec = TrialSpec(protocol="approx", workload="uniform_box")
+        assert not spec_is_vectorizable(spec)
+        assert vectorization_fallback(spec) is FallbackReason.ASYNC_PROTOCOL_NOT_COLUMNAR
 
     def test_broadcast_protocols_require_fault_free(self):
         for protocol in ("exact", "coordinatewise"):
-            assert not spec_is_vectorizable(
-                TrialSpec(protocol=protocol, workload="uniform_box", adversary="crash")
-            )
+            spec = TrialSpec(protocol=protocol, workload="uniform_box", adversary="crash")
+            assert not spec_is_vectorizable(spec)
+            assert vectorization_fallback(spec) is FallbackReason.ADVERSARY_NOT_COLUMNAR
 
-    def test_coordinated_adversaries_fall_back(self):
-        for adversary in ("split_world", "hull_collapse", "adaptive_extreme", "theorem4_scenario"):
-            assert not spec_is_vectorizable(
-                TrialSpec(
-                    protocol="restricted_sync", workload="uniform_box", adversary=adversary
-                )
+    def test_coordinated_adversaries_are_eligible(self):
+        for adversary in COORDINATED_STRATEGY_NAMES:
+            spec = TrialSpec(
+                protocol="restricted_sync", workload="uniform_box", adversary=adversary
             )
+            assert spec_is_vectorizable(spec)
+            assert vectorization_fallback(spec) is None
+
+    def test_deterministic_async_schedulers_are_eligible(self):
+        for scheduler in ("round_robin", "lagging"):
+            spec = TrialSpec(
+                protocol="restricted_async", workload="uniform_box", scheduler=scheduler
+            )
+            assert spec_is_vectorizable(spec)
+            assert vectorization_fallback(spec) is None
+
+    def test_random_async_scheduler_falls_back(self):
+        # TrialSpec defaults to the random scheduler, whose decision stream
+        # consumes an RNG per delivery — no shared skeleton across trials.
+        spec = TrialSpec(protocol="restricted_async", workload="uniform_box")
+        assert not spec_is_vectorizable(spec)
+        assert vectorization_fallback(spec) is FallbackReason.SCHEDULER_NOT_DETERMINISTIC
+
+    def test_faulty_async_runs_fall_back(self):
+        spec = TrialSpec(
+            protocol="restricted_async",
+            workload="uniform_box",
+            adversary="crash",
+            scheduler="round_robin",
+        )
+        assert not spec_is_vectorizable(spec)
+        assert vectorization_fallback(spec) is FallbackReason.ADVERSARY_NOT_COLUMNAR
 
 
 class TestPlanner:
@@ -116,6 +147,50 @@ class TestPlanner:
             run_specs_vectorized([specs[0], specs[3]])  # different shape groups
         with pytest.raises(ConfigurationError):
             run_specs_vectorized([specs[1]])  # not vectorizable at all
+
+    def test_fallback_reasons_counted_per_engine(self):
+        specs = self._specs()
+
+        forced: dict[str, int] = {}
+        plan_specs(specs, engine="object", fallback_reasons=forced)
+        assert forced == {FallbackReason.FORCED_OBJECT.value: len(specs)}
+
+        vectorized: dict[str, int] = {}
+        plan_specs(specs, engine="vectorized", fallback_reasons=vectorized)
+        assert vectorized == {FallbackReason.ASYNC_PROTOCOL_NOT_COLUMNAR.value: 1}
+
+        auto: dict[str, int] = {}
+        plan_specs(specs, engine="auto", fallback_reasons=auto)
+        assert auto == {
+            FallbackReason.ASYNC_PROTOCOL_NOT_COLUMNAR.value: 1,
+            FallbackReason.SINGLETON_GROUP.value: 1,
+        }
+
+    def test_widened_eligibility_set_reports_no_fallback(self):
+        # Every scenario class the tentpole made columnar — independent and
+        # coordinated restricted-sync adversaries plus deterministic-scheduler
+        # async runs — must plan without a single fallback.
+        specs = []
+        for adversary in ("none", "crash", "equivocate", "outside_hull",
+                          "random_noise", "coordinate_attack",
+                          *COORDINATED_STRATEGY_NAMES):
+            for repeat in range(2):
+                specs.append(TrialSpec(
+                    protocol="restricted_sync", workload="uniform_box",
+                    adversary=adversary, process_count=7, dimension=2,
+                    fault_bound=1, seed=len(specs), trial_index=len(specs),
+                ))
+        for scheduler in ("round_robin", "lagging"):
+            for repeat in range(2):
+                specs.append(TrialSpec(
+                    protocol="restricted_async", workload="uniform_box",
+                    scheduler=scheduler, process_count=6, dimension=1,
+                    fault_bound=1, seed=len(specs), trial_index=len(specs),
+                ))
+        reasons: dict[str, int] = {}
+        units = plan_specs(specs, engine="auto", fallback_reasons=reasons)
+        assert reasons == {}
+        assert all(unit.kind == "columnar" for unit in units)
 
 
 class TestEquivalenceGrid:
@@ -178,6 +253,33 @@ class TestEquivalenceGrid:
         assert [result.spec.trial_index for result in results] == list(range(len(campaign)))
 
 
+class TestCoordinatedPropertySuite:
+    """Seeded coordinated-adversary compositions × engine × worker count.
+
+    The hypothesis-driven counterpart of the deterministic grid: every
+    sampled composition of coordinated strategies must produce row-for-row
+    byte-identical output on both engines at one and at four workers.
+    """
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_sampled_coordinated_specs_agree(self, seed):
+        sampled = sample_specs(
+            8,
+            seed=seed,
+            protocols=("restricted_sync",),
+            adversaries=COORDINATED_STRATEGY_NAMES,
+        )
+        assert all(spec_is_vectorizable(spec) for spec in sampled)
+        capped = [
+            dataclasses.replace(spec, max_rounds_override=3) for spec in sampled
+        ]
+        reference = _rows(execute_specs(capped, engine="object", workers=1))
+        for engine, workers in (("object", 4), ("vectorized", 1), ("vectorized", 4)):
+            rows = _rows(execute_specs(capped, engine=engine, workers=workers))
+            assert rows == reference, (engine, workers)
+
+
 class TestEquivalenceSampled:
     """Seeded property suite over the fuzz sampler's eligible shape class."""
 
@@ -201,6 +303,45 @@ class TestEquivalenceSampled:
             assert object_result.agreement is vectorized_result.agreement
             assert object_result.validity is vectorized_result.validity
             assert object_result.rounds == vectorized_result.rounds
+
+
+class TestFallbackSurfacing:
+    """Campaign summaries expose why trials left the columnar path."""
+
+    def test_campaign_summary_reports_fallback_reasons(self):
+        approx_n = minimum_processes_for("approx", 1, 1)
+        specs = [
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      process_count=5, dimension=2, fault_bound=1,
+                      max_rounds_override=2, seed=1, trial_index=0),
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      process_count=5, dimension=2, fault_bound=1,
+                      max_rounds_override=2, seed=2, trial_index=1),
+            TrialSpec(protocol="approx", workload="uniform_box",
+                      process_count=approx_n, dimension=1, fault_bound=1,
+                      max_rounds_override=2, seed=3, trial_index=2),
+        ]
+        campaign = Campaign.from_specs("fallback-surfacing", specs)
+        summary, _ = run_campaign(campaign, engine="auto")
+        assert summary.fallback_reasons == {
+            FallbackReason.ASYNC_PROTOCOL_NOT_COLUMNAR.value: 1
+        }
+        assert summary.to_row()["fallbacks"] == 1
+
+    def test_clean_columnar_campaign_reports_zero_fallbacks(self):
+        campaign = Campaign.from_grid(
+            "fallback-clean",
+            protocols=("restricted_sync",),
+            adversaries=("crash", "split_world"),
+            dimensions=(2,),
+            fault_bounds=(1,),
+            repeats=2,
+            base_seed=31,
+            max_rounds_override=2,
+        )
+        summary, _ = run_campaign(campaign, engine="auto")
+        assert summary.fallback_reasons == {}
+        assert summary.to_row()["fallbacks"] == 0
 
 
 class TestFailurePaths:

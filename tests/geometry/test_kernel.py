@@ -268,7 +268,9 @@ class TestBatchedQueries:
 class TestTemplateCacheAndStats:
     def test_templates_are_reused_across_rounds(self):
         rng = np.random.default_rng(11)
-        kernel = GammaKernel()
+        # dense_crossover=0 pins the template path: 7-point clouds would
+        # otherwise dispatch to the dense assembly.
+        kernel = GammaKernel(dense_crossover=0)
         # Unpruned queries share the exact (C(7,5), 5, 2) LP shape, so after
         # the first assembly every later round hits the cached template.
         for _ in range(5):
@@ -276,19 +278,30 @@ class TestTemplateCacheAndStats:
         assert kernel.stats.template_misses == 1
         assert kernel.stats.template_hits == 4
         assert kernel.stats.lp_solves == 5
+        assert kernel.stats.dense_solves == 0
         # Pruned queries may land on per-cloud shapes, but always record the
         # number of constraint blocks they avoided assembling.
         kernel.point(rng.uniform(size=(7, 2)), 2, prune=True)
         assert kernel.stats.blocks_pruned_away > 0
 
+    def test_small_clouds_take_the_dense_path(self):
+        rng = np.random.default_rng(14)
+        kernel = GammaKernel()
+        kernel.point(rng.uniform(size=(7, 2)), 2, prune=False)
+        assert kernel.stats.dense_solves == 1
+        assert kernel.stats.lp_solves == 1
+        assert kernel.stats.template_misses == 0
+
     def test_cache_eviction_is_bounded(self):
         rng = np.random.default_rng(12)
-        kernel = GammaKernel(max_cached_templates=2)
+        kernel = GammaKernel(max_cached_templates=2, dense_crossover=0)
         for point_count in (5, 6, 7, 8):
             kernel.point(rng.uniform(size=(point_count, 2)), 1)
         assert len(kernel._templates) <= 2
         with pytest.raises(GeometryError):
             GammaKernel(max_cached_templates=0)
+        with pytest.raises(GeometryError):
+            GammaKernel(dense_crossover=-1)
 
     def test_reset_and_clear(self):
         rng = np.random.default_rng(13)
