@@ -1,12 +1,15 @@
-"""Campaign engine throughput: trials/second at workers ∈ {1, 4}.
+"""Campaign engine throughput: trials/second across the worker sweep.
 
 Not a paper experiment — this benchmarks the execution layer itself: a fixed
 Exact-BVC grid (the protocol's minimum ``n`` at each ``(d, f)``, all four
 attack strategies) is expanded once and run through
-:func:`repro.engine.run_campaign` sequentially and on a 4-worker pool.  The
-recorded table is the trials/second number the scaling PRs build on; the
-worker-count-invariance assertion is the engine's core guarantee (same seed →
-same rows, any pool size).
+:func:`repro.engine.run_campaign` at workers ∈ {1, 2, 4, 8} on the
+persistent shared-memory pool.  Each row records ``speedup_vs_w1`` and the
+``cores`` the box actually granted; the assertion is the cores-gated scaling
+floor (2x at ≥4 effective cores — the ROADMAP item 1 acceptance bar — down
+to a no-pessimization floor on a 1-core container).  The worker-count
+byte-identity assertion is the engine's core guarantee (same seed → same
+rows, any pool size).
 
 The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
 """
@@ -15,12 +18,17 @@ from __future__ import annotations
 
 import os
 
+from conftest import effective_cores, scaling_floor
+
 from repro.engine import Campaign, read_jsonl, run_campaign, strip_timing
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
-REPEATS = 3 if SMOKE else 25
+# Smoke keeps the grid small but not tiny: the workers=4 scaling floor needs
+# a couple of seconds of single-worker work to dominate pool start-up.
+REPEATS = 16 if SMOKE else 25
 DIMENSIONS = (1, 2) if SMOKE else (1, 2, 3)
+WORKER_SWEEP = (1, 4) if SMOKE else (1, 2, 4, 8)
 
 
 def _campaign() -> Campaign:
@@ -38,23 +46,36 @@ def _campaign() -> Campaign:
 def test_campaign_throughput(benchmark, record_table, tmp_path):
     campaign = _campaign()
 
-    def run_both() -> list[dict[str, object]]:
+    def run_sweep() -> list[dict[str, object]]:
         rows = []
-        for workers in (1, 4):
+        for workers in WORKER_SWEEP:
             jsonl_path = tmp_path / f"w{workers}.jsonl"
             summary, _ = run_campaign(campaign, workers=workers, jsonl_path=jsonl_path)
             rows.append(summary.to_row() | {"jsonl_rows": len(read_jsonl(jsonl_path))})
         return rows
 
-    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    w1_rate = max(rows[0]["trials_per_s"], 1e-9)
+    for row in rows:
+        row["speedup_vs_w1"] = round(row["trials_per_s"] / w1_rate, 2)
+        row["cores"] = effective_cores()
     record_table(
-        "E16_campaign_throughput", rows, "Campaign engine — trials/second at workers 1 vs 4"
+        "E16_campaign_throughput",
+        rows,
+        "Campaign engine — trials/second, persistent pool, workers sweep",
     )
     for row in rows:
         assert row["errors"] == 0
         assert row["jsonl_rows"] == len(campaign)
+        if row["workers"] > 1:
+            floor = scaling_floor(row["workers"])
+            assert row["speedup_vs_w1"] >= floor, (
+                f"workers={row['workers']} reached only "
+                f"{row['speedup_vs_w1']}x over workers=1 "
+                f"(floor {floor}x on {effective_cores()} cores)"
+            )
     # Same seed, different pool sizes: the streamed rows must be identical
     # modulo the timing field.
-    assert strip_timing(read_jsonl(tmp_path / "w1.jsonl")) == strip_timing(
-        read_jsonl(tmp_path / "w4.jsonl")
-    )
+    canonical = strip_timing(read_jsonl(tmp_path / "w1.jsonl"))
+    for workers in WORKER_SWEEP[1:]:
+        assert canonical == strip_timing(read_jsonl(tmp_path / f"w{workers}.jsonl"))

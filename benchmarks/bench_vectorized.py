@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import os
 
+from conftest import effective_cores, scaling_floor
+
 from repro.engine import Campaign, read_jsonl, run_campaign, strip_timing
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -190,3 +192,65 @@ def test_vectorized_coordinated_throughput(benchmark, record_table, tmp_path):
     canonical = strip_timing(read_jsonl(tmp_path / "coordinated-object-w1.jsonl"))
     assert canonical == strip_timing(read_jsonl(tmp_path / "coordinated-vectorized-w1.jsonl"))
     assert canonical == strip_timing(read_jsonl(tmp_path / "coordinated-vectorized-w4.jsonl"))
+
+
+SCALING_REPEATS = 12 if SMOKE else 8
+SCALING_WORKER_SWEEP = (1, 4) if SMOKE else (1, 2, 4, 8)
+# Cutting a same-shape columnar group into sub-units trades some batching
+# width for parallelism, so the columnar sweep gets 75% of the generic floor.
+COLUMNAR_FLOOR_FACTOR = 0.75
+
+
+def _scaling_campaign() -> Campaign:
+    # One same-shape columnar group per adversary: before the persistent
+    # pool this shipped as whole units (one worker each, ~zero parallelism);
+    # the cost model now cuts groups into sub-units, so the sweep measures
+    # real columnar fan-out.
+    return Campaign.from_grid(
+        "bench-pool-scaling",
+        protocols=("restricted_sync",),
+        adversaries=("none", "crash", "outside_hull"),
+        dimensions=(2,),
+        fault_bounds=(1,),
+        process_counts=(PROCESS_COUNT,),
+        repeats=SCALING_REPEATS,
+        base_seed=7,
+        max_rounds_override=ROUNDS,
+    )
+
+
+def test_pool_scaling_sweep(benchmark, record_table, tmp_path):
+    campaign = _scaling_campaign()
+
+    def run_sweep() -> list[dict[str, object]]:
+        rows = []
+        for workers in SCALING_WORKER_SWEEP:
+            jsonl_path = tmp_path / f"scaling-w{workers}.jsonl"
+            summary, _ = run_campaign(campaign, workers=workers, jsonl_path=jsonl_path)
+            rows.append(summary.to_row() | {"jsonl_rows": len(read_jsonl(jsonl_path))})
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    w1_rate = max(rows[0]["trials_per_s"], 1e-9)
+    for row in rows:
+        row["speedup_vs_w1"] = round(row["trials_per_s"] / w1_rate, 2)
+        row["cores"] = effective_cores()
+    record_table(
+        "E21_pool_scaling",
+        rows,
+        "Persistent pool — columnar campaign scaling, workers sweep "
+        f"(restricted_sync, d=2, n={PROCESS_COUNT}, f=1, {ROUNDS} rounds)",
+    )
+    for row in rows:
+        assert row["errors"] == 0
+        assert row["jsonl_rows"] == len(campaign)
+        if row["workers"] > 1:
+            floor = round(scaling_floor(row["workers"]) * COLUMNAR_FLOOR_FACTOR, 2)
+            assert row["speedup_vs_w1"] >= floor, (
+                f"workers={row['workers']} reached only "
+                f"{row['speedup_vs_w1']}x over workers=1 "
+                f"(floor {floor}x on {effective_cores()} cores)"
+            )
+    canonical = strip_timing(read_jsonl(tmp_path / f"scaling-w{SCALING_WORKER_SWEEP[0]}.jsonl"))
+    for workers in SCALING_WORKER_SWEEP[1:]:
+        assert canonical == strip_timing(read_jsonl(tmp_path / f"scaling-w{workers}.jsonl"))

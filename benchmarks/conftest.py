@@ -14,6 +14,7 @@ checked-in copies of representative tables live in ``benchmarks/reference/``
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -22,6 +23,31 @@ import pytest
 from repro.analysis.report import render_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def effective_cores() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def scaling_floor(workers: int) -> float:
+    """Minimum acceptable speedup over workers=1 for a ``workers``-wide run.
+
+    Gated on the cores the box actually grants: a w-worker pool can only use
+    ``min(w, cores)`` cores, so the floor a 1-core container must clear is
+    "don't pessimize" (IPC overhead stays under ~40%), a 2-core box must show
+    real speedup, and the ≥4-core CI runners must clear 2x — the ROADMAP
+    item 1 acceptance bar.
+    """
+    parallelism = min(workers, effective_cores())
+    if parallelism >= 4:
+        return 2.0
+    if parallelism >= 2:
+        return 1.2
+    return 0.6
 
 
 @pytest.fixture(scope="session")

@@ -45,6 +45,7 @@ from repro.engine import (
     FUZZ_ADVERSARIES,
     FUZZ_PROTOCOLS,
     FUZZ_WORKLOADS,
+    POOL_CHOICES,
     PROTOCOLS,
     SCHEDULER_NAMES,
     STRATEGY_NAMES,
@@ -294,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
              "'auto' (default) picks per shape group; rows are byte-identical "
              "(modulo elapsed_ms) for every choice",
     )
+    campaign_parser.add_argument(
+        "--pool", choices=POOL_CHOICES, default="persistent",
+        help="multi-worker dispatch: 'persistent' (default) reuses long-lived "
+             "shared-memory workers with cost-model work stealing, 'spawn' "
+             "keeps the legacy per-run process pool; rows are identical",
+    )
     _add_store_run_flags(campaign_parser)
 
     fuzz_parser = subparsers.add_parser(
@@ -331,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--engine", choices=ENGINE_CHOICES, default="auto",
         help="execution substrate (see 'campaign --engine')",
+    )
+    fuzz_parser.add_argument(
+        "--pool", choices=POOL_CHOICES, default="persistent",
+        help="multi-worker dispatch substrate (see 'campaign --pool')",
     )
     _add_store_run_flags(fuzz_parser)
 
@@ -505,6 +516,7 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
             engine=arguments.engine,
             store=store,
             reuse_cached=reuse_cached,
+            pool=arguments.pool,
         )
     finally:
         if store is not None:
@@ -536,6 +548,7 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
             engine=arguments.engine,
             store=store,
             reuse_cached=reuse_cached,
+            pool=arguments.pool,
         )
     finally:
         if store is not None:

@@ -29,6 +29,14 @@ from repro.engine.executor import (
     run_campaign,
     strip_timing,
 )
+from repro.engine.pool import (
+    POOL_CHOICES,
+    CostModel,
+    WorkerPool,
+    execute_plan,
+    get_pool,
+    shutdown_pools,
+)
 from repro.engine.factories import (
     ADVERSARY_NAMES,
     COORDINATED_STRATEGY_NAMES,
@@ -72,6 +80,7 @@ __all__ = [
     "FUZZ_ADVERSARIES",
     "FUZZ_PROTOCOLS",
     "FUZZ_WORKLOADS",
+    "POOL_CHOICES",
     "PROTOCOLS",
     "SCHEDULER_NAMES",
     "STRATEGY_NAMES",
@@ -82,6 +91,7 @@ __all__ = [
     "FallbackReason",
     "Campaign",
     "CampaignSummary",
+    "CostModel",
     "ExecutionUnit",
     "FuzzReport",
     "FuzzViolation",
@@ -89,11 +99,14 @@ __all__ = [
     "StoreCacheStats",
     "TrialResult",
     "TrialSpec",
+    "WorkerPool",
     "build_mutators",
     "build_registry",
     "build_scheduler",
     "derive_faulty_seeds",
+    "execute_plan",
     "execute_specs",
+    "get_pool",
     "iter_jsonl",
     "make_adversaries",
     "make_strategy",
@@ -106,6 +119,7 @@ __all__ = [
     "run_specs_vectorized",
     "run_trial",
     "sample_specs",
+    "shutdown_pools",
     "spec_is_vectorizable",
     "strip_timing",
     "vectorization_fallback",

@@ -18,12 +18,15 @@ singleton groups on the object engine (no batch to amortise);
 ``engine="object"`` bypasses planning entirely and preserves the original
 streaming behaviour.
 
-With ``workers > 1`` the plan's execution units fan out over a
-``concurrent.futures`` ``ProcessPoolExecutor`` (trials are CPU-bound: each
-one is a full protocol simulation plus LP solves).  Whatever the engine or
-worker count, results are always emitted in spec order and are byte-identical
-for any ``workers`` value (every trial is a pure function of its spec; only
-the ``elapsed_ms`` timing field varies run to run).
+With ``workers > 1`` the plan's execution units fan out over the persistent
+worker pool (:mod:`repro.engine.pool`): long-lived workers pull cost-model
+sized sub-units on demand, specs ship as shared-memory delta columns, and
+warm kernel caches survive from one campaign to the next (``pool="spawn"``
+keeps the legacy per-call ``ProcessPoolExecutor`` as an escape hatch).
+Whatever the engine, pool or worker count, results are always emitted in
+spec order and are byte-identical for any ``workers`` value (every trial is
+a pure function of its spec; only the ``elapsed_ms`` timing field varies run
+to run).
 
 Passing a :class:`~repro.store.backend.ResultStore` (``store=``) turns the
 executor into a **write-through cache** over that purity guarantee: every
@@ -31,19 +34,24 @@ spec is content-addressed (:func:`~repro.store.keys.trial_key`), cached rows
 are served without spawning workers, only the misses are planned and run,
 and each completed execution unit commits to the store in one transaction
 *before* its rows are emitted — so an interrupted campaign can be resumed
-with only the missing trials executed.
+with only the missing trials executed.  When several *processes* share one
+store, misses are additionally claimed (:meth:`ResultStore.claim_keys`)
+before execution: trials another process is already computing are deferred
+and served from its committed rows instead of being recomputed, so
+concurrent campaigns over one store do disjoint work.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+import uuid
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.campaign import Campaign
+from repro.engine.pool import POOL_CHOICES, ExecutionUnit, execute_plan
 from repro.engine.spec import TrialResult, TrialSpec
 from repro.engine.trial import run_trial
 from repro.engine.vectorized import (
@@ -59,6 +67,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 
 __all__ = [
     "ENGINE_CHOICES",
+    "POOL_CHOICES",
     "CampaignSummary",
     "JsonlSink",
     "ExecutionUnit",
@@ -133,19 +142,6 @@ def strip_timing(rows: Iterable[dict[str, Any]]) -> list[str]:
     return canonical
 
 
-@dataclass(frozen=True)
-class ExecutionUnit:
-    """One schedulable slice of a campaign plan.
-
-    ``kind`` is ``"columnar"`` (a same-shape group for the vectorized engine)
-    or ``"object"`` (a chunk of per-trial ``run_trial`` calls); ``positions``
-    are the indices of the unit's specs within the planned spec list.
-    """
-
-    kind: str
-    positions: tuple[int, ...]
-
-
 def plan_specs(
     specs: Sequence[TrialSpec],
     engine: str = "auto",
@@ -209,14 +205,6 @@ def _execute_unit(
     return [run_trial(specs[position]) for position in unit.positions]
 
 
-def _execute_unit_task(payload: tuple[ExecutionUnit, tuple[TrialSpec, ...]]) -> list[TrialResult]:
-    """Pool-side entry point (module level so it pickles by name)."""
-    unit, unit_specs = payload
-    if unit.kind == "columnar":
-        return run_specs_vectorized(list(unit_specs))
-    return [run_trial(spec) for spec in unit_specs]
-
-
 @dataclass
 class StoreCacheStats:
     """Cache outcome of one store-backed execution (filled by ``execute_specs``)."""
@@ -273,6 +261,9 @@ def _execute_specs_stored(
     reuse_cached: bool,
     cache_stats: StoreCacheStats | None,
     fallback_reasons: dict[str, int] | None = None,
+    chunksize: int | None = None,
+    pool: str = "persistent",
+    claim_wait_timeout: float = 60.0,
 ) -> Iterator[TrialResult]:
     """Store-backed execution: serve cached rows, run misses, commit per unit.
 
@@ -280,6 +271,15 @@ def _execute_specs_stored(
     state histories are not serialised, so a cached row cannot satisfy the
     in-memory consumer), but their rows are still recorded — under a key
     that, by construction, a history-free spec resolves to as well.
+
+    Before executing, each miss key is **claimed** on the store
+    (:meth:`~repro.store.backend.ResultStore.claim_keys`): keys another
+    process already holds are *deferred* — this run polls for that process's
+    committed rows and serves them as cache hits instead of recomputing.  A
+    deferred trial whose owner never commits (crash, timeout) is recomputed
+    locally after ``claim_wait_timeout`` seconds, so the campaign always
+    completes.  Single-writer backends grant every claim, making this path
+    identical to the old behaviour.
     """
     from repro.store.keys import trial_key
 
@@ -298,7 +298,29 @@ def _execute_specs_stored(
         cache_stats.hits = len(hit_keys)
         cache_stats.misses = len(specs) - len(hit_keys)
     miss_positions = [position for position in range(len(specs)) if position not in hit_keys]
-    miss_specs = [specs[position] for position in miss_positions]
+
+    # Claim the misses so concurrent campaigns over this store split the
+    # work: denied keys are being computed elsewhere — defer them and serve
+    # the other process's rows.  record_history misses always run locally
+    # (a stored row cannot carry the in-memory histories).
+    owner = uuid.uuid4().hex
+    deferred: dict[int, str] = {}
+    claimed_keys: list[str] = []
+    if reuse_cached and miss_positions:
+        claimable = list(
+            dict.fromkeys(
+                keys[position]
+                for position in miss_positions
+                if not specs[position].record_history
+            )
+        )
+        granted = store.claim_keys(claimable, owner) if claimable else set()
+        claimed_keys = [key for key in claimable if key in granted]
+        for position in miss_positions:
+            if not specs[position].record_history and keys[position] not in granted:
+                deferred[position] = keys[position]
+    run_positions = [position for position in miss_positions if position not in deferred]
+    run_specs = [specs[position] for position in run_positions]
 
     pending: dict[int, TrialResult] = {}
     emitted = 0
@@ -331,36 +353,92 @@ def _execute_specs_stored(
                     yield replace(TrialResult.from_row(row), spec=specs[position])
                     del hit_keys[position]
                     emitted = position + 1
+            elif emitted in deferred:
+                # Another process owns these trials; serve whatever it has
+                # committed so far, stopping at the first still-absent row.
+                batch = []
+                position = emitted
+                while position in deferred and len(batch) < _SERVE_BATCH:
+                    batch.append(position)
+                    position += 1
+                rows = store.get_rows([deferred[position] for position in batch])
+                progressed = False
+                for position in batch:
+                    row = rows.get(deferred[position])
+                    if row is None:
+                        break
+                    yield replace(TrialResult.from_row(row), spec=specs[position])
+                    if cache_stats is not None:
+                        cache_stats.hits += 1
+                        cache_stats.misses -= 1
+                    del deferred[position]
+                    emitted = position + 1
+                    progressed = True
+                if not progressed:
+                    return
             else:
                 return
 
-    # Serve every prefix-complete cached row before any execution starts.
-    yield from _drain()
-    units = _split_units_for_commit(plan_specs(miss_specs, engine, fallback_reasons))
-
-    def _commit(unit: ExecutionUnit, unit_result: list[TrialResult]) -> None:
+    def _commit(local_positions: Sequence[int], unit_result: list[TrialResult]) -> None:
         # Commit-then-emit: once a row has been yielded downstream, it is
         # guaranteed to be in the store, so resuming after an interruption
         # can never lose acknowledged work.
         store.put_results(
-            (keys[miss_positions[local]], result)
-            for local, result in zip(unit.positions, unit_result)
+            (keys[run_positions[local]], result)
+            for local, result in zip(local_positions, unit_result)
         )
-        for local, result in zip(unit.positions, unit_result):
-            pending[miss_positions[local]] = result
+        for local, result in zip(local_positions, unit_result):
+            pending[run_positions[local]] = result
 
-    if workers <= 1 or len(units) <= 1:
-        for unit in units:
-            _commit(unit, _execute_unit(unit, miss_specs))
-            yield from _drain()
-        return
-    payloads = [
-        (unit, tuple(miss_specs[position] for position in unit.positions)) for unit in units
-    ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for unit, unit_result in zip(units, pool.map(_execute_unit_task, payloads)):
-            _commit(unit, unit_result)
-            yield from _drain()
+    try:
+        # Serve every prefix-complete cached row before any execution starts.
+        yield from _drain()
+        units = _split_units_for_commit(plan_specs(run_specs, engine, fallback_reasons))
+        if workers <= 1 or len(run_specs) <= 1:
+            for unit in units:
+                _commit(unit.positions, _execute_unit(unit, run_specs))
+                yield from _drain()
+        else:
+            for local_positions, unit_result in execute_plan(
+                run_specs, units, workers, chunksize, pool
+            ):
+                _commit(local_positions, unit_result)
+                yield from _drain()
+
+        # Wait out trials owned by other processes, then recompute leftovers.
+        if deferred:
+            deadline = time.monotonic() + claim_wait_timeout
+            delay = 0.05
+            while deferred and time.monotonic() < deadline:
+                before = len(deferred)
+                yield from _drain()
+                if deferred and len(deferred) == before:
+                    time.sleep(delay)
+                    delay = min(delay * 1.6, 1.0)
+        if deferred:
+            # The owning process never committed (crashed or stuck): finish
+            # its share ourselves.  Last-write-wins commits keep this safe
+            # even if it eventually completes too.
+            retry_positions = sorted(deferred)
+            retry_specs = [specs[position] for position in retry_positions]
+            for unit in _split_units_for_commit(
+                plan_specs(retry_specs, engine, fallback_reasons)
+            ):
+                unit_result = _execute_unit(unit, retry_specs)
+                store.put_results(
+                    (keys[retry_positions[local]], result)
+                    for local, result in zip(unit.positions, unit_result)
+                )
+                for local, result in zip(unit.positions, unit_result):
+                    pending[retry_positions[local]] = result
+                    deferred.pop(retry_positions[local], None)
+                yield from _drain()
+    finally:
+        if claimed_keys:
+            try:
+                store.release_claims(claimed_keys, owner)
+            except Exception:  # noqa: BLE001 — claims expire by TTL anyway
+                pass
 
 
 def execute_specs(
@@ -372,44 +450,60 @@ def execute_specs(
     reuse_cached: bool = True,
     cache_stats: StoreCacheStats | None = None,
     fallback_reasons: dict[str, int] | None = None,
+    pool: str = "persistent",
+    claim_wait_timeout: float = 60.0,
 ) -> Iterator[TrialResult]:
     """Yield one :class:`TrialResult` per spec, in spec order.
 
     ``engine`` picks the execution substrate (see :data:`ENGINE_CHOICES`);
     the emitted rows are byte-identical (modulo ``elapsed_ms``) for every
-    engine and worker count.  ``workers <= 1`` runs inline (no subprocess
-    overhead, simplest debugging); otherwise a process pool fans the plan's
-    execution units out while this iterator yields results back in order.
+    engine, pool and worker count.  ``workers <= 1`` runs inline (no
+    subprocess overhead, simplest debugging); otherwise the plan's execution
+    units are cut into cost-model-sized tasks and fanned out over the
+    ``pool`` substrate (:data:`POOL_CHOICES` — the persistent shared-memory
+    pool by default) while this iterator yields results back in order.  An
+    explicit ``chunksize`` overrides the cost model's task sizing on every
+    multi-worker path.
 
     With ``store`` set, execution becomes a write-through cache: cached rows
     are served without running anything (unless ``reuse_cached`` is False,
     which forces recomputation while still recording), misses commit to the
     store transactionally per execution unit, and ``cache_stats`` — if
-    provided — is filled with the hit/miss split.  Rows remain byte-identical
+    provided — is filled with the hit/miss split (trials served from a
+    concurrent process's commits count as hits).  Rows remain byte-identical
     to an uncached run, whichever side of the cache they came from.
+    ``claim_wait_timeout`` bounds how long this run waits for rows another
+    process has claimed before recomputing them itself.
     """
     if engine not in ENGINE_CHOICES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
         )
+    if pool not in POOL_CHOICES:
+        raise ConfigurationError(
+            f"unknown pool {pool!r}; known: {', '.join(POOL_CHOICES)}"
+        )
     if store is not None:
         yield from _execute_specs_stored(
-            specs, store, workers, engine, reuse_cached, cache_stats, fallback_reasons
+            specs,
+            store,
+            workers,
+            engine,
+            reuse_cached,
+            cache_stats,
+            fallback_reasons,
+            chunksize,
+            pool,
+            claim_wait_timeout,
         )
         return
-    if engine == "object":
+    if engine == "object" and (workers <= 1 or len(specs) <= 1):
         if fallback_reasons is not None:
             # The object fast path bypasses planning; run the planner purely
             # for its fallback accounting.
             plan_specs(specs, engine, fallback_reasons)
-        if workers <= 1 or len(specs) <= 1:
-            for spec in specs:
-                yield run_trial(spec)
-            return
-        if chunksize is None:
-            chunksize = max(1, len(specs) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(run_trial, specs, chunksize=chunksize)
+        for spec in specs:
+            yield run_trial(spec)
         return
 
     units = plan_specs(specs, engine, fallback_reasons)
@@ -419,9 +513,11 @@ def execute_specs(
     pending: dict[int, TrialResult] = {}
     emitted = 0
 
-    def _drain(unit: ExecutionUnit, unit_result: list[TrialResult]) -> Iterator[TrialResult]:
+    def _drain(
+        positions: Sequence[int], unit_result: list[TrialResult]
+    ) -> Iterator[TrialResult]:
         nonlocal emitted
-        for position, result in zip(unit.positions, unit_result):
+        for position, result in zip(positions, unit_result):
             pending[position] = result
         # Stream every prefix-complete result so sinks fill while later
         # units are still running.
@@ -429,30 +525,15 @@ def execute_specs(
             yield pending.pop(emitted)
             emitted += 1
 
-    if workers <= 1 or len(units) <= 1:
+    if workers <= 1 or len(specs) <= 1:
         for unit in units:
-            yield from _drain(unit, _execute_unit(unit, specs))
+            yield from _drain(unit.positions, _execute_unit(unit, specs))
         return
-    # Split large object chunks so the pool stays balanced; columnar
-    # groups ship whole (their speedup comes from batch-wide reuse).
-    shippable: list[ExecutionUnit] = []
-    for unit in units:
-        if unit.kind == "object" and len(unit.positions) > 1:
-            per_task = max(1, len(unit.positions) // (workers * 4))
-            for start in range(0, len(unit.positions), per_task):
-                shippable.append(
-                    ExecutionUnit("object", unit.positions[start : start + per_task])
-                )
-        else:
-            shippable.append(unit)
-    payloads = [
-        (unit, tuple(specs[position] for position in unit.positions)) for unit in shippable
-    ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # pool.map is consumed lazily: it yields unit results in submission
-        # order while workers run ahead, so rows keep streaming.
-        for unit, unit_result in zip(shippable, pool.map(_execute_unit_task, payloads)):
-            yield from _drain(unit, unit_result)
+    # The pool cuts every unit — object chunks *and* columnar groups — into
+    # cost-model-sized tasks and yields them in completion order; the
+    # reorder buffer above restores spec order.
+    for positions, unit_result in execute_plan(specs, units, workers, chunksize, pool):
+        yield from _drain(positions, unit_result)
 
 
 @dataclass(frozen=True)
@@ -469,6 +550,8 @@ class CampaignSummary:
     workers: int
     jsonl_path: str | None
     engine: str = "object"
+    #: Dispatch substrate used for multi-worker execution (:data:`POOL_CHOICES`).
+    pool: str = "persistent"
     #: Trials served straight from the results store (0 without a store).
     cache_hits: int = 0
     #: Executed trials the planner routed to the object engine, counted per
@@ -497,6 +580,7 @@ class CampaignSummary:
             "agreement_failures": self.agreement_failures,
             "validity_failures": self.validity_failures,
             "workers": self.workers,
+            "pool": self.pool,
             "cache_hits": self.cache_hits,
             "fallbacks": sum(self.fallback_reasons.values()),
             "seconds": round(self.elapsed_seconds, 3),
@@ -513,11 +597,15 @@ def run_campaign(
     engine: str = "auto",
     store: "ResultStore | str | Path | None" = None,
     reuse_cached: bool = True,
+    pool: str = "persistent",
+    chunksize: int | None = None,
 ) -> tuple[CampaignSummary, list[TrialResult]]:
     """Run every trial of the campaign, streaming rows to the optional sink.
 
-    ``engine`` selects the execution substrate (:data:`ENGINE_CHOICES`); rows
-    are byte-identical across engines modulo ``elapsed_ms``.  ``store`` — a
+    ``engine`` selects the execution substrate (:data:`ENGINE_CHOICES`) and
+    ``pool`` the multi-worker dispatch substrate (:data:`POOL_CHOICES`); rows
+    are byte-identical across engines, pools and worker counts modulo
+    ``elapsed_ms``.  ``store`` — a
     :class:`~repro.store.backend.ResultStore` or a path, opened (and closed)
     here via :func:`~repro.store.backend.open_store` — enables the
     write-through cache: cached trials are served without execution (set
@@ -561,11 +649,13 @@ def run_campaign(
         results = execute_specs(
             campaign.specs,
             workers=workers,
+            chunksize=chunksize,
             engine=engine,
             store=store,
             reuse_cached=reuse_cached,
             cache_stats=cache_stats,
             fallback_reasons=fallback_reasons,
+            pool=pool,
         )
         if jsonl_path is not None:
             with JsonlSink(jsonl_path) as sink:
@@ -588,6 +678,7 @@ def run_campaign(
         workers=workers,
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
         engine=engine,
+        pool=pool,
         cache_hits=cache_stats.hits if cache_stats is not None else 0,
         fallback_reasons=fallback_reasons,
     )

@@ -256,6 +256,7 @@ def run_fuzz(
     engine: str = "auto",
     store: Any = None,
     reuse_cached: bool = True,
+    pool: str = "persistent",
 ) -> FuzzReport:
     """Sample ``count`` scenarios and execute them, checking both invariants.
 
@@ -293,6 +294,7 @@ def run_fuzz(
         engine=engine,
         store=store,
         reuse_cached=reuse_cached,
+        pool=pool,
     )
     return FuzzReport(
         name=campaign.name,

@@ -1,0 +1,684 @@
+"""Persistent shared-memory worker pool for campaign execution.
+
+The one-shot ``ProcessPoolExecutor`` the executor used to spawn per campaign
+made parallelism a pessimization: every ``execute_specs`` call paid worker
+start-up, every unit re-pickled its ``TrialSpec`` objects, and every worker
+re-derived the :class:`~repro.geometry.kernel.GammaKernel` template cache
+from scratch.  This module replaces that with a process-lifetime pool:
+
+* **Persistent workers** — spawned once per ``(workers)`` size via
+  :func:`get_pool` and reused across ``execute_specs`` calls and campaign
+  phases, so kernel template caches, safe-area choosers and Gamma memos
+  (module-level in :mod:`repro.engine.vectorized`) stay warm from one unit
+  to the next.
+* **Demand-driven dispatch** — the pool pulls sized work units from a lazy
+  task iterator the moment a worker goes idle (a logical shared queue:
+  fast workers steal the remaining tail instead of waiting on ``pool.map``
+  submission order), and yields completed units in *completion* order (the
+  executor's reorder buffer restores spec order).
+* **Shared-memory transport** — a unit crosses the process boundary as one
+  base spec wire tuple plus delta *columns* (int64/float64 arrays in a
+  ``multiprocessing.shared_memory`` block for large units) instead of a
+  pickled ``TrialSpec`` per trial; workers return results with the spec
+  stripped and the parent reattaches its originals, so specs never make the
+  round trip.
+* **Measured cost model** — :class:`CostModel` sizes units from observed
+  per-trial seconds (seeded by a tiny calibration probe, refined online via
+  EWMA), replacing the two duplicated ``len(specs) // (workers * 4)``
+  heuristics.  An explicit ``chunksize`` always wins.
+* **Crash recovery** — each worker owns a private duplex pipe; a killed
+  worker surfaces as EOF on its pipe, its in-flight unit is requeued and a
+  replacement worker is spawned (trials are pure functions of their specs,
+  so re-execution is safe and byte-identical).
+
+``pool="spawn"`` keeps the legacy one-shot ``ProcessPoolExecutor`` path as
+an escape hatch (same cost-model unit sizing, pickled-spec transport).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import math
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from multiprocessing.connection import Connection, wait as connection_wait
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.spec import TrialResult, TrialSpec
+from repro.engine.trial import run_trials
+from repro.engine.vectorized import run_specs_vectorized
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "POOL_CHOICES",
+    "ExecutionUnit",
+    "CostModel",
+    "WorkerPool",
+    "encode_unit",
+    "decode_unit",
+    "execute_plan",
+    "get_pool",
+    "shutdown_pools",
+]
+
+#: Dispatch substrates for multi-worker execution: ``"persistent"`` is the
+#: long-lived shared-memory pool, ``"spawn"`` the legacy per-call
+#: ``ProcessPoolExecutor`` escape hatch.
+POOL_CHOICES = ("persistent", "spawn")
+
+
+@dataclass(frozen=True)
+class ExecutionUnit:
+    """One schedulable slice of a campaign plan.
+
+    ``kind`` is ``"columnar"`` (a same-shape group for the vectorized engine)
+    or ``"object"`` (a chunk of per-trial ``run_trial`` calls); ``positions``
+    are the indices of the unit's specs within the planned spec list.
+    """
+
+    kind: str
+    positions: tuple[int, ...]
+
+
+# --------------------------------------------------------------------------
+# Cost model
+# --------------------------------------------------------------------------
+
+#: A dispatched unit targets roughly this much worker wall time: long enough
+#: to amortise the pipe round trip, short enough that the tail of a campaign
+#: still balances across workers.
+TARGET_UNIT_SECONDS = 0.25
+
+#: First unit dispatched for an unseen shape class — deliberately tiny so the
+#: model calibrates from real observed latency within one round trip.
+PROBE_TRIALS = 2
+
+#: Hard ceiling on trials per dispatched unit (bounds transport block size).
+MAX_UNIT_TRIALS = 4096
+
+_EWMA_ALPHA = 0.5
+
+
+class CostModel:
+    """Observed per-trial latency by shape class, used to size work units.
+
+    Latencies are keyed by ``(kind, protocol, n, d, f, adversary)`` — the
+    dimensions that dominate trial cost — with a per-``kind`` default for
+    shapes not yet observed.  Estimates blend via EWMA so the model tracks
+    warm-up effects (cold kernel caches make early units slow) without
+    forgetting the steady state.
+    """
+
+    def __init__(self) -> None:
+        self._per_trial: dict[tuple, float] = {}
+        self._kind_default: dict[str, float] = {}
+
+    @staticmethod
+    def shape_key(kind: str, spec: TrialSpec) -> tuple:
+        return (
+            kind,
+            spec.protocol,
+            spec.process_count,
+            spec.dimension,
+            spec.fault_bound,
+            spec.adversary,
+        )
+
+    def observe(self, key: tuple, trials: int, seconds: float) -> None:
+        """Fold one completed unit's measured wall time into the model."""
+        if trials <= 0 or seconds <= 0:
+            return
+        per = seconds / trials
+        for table, slot in ((self._per_trial, key), (self._kind_default, key[0])):
+            old = table.get(slot)
+            table[slot] = per if old is None else (1 - _EWMA_ALPHA) * old + _EWMA_ALPHA * per
+
+    def per_trial_seconds(self, key: tuple) -> float | None:
+        """Best latency estimate for the shape class (``None`` = never seen)."""
+        return self._per_trial.get(key, self._kind_default.get(key[0]))
+
+    def unit_trials(
+        self,
+        key: tuple,
+        remaining: int,
+        workers: int,
+        chunksize: int | None = None,
+        probe: bool = True,
+    ) -> int:
+        """Number of trials the next dispatched unit should carry.
+
+        An explicit ``chunksize`` always wins (capped only by ``remaining``).
+        Otherwise the size targets :data:`TARGET_UNIT_SECONDS` of estimated
+        work, capped at an even ``remaining / workers`` split so the last
+        units never leave workers idle.  An unseen shape gets a
+        :data:`PROBE_TRIALS` calibration unit when ``probe`` is true (the
+        persistent pool, which observes results online) or the classic
+        ``remaining // (workers * 4)`` prior when it is not (the one-shot
+        spawn path, which sizes its whole plan up front).
+        """
+        if remaining <= 0:
+            return 0
+        if chunksize is not None:
+            return max(1, min(chunksize, remaining))
+        per = self.per_trial_seconds(key)
+        if per is None:
+            size = PROBE_TRIALS if probe else max(1, remaining // (max(1, workers) * 4))
+        else:
+            size = max(1, round(TARGET_UNIT_SECONDS / per))
+        size = min(size, max(1, math.ceil(remaining / max(1, workers))), MAX_UNIT_TRIALS)
+        return max(1, min(size, remaining))
+
+
+# --------------------------------------------------------------------------
+# Shared-memory unit transport
+# --------------------------------------------------------------------------
+
+#: int64 column value standing in for ``None`` (far outside any seed/index).
+_NONE_I64 = -(1 << 62)
+
+#: Units below this many trials ship their delta columns inline over the pipe
+#: (a shared-memory segment costs two syscalls plus tracker traffic — not
+#: worth it for a handful of trials).
+_SHM_MIN_TRIALS = 16
+
+_WIRE_INDEX = {name: index for index, name in enumerate(TrialSpec.WIRE_FIELDS)}
+
+
+def _is_plain_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def encode_unit(kind: str, specs: Sequence[TrialSpec]) -> tuple[dict[str, Any], SharedMemory | None]:
+    """Encode a unit's specs as one base wire tuple plus delta columns.
+
+    Fields constant across the unit travel once (in ``base``).  Varying
+    int-or-``None`` fields become int64 columns and varying float fields
+    float64 columns — packed into one buffer that ships via shared memory for
+    large units (``shm`` names the segment; the **caller owns it** and must
+    close+unlink once the unit completes) or inline bytes for small ones.
+    Anything else (tuples of parameter pairs, strings) falls back to a
+    per-trial value list in ``others``.
+    """
+    wires = [spec.to_wire() for spec in specs]
+    base = wires[0]
+    int_fields: list[str] = []
+    float_fields: list[str] = []
+    others: dict[str, list[Any]] = {}
+    int_columns: list[np.ndarray] = []
+    float_columns: list[np.ndarray] = []
+    for name, index in _WIRE_INDEX.items():
+        values = [wire[index] for wire in wires]
+        if all(value == base[index] for value in values[1:]):
+            continue
+        if all(value is None or _is_plain_int(value) for value in values):
+            int_fields.append(name)
+            int_columns.append(
+                np.array(
+                    [_NONE_I64 if value is None else value for value in values],
+                    dtype=np.int64,
+                )
+            )
+        elif all(isinstance(value, float) for value in values):
+            float_fields.append(name)
+            float_columns.append(np.array(values, dtype=np.float64))
+        else:
+            others[name] = values
+    # Payload layout must match decode_unit: every int64 column first, then
+    # every float64 column, each in field-list order.
+    payload = b"".join(column.tobytes() for column in (*int_columns, *float_columns))
+    header: dict[str, Any] = {
+        "kind": kind,
+        "trials": len(specs),
+        "base": base,
+        "int_fields": int_fields,
+        "float_fields": float_fields,
+        "others": others,
+        "shm": None,
+        "inline": None,
+    }
+    shm: SharedMemory | None = None
+    if payload and len(specs) >= _SHM_MIN_TRIALS:
+        shm = SharedMemory(create=True, size=len(payload))
+        shm.buf[: len(payload)] = payload
+        header["shm"] = shm.name
+    else:
+        header["inline"] = payload
+    return header, shm
+
+
+def _release_shm(shm: SharedMemory | None) -> None:
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # already gone (worker crash cleanup)
+        pass
+
+
+def decode_unit(header: dict[str, Any]) -> list[TrialSpec]:
+    """Rebuild a unit's spec list from :func:`encode_unit` output (worker side)."""
+    trials = header["trials"]
+    int_fields = header["int_fields"]
+    float_fields = header["float_fields"]
+    if header["shm"] is not None:
+        # Workers share the parent's resource tracker (they are its
+        # children), so the attach-time registration is a set no-op and the
+        # parent's unlink is the single deregistration — no extra tracker
+        # bookkeeping needed here.
+        shm = SharedMemory(name=header["shm"])
+        try:
+            payload = bytes(shm.buf)
+        finally:
+            shm.close()
+    else:
+        payload = header["inline"] or b""
+    offset = 0
+    column_values: dict[str, np.ndarray] = {}
+    for name in int_fields:
+        column_values[name] = np.frombuffer(payload, dtype=np.int64, count=trials, offset=offset)
+        offset += trials * 8
+    for name in float_fields:
+        column_values[name] = np.frombuffer(payload, dtype=np.float64, count=trials, offset=offset)
+        offset += trials * 8
+    specs: list[TrialSpec] = []
+    for position in range(trials):
+        values = list(header["base"])
+        for name in int_fields:
+            raw = int(column_values[name][position])
+            values[_WIRE_INDEX[name]] = None if raw == _NONE_I64 else raw
+        for name in float_fields:
+            values[_WIRE_INDEX[name]] = float(column_values[name][position])
+        for name, per_trial in header["others"].items():
+            values[_WIRE_INDEX[name]] = per_trial[position]
+        specs.append(TrialSpec.from_wire(values))
+    return specs
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _run_unit(kind: str, specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    if kind == "columnar":
+        return run_specs_vectorized(list(specs))
+    return run_trials(specs)
+
+
+def _worker_main(conn: Connection, sibling_conns: Sequence[Connection]) -> None:
+    """Worker loop: decode units, execute, reply ``(status, seconds, rows)``.
+
+    Results travel back with ``spec=None`` (the parent holds the originals
+    and reattaches them), so specs only ever cross the boundary once — in
+    column form, on the way out.  SIGINT is ignored: campaign interruption is
+    the parent's decision, and a worker dying mid-unit would discard a warm
+    kernel cache for nothing.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    for sibling in sibling_conns:
+        try:
+            sibling.close()
+        except OSError:  # pragma: no cover — best-effort fd hygiene
+            pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent is gone
+            return
+        if message[0] == "stop":
+            conn.close()
+            return
+        header = message[1]
+        start = time.perf_counter()
+        try:
+            results = _run_unit(header["kind"], decode_unit(header))
+            stripped = [replace(result, spec=None) for result in results]
+            reply = ("done", time.perf_counter() - start, stripped)
+        except BaseException as error:  # noqa: BLE001 — report, keep serving
+            reply = ("fail", 0.0, f"{type(error).__name__}: {error}\n{traceback.format_exc()}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # parent is gone
+            return
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    """One dispatched unit: positions + encoded transport + parent-side shm."""
+
+    task_id: int
+    kind: str
+    positions: tuple[int, ...]
+    shape_key: tuple
+    header: dict[str, Any]
+    shm: SharedMemory | None
+
+
+@dataclass
+class _Slot:
+    """One worker seat: the live process, its pipe, and its in-flight task."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    task: _Task | None = None
+
+
+class WorkerPool:
+    """Long-lived pool of trial workers with demand-driven unit dispatch.
+
+    Workers are plain ``multiprocessing`` processes (fork where available)
+    each owning a private duplex pipe.  :meth:`run_tasks` drives a lazy task
+    iterator: a unit is cut and dispatched only when a worker goes idle, so
+    unit sizing sees the freshest :class:`CostModel` estimates and fast
+    workers drain the shared tail (work stealing by construction).  A worker
+    that dies mid-unit (OOM-kill, segfault) is detected as pipe EOF; its unit
+    is requeued and the seat respawned — ``crash_recoveries`` counts these.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"worker pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.cost_model = CostModel()
+        self.crash_recoveries = 0
+        self.closed = False
+        start_methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in start_methods else start_methods[0]
+        )
+        self._slots: list[_Slot] = []
+        for _ in range(workers):
+            self._slots.append(self._spawn_slot())
+
+    def _spawn_slot(self) -> _Slot:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        siblings = [slot.conn for slot in self._slots]
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, siblings),
+            daemon=True,
+            name=f"repro-pool-{len(self._slots)}",
+        )
+        process.start()
+        child_conn.close()  # the worker holds the only live copy now
+        return _Slot(process=process, conn=parent_conn)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker seats (crash tests kill one of these)."""
+        return [slot.process.pid for slot in self._slots if slot.process.pid is not None]
+
+    def _respawn(self, slot: _Slot) -> None:
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if slot.process.is_alive():  # pragma: no cover — EOF usually means dead
+            slot.process.terminate()
+        slot.process.join(timeout=5.0)
+        fresh = self._spawn_slot()
+        slot.process = fresh.process
+        slot.conn = fresh.conn
+        slot.task = None
+
+    def _dispatch(self, slot: _Slot, task: _Task) -> None:
+        """Send a unit to a seat, respawning once if the worker died idle."""
+        for _attempt in (0, 1):
+            try:
+                slot.conn.send(("unit", task.header))
+                slot.task = task
+                return
+            except (BrokenPipeError, OSError):
+                self.crash_recoveries += 1
+                self._respawn(slot)
+        raise RuntimeError("worker pool could not dispatch after respawn")
+
+    def run_tasks(
+        self, tasks: Iterable[_Task]
+    ) -> Iterator[tuple[_Task, float, list[TrialResult]]]:
+        """Yield ``(task, seconds, stripped_results)`` in completion order.
+
+        ``tasks`` is consumed lazily — the next task is pulled only when a
+        seat frees up.  On early close (campaign interrupted downstream) the
+        in-flight units are drained and discarded so the pool is immediately
+        reusable; their rows are simply dropped (trials are pure, re-running
+        them later is byte-identical).
+        """
+        if self.closed:
+            raise RuntimeError("worker pool is shut down")
+        task_iter = iter(tasks)
+        backlog: deque[_Task] = deque()
+        exhausted = False
+
+        def pull() -> _Task | None:
+            nonlocal exhausted
+            if backlog:
+                return backlog.popleft()
+            if exhausted:
+                return None
+            try:
+                return next(task_iter)
+            except StopIteration:
+                exhausted = True
+                return None
+
+        def fill_idle() -> None:
+            for slot in self._slots:
+                if slot.task is None:
+                    task = pull()
+                    if task is None:
+                        return
+                    self._dispatch(slot, task)
+
+        try:
+            fill_idle()
+            while any(slot.task is not None for slot in self._slots):
+                busy = {slot.conn: slot for slot in self._slots if slot.task is not None}
+                for conn in connection_wait(list(busy)):
+                    slot = busy[conn]
+                    task = slot.task
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-unit: requeue the unit, refill seat.
+                        self.crash_recoveries += 1
+                        self._respawn(slot)
+                        backlog.append(task)
+                        continue
+                    slot.task = None
+                    _release_shm(task.shm)
+                    task.shm = None
+                    status, seconds, body = message
+                    if status == "fail":
+                        raise RuntimeError(f"worker failed executing unit:\n{body}")
+                    self.cost_model.observe(task.shape_key, len(task.positions), seconds)
+                    yield task, seconds, body
+                fill_idle()
+        finally:
+            self._drain_inflight()
+            for task in backlog:
+                _release_shm(task.shm)
+
+    def _drain_inflight(self) -> None:
+        """Absorb (and discard) any still-running units so seats are clean."""
+        for slot in self._slots:
+            if slot.task is None:
+                continue
+            try:
+                slot.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(slot)
+            _release_shm(slot.task.shm)
+            slot.task = None
+
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent); the pool cannot be reused after."""
+        if self.closed:
+            return
+        self.closed = True
+        for slot in self._slots:
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in self._slots:
+            slot.process.join(timeout=5.0)
+            if slot.process.is_alive():  # pragma: no cover — stuck worker
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+#: Live pools by worker count.  ``execute_plan`` reuses these across calls —
+#: that reuse (not the pipes or the shared memory) is where the speedup
+#: lives: warm kernel template caches, warm Gamma memos, calibrated cost
+#: model, zero spawn latency.
+_POOLS: dict[int, WorkerPool] = {}
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """Return the process-lifetime pool for ``workers`` seats, creating it once."""
+    pool = _POOLS.get(workers)
+    if pool is None or pool.closed:
+        pool = _POOLS[workers] = WorkerPool(workers)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every live pool (registered atexit; safe to call any time)."""
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# --------------------------------------------------------------------------
+# Plan execution
+# --------------------------------------------------------------------------
+
+_task_ids = itertools.count()
+
+
+def _cut_tasks(
+    specs: Sequence[TrialSpec],
+    units: Sequence[ExecutionUnit],
+    cost_model: CostModel,
+    workers: int,
+    chunksize: int | None,
+    probe: bool = True,
+) -> Iterator[_Task]:
+    """Lazily slice plan units into cost-model-sized dispatchable tasks.
+
+    Both unit kinds are cut: object chunks for balance, columnar groups so a
+    single same-shape group (the common campaign shape) still fans out across
+    every worker.  Columnar sub-groups execute identically to the whole group
+    — every trial is a pure function of its spec, and the vectorized engine's
+    memoisation only ever reuses deterministic answers — so the partition is
+    invisible in the rows.
+    """
+    for unit in units:
+        positions = unit.positions
+        start = 0
+        while start < len(positions):
+            remaining = len(positions) - start
+            key = CostModel.shape_key(unit.kind, specs[positions[start]])
+            size = cost_model.unit_trials(key, remaining, workers, chunksize, probe)
+            chunk = positions[start : start + size]
+            header, shm = encode_unit(unit.kind, [specs[position] for position in chunk])
+            yield _Task(
+                task_id=next(_task_ids),
+                kind=unit.kind,
+                positions=chunk,
+                shape_key=key,
+                header=header,
+                shm=shm,
+            )
+            start += size
+
+
+def _execute_plan_spawn(
+    specs: Sequence[TrialSpec],
+    units: Sequence[ExecutionUnit],
+    workers: int,
+    chunksize: int | None,
+) -> Iterator[tuple[tuple[int, ...], list[TrialResult]]]:
+    """Legacy escape hatch: one-shot ``ProcessPoolExecutor``, pickled specs."""
+    model = CostModel()
+    tasks: list[tuple[tuple[int, ...], str, tuple[TrialSpec, ...]]] = []
+    for unit in units:
+        positions = unit.positions
+        start = 0
+        while start < len(positions):
+            remaining = len(positions) - start
+            key = CostModel.shape_key(unit.kind, specs[positions[start]])
+            size = model.unit_trials(key, remaining, workers, chunksize, probe=False)
+            chunk = positions[start : start + size]
+            tasks.append((chunk, unit.kind, tuple(specs[position] for position in chunk)))
+            start += size
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        # map() is consumed lazily: results stream in submission order while
+        # workers run ahead.
+        payloads = [(kind, unit_specs) for _, kind, unit_specs in tasks]
+        for (positions, _, _), results in zip(
+            tasks, executor.map(_execute_spawn_task, payloads)
+        ):
+            yield positions, results
+
+
+def _execute_spawn_task(payload: tuple[str, tuple[TrialSpec, ...]]) -> list[TrialResult]:
+    """Spawn-pool entry point (module level so it pickles by name)."""
+    kind, unit_specs = payload
+    return _run_unit(kind, unit_specs)
+
+
+def execute_plan(
+    specs: Sequence[TrialSpec],
+    units: Sequence[ExecutionUnit],
+    workers: int,
+    chunksize: int | None = None,
+    pool: str = "persistent",
+) -> Iterator[tuple[tuple[int, ...], list[TrialResult]]]:
+    """Execute a campaign plan across workers, yielding units as they finish.
+
+    Yields ``(positions, results)`` pairs in **completion** order — the
+    executor's reorder buffer restores spec order.  ``pool`` selects the
+    dispatch substrate (:data:`POOL_CHOICES`); rows are byte-identical
+    (modulo ``elapsed_ms``) across pools, worker counts and unit cuts.
+    """
+    if pool not in POOL_CHOICES:
+        raise ConfigurationError(
+            f"unknown pool {pool!r}; known: {', '.join(POOL_CHOICES)}"
+        )
+    if not units:
+        return
+    if pool == "spawn":
+        yield from _execute_plan_spawn(specs, units, workers, chunksize)
+        return
+    worker_pool = get_pool(workers)
+    tasks = _cut_tasks(specs, units, worker_pool.cost_model, workers, chunksize)
+    for task, _seconds, stripped in worker_pool.run_tasks(tasks):
+        results = [
+            replace(result, spec=specs[position])
+            for result, position in zip(stripped, task.positions)
+        ]
+        yield task.positions, results

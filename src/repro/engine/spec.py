@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -164,6 +164,29 @@ class TrialSpec:
     def with_index(self, trial_index: int) -> "TrialSpec":
         """Return a copy at a different campaign position."""
         return replace(self, trial_index=trial_index)
+
+    # -- compact wire form (worker-pool transport) -----------------------------
+
+    def to_wire(self) -> tuple:
+        """Return the spec as a positional value tuple (field order = ``WIRE_FIELDS``).
+
+        The wire form is what the persistent worker pool ships instead of
+        pickled dataclass instances: a batch is one base tuple plus per-trial
+        deltas, so field names, class metadata and constant values cross the
+        process boundary once per unit rather than once per trial.
+        """
+        return tuple(getattr(self, name) for name in self.WIRE_FIELDS)
+
+    @classmethod
+    def from_wire(cls, values: Sequence[Any]) -> "TrialSpec":
+        """Rebuild a spec from :meth:`to_wire` output (exact inverse)."""
+        return cls(*values)
+
+
+# Positional field order of the wire form (also the dataclass __init__ order).
+# Assigned after the class body so the dataclass machinery does not mistake it
+# for a field.
+TrialSpec.WIRE_FIELDS = tuple(spec_field.name for spec_field in fields(TrialSpec))
 
 
 def _jsonify(value: Any) -> Any:

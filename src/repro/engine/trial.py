@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from typing import Sequence
 
 from repro.core.baselines import run_coordinatewise_consensus
 from repro.core.approx_bvc import run_approx_bvc
@@ -25,7 +26,17 @@ from repro.core.validity import check_approximate_outcome, check_exact_outcome
 from repro.engine.factories import build_registry, build_scheduler, make_adversaries
 from repro.engine.spec import TrialResult, TrialSpec
 
-__all__ = ["run_trial"]
+__all__ = ["run_trial", "run_trials"]
+
+
+def run_trials(specs: "Sequence[TrialSpec]") -> list[TrialResult]:
+    """Run a chunk of specs back to back (the worker pool's object-unit entry).
+
+    A trivial loop, kept as a named module-level function so worker processes
+    can execute whole sized units per dispatch instead of one round-trip per
+    trial.
+    """
+    return [run_trial(spec) for spec in specs]
 
 
 def run_trial(spec: TrialSpec) -> TrialResult:

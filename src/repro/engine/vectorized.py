@@ -149,8 +149,30 @@ _BATCHED_COORDINATED = frozenset({"split_world", "hull_collapse", "adaptive_extr
 #: from the structure alone once the group batches trials.
 VECTORIZED_ASYNC_SCHEDULERS = frozenset({"round_robin", "lagging"})
 
-#: Bound on the cross-round Gamma-solution memo (distinct clouds) per group.
+#: Bound on the cross-round Gamma-solution memo (distinct clouds).
 _MEMO_LIMIT = 200_000
+
+# Process-lifetime caches, shared *across* execution units.  A persistent
+# pool worker runs many units back to back, so choosers, decision memos and
+# Gamma point memos survive from one unit to the next instead of being
+# re-derived per call (the caches only ever reuse the deterministic answer —
+# or re-raise the exact exception — a cold solve would produce, so rows stay
+# byte-identical).  Memo keys carry the fault bound alongside the cloud
+# bytes because the cached answer depends on both.
+_CHOOSERS: dict[int, SafeAreaCalculator] = {}
+_DECISION_MEMO: dict[tuple, np.ndarray] = {}
+_POINT_MEMO: dict[tuple, "np.ndarray | None | _LoudFailure"] = {}
+
+
+def _shared_chooser(fault_bound: int) -> SafeAreaCalculator:
+    chooser = _CHOOSERS.get(fault_bound)
+    if chooser is None:
+        chooser = _CHOOSERS[fault_bound] = SafeAreaCalculator(fault_bound=fault_bound)
+    return chooser
+
+
+def _memo_key(fault_bound: int, cloud: np.ndarray) -> tuple:
+    return (fault_bound, cloud.shape, cloud.tobytes())
 
 
 class FallbackReason(str, Enum):
@@ -319,14 +341,15 @@ def _run_broadcast_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     """
     protocol = specs[0].protocol
     fault_bound = specs[0].fault_bound
-    chooser = SafeAreaCalculator(fault_bound=fault_bound)
-    decision_memo: dict[bytes, np.ndarray] = {}
+    chooser = _shared_chooser(fault_bound)
     results: list[TrialResult] = []
     for spec in specs:
         try:
-            results.append(_execute_broadcast_trial(spec, protocol, chooser, decision_memo))
+            results.append(_execute_broadcast_trial(spec, protocol, chooser))
         except Exception as error:  # noqa: BLE001 — failures are campaign data
             results.append(_error_result(spec, error))
+    if len(_DECISION_MEMO) > _MEMO_LIMIT:
+        _DECISION_MEMO.clear()
     return results
 
 
@@ -334,7 +357,6 @@ def _execute_broadcast_trial(
     spec: TrialSpec,
     protocol: str,
     chooser: SafeAreaCalculator,
-    decision_memo: dict[bytes, np.ndarray],
 ) -> TrialResult:
     registry = build_registry(spec)
     make_adversaries(spec, registry)  # adversary == "none": validation no-op
@@ -358,10 +380,10 @@ def _execute_broadcast_trial(
     # stacked nominal inputs, in process-id order.
     cloud = np.vstack([registry.input_of(process_id) for process_id in range(n)])
     if protocol == "exact":
-        cloud_key = cloud.tobytes()
-        if cloud_key not in decision_memo:
-            decision_memo[cloud_key] = chooser.choose(cloud)
-        decision = decision_memo[cloud_key]
+        cloud_key = _memo_key(spec.fault_bound, cloud)
+        if cloud_key not in _DECISION_MEMO:
+            _DECISION_MEMO[cloud_key] = chooser.choose(cloud)
+        decision = _DECISION_MEMO[cloud_key]
     else:
         decision = coordinatewise_decision(cloud)
     decisions = {
@@ -607,7 +629,7 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     dimension = specs[0].dimension
     fault_bound = specs[0].fault_bound
     quorum = n - fault_bound
-    chooser = SafeAreaCalculator(fault_bound=fault_bound)
+    chooser = _shared_chooser(fault_bound)
 
     results: dict[int, TrialResult] = {}
     live: list[_LiveTrial] = []
@@ -619,7 +641,6 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     if specs[0].adversary == "hull_collapse":
         _seed_collapse_points(live, fault_bound)
 
-    point_memo: dict[bytes, np.ndarray | None] = {}
     round_index = 0
     while live:
         round_index += 1
@@ -655,7 +676,6 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             fault_bound,
             dimension,
             chooser,
-            point_memo,
         )
 
         # 3. Apply updates, record histories, retire finished/failed trials.
@@ -680,8 +700,8 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             else:
                 still_live.append(trial)
         live = still_live
-        if len(point_memo) > _MEMO_LIMIT:
-            point_memo.clear()
+        if len(_POINT_MEMO) > _MEMO_LIMIT:
+            _POINT_MEMO.clear()
 
     return [results[position] for position in range(len(specs))]
 
@@ -692,7 +712,6 @@ def _round_view_updates(
     fault_bound: int,
     dimension: int,
     chooser: SafeAreaCalculator,
-    point_memo: dict[bytes, np.ndarray | None],
 ) -> dict[bytes, np.ndarray | Exception]:
     """Compute the state update for every distinct receive view of the round.
 
@@ -713,31 +732,31 @@ def _round_view_updates(
         key: restricted_round_clouds(view, quorum) for key, view in views.items()
     }
 
-    pending: dict[bytes, np.ndarray] = {}
+    pending: dict[tuple, np.ndarray] = {}
     for clouds in view_clouds.values():
         for cloud in clouds:
-            cloud_key = cloud.tobytes()
-            if cloud_key not in point_memo and cloud_key not in pending:
+            cloud_key = _memo_key(fault_bound, cloud)
+            if cloud_key not in _POINT_MEMO and cloud_key not in pending:
                 pending[cloud_key] = cloud
     if pending:
         try:
             answers = chooser.resolve_multi(list(pending.values()))
-            point_memo.update(zip(pending.keys(), answers))
+            _POINT_MEMO.update(zip(pending.keys(), answers))
         except Exception:  # noqa: BLE001 — re-solve per query for attribution
             for cloud_key, cloud in pending.items():
                 try:
-                    point_memo[cloud_key] = chooser.choose(cloud)
+                    _POINT_MEMO[cloud_key] = chooser.choose(cloud)
                 except EmptyIntersectionError:
-                    point_memo[cloud_key] = None
+                    _POINT_MEMO[cloud_key] = None
                 except Exception as error:  # noqa: BLE001
-                    point_memo[cloud_key] = _LoudFailure(error)
+                    _POINT_MEMO[cloud_key] = _LoudFailure(error)
 
     updates: dict[bytes, np.ndarray | Exception] = {}
     for key, clouds in view_clouds.items():
         chosen: list[np.ndarray] = []
         failure: Exception | None = None
         for cloud in clouds:
-            answer = point_memo[cloud.tobytes()]
+            answer = _POINT_MEMO[_memo_key(fault_bound, cloud)]
             if isinstance(answer, _LoudFailure):
                 failure = answer.error
                 break

@@ -191,6 +191,33 @@ class ResultStore(ABC):
         """Store ``(key, result)`` pairs as one transactional batch."""
         return self.put_rows([(key, result.to_row()) for key, result in pairs])
 
+    # -- cross-process claim coordination --------------------------------------
+
+    #: Seconds after which an unreleased claim expires (a crashed claimant
+    #: must not block other processes forever).
+    CLAIM_TTL_SECONDS = 300.0
+
+    def claim_keys(self, keys: Sequence[str], owner: str) -> set[str]:
+        """Try to claim ``keys`` for ``owner``; return the granted subset.
+
+        The executor claims its cache misses before running them so that
+        several processes sharing one store split the work instead of
+        duplicating it: a denied key means another live owner is computing
+        that trial, and the caller should poll for its committed row.
+        Claims are advisory — they coordinate work, they do not gate writes
+        (commits stay last-write-wins, which keeps crash recovery trivial).
+
+        The base implementation grants everything: single-writer backends
+        (JSONL directories) have no cross-process story, and granting all
+        claims reduces the executor to its ordinary single-process path.
+        """
+        return set(keys)
+
+    def release_claims(self, keys: Sequence[str], owner: str) -> int:
+        """Drop ``owner``'s claims on ``keys`` (committed rows already drop
+        theirs); returns the number released.  No-op on the base class."""
+        return 0
+
     def gc(self, engine_version: str = ENGINE_VERSION, dry_run: bool = False) -> int:
         """Delete (or with ``dry_run`` just count) rows under any other engine salt.
 
@@ -281,6 +308,11 @@ CREATE TABLE IF NOT EXISTS trials (
 CREATE INDEX IF NOT EXISTS idx_trials_shape
     ON trials (protocol, dimension, fault_bound, adversary);
 CREATE INDEX IF NOT EXISTS idx_trials_version ON trials (engine_version);
+CREATE TABLE IF NOT EXISTS claims (
+    key TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    claimed_at REAL NOT NULL
+);
 """
 
 # SQLite caps bound parameters per statement; stay well under the historic
@@ -303,6 +335,9 @@ class SqliteResultStore(ResultStore):
                 f"{self.path} is not a usable SQLite result store: {error}"
             ) from error
         try:
+            # Concurrent campaigns over one store serialise their claim and
+            # commit transactions; wait for the lock instead of failing.
+            self._connection.execute("PRAGMA busy_timeout = 30000")
             self._connection.executescript(_SQLITE_SCHEMA)
             self._connection.commit()
         except sqlite3.DatabaseError as error:
@@ -352,7 +387,66 @@ class SqliteResultStore(ResultStore):
                 f"VALUES ({placeholders})",
                 records,
             )
+            # A committed row settles its claim in the same transaction, so
+            # concurrent claimants polling for it see claim-gone and
+            # row-present atomically.
+            self._connection.executemany(
+                "DELETE FROM claims WHERE key = ?", [(key,) for key, _ in entries]
+            )
         return len(records)
+
+    def claim_keys(self, keys: Sequence[str], owner: str) -> set[str]:
+        now = time.time()
+        granted: set[str] = set()
+        # BEGIN IMMEDIATE takes the write lock up front: two processes
+        # claiming the same keys serialise here instead of deadlocking on a
+        # shared-to-exclusive lock upgrade mid-transaction.
+        self._connection.execute("BEGIN IMMEDIATE")
+        try:
+            self._connection.execute(
+                "DELETE FROM claims WHERE claimed_at < ?", (now - self.CLAIM_TTL_SECONDS,)
+            )
+            for start in range(0, len(keys), _SQLITE_KEY_CHUNK):
+                chunk = list(keys[start : start + _SQLITE_KEY_CHUNK])
+                markers = ",".join("?" for _ in chunk)
+                committed = {
+                    key
+                    for (key,) in self._connection.execute(
+                        f"SELECT key FROM trials WHERE key IN ({markers})", chunk
+                    )
+                }
+                # Keys already committed are cache hits, not work — deny
+                # them so the caller re-checks the store.
+                candidates = [key for key in chunk if key not in committed]
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO claims (key, owner, claimed_at) VALUES (?, ?, ?)",
+                    [(key, owner, now) for key in candidates],
+                )
+                granted.update(
+                    key
+                    for (key,) in self._connection.execute(
+                        f"SELECT key FROM claims WHERE owner = ? AND key IN ({markers})",
+                        [owner, *chunk],
+                    )
+                )
+            self._connection.commit()
+        except BaseException:
+            self._connection.rollback()
+            raise
+        return granted
+
+    def release_claims(self, keys: Sequence[str], owner: str) -> int:
+        released = 0
+        with self._connection:
+            for start in range(0, len(keys), _SQLITE_KEY_CHUNK):
+                chunk = list(keys[start : start + _SQLITE_KEY_CHUNK])
+                markers = ",".join("?" for _ in chunk)
+                cursor = self._connection.execute(
+                    f"DELETE FROM claims WHERE owner = ? AND key IN ({markers})",
+                    [owner, *chunk],
+                )
+                released += cursor.rowcount
+        return released
 
     def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
         filters = _check_where(where)

@@ -1,0 +1,255 @@
+"""Tests for the persistent shared-memory worker pool (:mod:`repro.engine.pool`).
+
+The pool inherits the engine's central guarantee — every trial is a pure
+function of its spec — and must preserve it across its own machinery: the
+compact wire form, the shared-memory delta-column transport, cost-model unit
+cuts, demand-driven dispatch, and crash recovery all have to be invisible in
+the emitted rows.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.engine import (
+    Campaign,
+    TrialSpec,
+    execute_specs,
+    get_pool,
+    iter_jsonl,
+    run_campaign,
+    sample_specs,
+    strip_timing,
+)
+from repro.engine.pool import (
+    MAX_UNIT_TRIALS,
+    PROBE_TRIALS,
+    CostModel,
+    ExecutionUnit,
+    _release_shm,
+    _SHM_MIN_TRIALS,
+    decode_unit,
+    encode_unit,
+    execute_plan,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _mixed_specs(count: int = 12) -> list[TrialSpec]:
+    """Specs that exercise int/float/None/params/bool wire-field variation."""
+    return [
+        TrialSpec(
+            protocol="restricted_sync",
+            workload="uniform_box",
+            process_count=5,
+            dimension=1,
+            fault_bound=1,
+            epsilon=0.2 + 0.01 * (index % 3),
+            seed=index,
+            workload_seed=index * 7 if index % 2 else None,
+            max_rounds_override=2 if index % 3 == 0 else None,
+            workload_params=(("low", -1.0), ("high", 1.0)) if index % 2 else (),
+            record_history=index % 5 == 0,
+            trial_index=index,
+        )
+        for index in range(count)
+    ]
+
+
+class TestWireForm:
+    def test_round_trips_every_sampled_spec(self):
+        for spec in sample_specs(20, seed=3):
+            assert TrialSpec.from_wire(spec.to_wire()) == spec
+
+    def test_wire_fields_cover_the_dataclass(self):
+        spec = TrialSpec(protocol="exact", workload="uniform_box")
+        assert set(TrialSpec.WIRE_FIELDS) == set(spec.to_dict())
+
+
+class TestUnitCodec:
+    def test_round_trips_mixed_field_variation(self):
+        specs = _mixed_specs(_SHM_MIN_TRIALS + 4)
+        header, shm = encode_unit("object", specs)
+        try:
+            assert header["shm"] is not None  # large unit → shared memory
+            assert decode_unit(header) == specs
+        finally:
+            _release_shm(shm)
+
+    def test_small_units_ship_inline(self):
+        specs = _mixed_specs(_SHM_MIN_TRIALS - 1)
+        header, shm = encode_unit("columnar", specs)
+        assert shm is None and header["shm"] is None
+        assert decode_unit(header) == specs
+
+    def test_constant_fields_travel_once(self):
+        specs = [
+            TrialSpec(protocol="exact", workload="uniform_box", seed=index)
+            for index in range(4)
+        ]
+        header, shm = encode_unit("object", specs)
+        assert shm is None
+        # Only the varying field (seed) leaves the base tuple.
+        assert header["int_fields"] == ["seed"]
+        assert header["float_fields"] == []
+        assert header["others"] == {}
+        assert decode_unit(header) == specs
+
+
+class TestCostModel:
+    KEY = ("object", "exact", 5, 2, 1, "none")
+
+    def test_unseen_shape_gets_probe_unit(self):
+        model = CostModel()
+        assert model.unit_trials(self.KEY, remaining=100, workers=2) == PROBE_TRIALS
+
+    def test_observation_sizes_units_toward_target_seconds(self):
+        from repro.engine.pool import TARGET_UNIT_SECONDS
+
+        model = CostModel()
+        model.observe(self.KEY, trials=10, seconds=0.1)  # 10 ms/trial
+        size = model.unit_trials(self.KEY, remaining=10_000, workers=1)
+        assert size == round(TARGET_UNIT_SECONDS / 0.01)
+
+    def test_kind_default_covers_unseen_shapes_of_same_kind(self):
+        model = CostModel()
+        model.observe(self.KEY, trials=10, seconds=0.1)
+        other = ("object", "approx", 7, 1, 2, "crash")
+        assert model.per_trial_seconds(other) == pytest.approx(0.01)
+
+    def test_explicit_chunksize_always_wins(self):
+        model = CostModel()
+        model.observe(self.KEY, trials=10, seconds=100.0)  # model would say 1
+        assert model.unit_trials(self.KEY, remaining=50, workers=4, chunksize=7) == 7
+        # ... capped only by the remaining work.
+        assert model.unit_trials(self.KEY, remaining=3, workers=4, chunksize=7) == 3
+
+    def test_tail_splits_across_workers(self):
+        model = CostModel()
+        model.observe(self.KEY, trials=1000, seconds=0.001)  # ~everything fits
+        # 8 trials left on 4 workers: no unit may swallow more than the even split.
+        assert model.unit_trials(self.KEY, remaining=8, workers=4) == 2
+
+    def test_size_never_exceeds_hard_cap(self):
+        model = CostModel()
+        model.observe(self.KEY, trials=10**9, seconds=0.001)
+        assert model.unit_trials(self.KEY, remaining=10**9, workers=1) == MAX_UNIT_TRIALS
+
+
+class TestExecutePlan:
+    SPECS = [
+        TrialSpec(protocol="exact", workload="uniform_box", process_count=5,
+                  dimension=1, fault_bound=1, seed=index, trial_index=index)
+        for index in range(10)
+    ]
+
+    def test_rejects_unknown_pool(self):
+        with pytest.raises(ConfigurationError, match="unknown pool"):
+            list(execute_plan(self.SPECS, [ExecutionUnit("object", (0,))], 2, pool="threads"))
+
+    def test_explicit_chunksize_shapes_every_task(self):
+        units = [ExecutionUnit("object", tuple(range(len(self.SPECS))))]
+        sizes = sorted(
+            len(positions)
+            for positions, _ in execute_plan(self.SPECS, units, workers=2, chunksize=3)
+        )
+        assert sizes == [1, 3, 3, 3]
+
+    def test_spawn_pool_produces_identical_rows(self):
+        units = [ExecutionUnit("object", tuple(range(len(self.SPECS))))]
+        by_pool = {}
+        for pool in ("persistent", "spawn"):
+            rows = {}
+            for positions, results in execute_plan(self.SPECS, units, workers=2, pool=pool):
+                for position, result in zip(positions, results):
+                    rows[position] = result
+            by_pool[pool] = strip_timing(
+                rows[position].to_row() for position in sorted(rows)
+            )
+        assert by_pool["persistent"] == by_pool["spawn"]
+
+
+class TestPersistentPoolLifecycle:
+    GRID = dict(
+        protocols=("exact",),
+        adversaries=("crash", "outside_hull", "random_noise"),
+        dimensions=(1, 2),
+        repeats=2,
+        base_seed=31,
+    )
+
+    def test_byte_identical_rows_across_worker_counts(self, tmp_path):
+        campaign = Campaign.from_grid("pool-invariance", **self.GRID)
+        canonical = {}
+        for workers in (1, 2, 4):
+            path = tmp_path / f"w{workers}.jsonl"
+            summary, _ = run_campaign(campaign, workers=workers, jsonl_path=path)
+            assert summary.trials == len(campaign)
+            assert summary.pool == "persistent"
+            canonical[workers] = strip_timing(iter_jsonl(path))
+        assert canonical[1] == canonical[2] == canonical[4]
+
+    def test_pool_is_reused_across_execute_specs_calls(self):
+        specs = TestExecutePlan.SPECS
+        list(execute_specs(specs, workers=2))
+        first_pids = set(get_pool(2).worker_pids())
+        list(execute_specs(specs, workers=2))
+        assert set(get_pool(2).worker_pids()) == first_pids
+
+    def test_worker_crash_mid_campaign_recovers(self):
+        specs = [
+            TrialSpec(protocol="exact", workload="uniform_box", process_count=5,
+                      dimension=2, fault_bound=1, seed=index, trial_index=index)
+            for index in range(24)
+        ]
+        expected = strip_timing(
+            result.to_row() for result in execute_specs(specs, workers=1)
+        )
+        # chunksize=2 forces many dispatches, so the killed seat is certain
+        # to be involved again after the kill.
+        stream = execute_specs(specs, workers=2, chunksize=2)
+        results = [next(stream)]
+        pool = get_pool(2)
+        recoveries_before = pool.crash_recoveries
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        results.extend(stream)
+        assert strip_timing(result.to_row() for result in results) == expected
+        assert pool.crash_recoveries > recoveries_before
+
+    def test_interrupted_run_leaves_pool_reusable(self):
+        specs = TestExecutePlan.SPECS
+        stream = execute_specs(specs, workers=2, chunksize=2)
+        next(stream)
+        stream.close()  # abandon mid-campaign (in-flight units are drained)
+        results = list(execute_specs(specs, workers=2))
+        assert len(results) == len(specs)
+        assert [result.spec.trial_index for result in results] == list(range(len(specs)))
+
+
+class TestColumnarFanout:
+    def test_single_columnar_group_splits_across_workers(self):
+        # One same-shape restricted_sync group used to ship as one unit —
+        # the whole campaign on one worker.  The pool must cut it.
+        specs = [
+            TrialSpec(protocol="restricted_sync", workload="uniform_box",
+                      adversary="random_noise", process_count=5, dimension=1,
+                      fault_bound=1, epsilon=0.25, seed=index, trial_index=index)
+            for index in range(8)
+        ]
+        from repro.engine import plan_specs
+
+        units = plan_specs(specs, "auto")
+        assert [unit.kind for unit in units] == ["columnar"]
+        tasks = list(execute_plan(specs, units, workers=2, chunksize=2))
+        assert len(tasks) == 4  # cut into chunksize-sized sub-groups
+        rows = {}
+        for positions, results in tasks:
+            for position, result in zip(positions, results):
+                rows[position] = result
+        expected = strip_timing(
+            result.to_row() for result in execute_specs(specs, workers=1)
+        )
+        assert strip_timing(rows[index].to_row() for index in range(8)) == expected
