@@ -1,0 +1,217 @@
+"""Serving-layer latency: warm-store reads under concurrent mixed traffic.
+
+Not a paper experiment — this benchmarks the HTTP serving layer added with
+the campaign-session refactor.  A store is pre-warmed with the reference
+grid, the stdlib asyncio server is started on an ephemeral port, and then
+two kinds of traffic hit it at once:
+
+* **read traffic** — reader threads hammering ``/store/query``,
+  ``/store/aggregate`` and ``/store/stats`` against the warm store;
+* **compute traffic** — a campaign with fresh seeds submitted over
+  ``POST /campaigns`` and streamed to completion via its NDJSON row stream,
+  so sessions execute and commit while the readers poll.
+
+The recorded table (E22) reports per-endpoint request counts and p50/p99
+latency in milliseconds.  The qualitative bar: the store's read path must
+stay responsive while sessions compute — zero failed requests, and the
+warm-store query p99 stays under a generous sanity ceiling (seconds-scale
+latency would mean reads are serialised behind compute, i.e. the
+``asyncio.to_thread`` offloading is broken).
+
+The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+import urllib.request
+
+from repro.engine import Campaign, run_campaign
+from repro.server import CampaignService, serve
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Trials pre-committed to the warm store (the read-side working set).
+WARM_TRIALS = 60 if SMOKE else 200
+#: Trials in the campaign submitted over HTTP while readers poll.
+COMPUTE_TRIALS = 20 if SMOKE else 60
+READERS = 3 if SMOKE else 4
+REQUESTS_PER_READER = 20 if SMOKE else 60
+#: Sanity ceiling on the warm-store query p99 under load (milliseconds).
+MAX_QUERY_P99_MS = 2_000.0
+
+_READ_ENDPOINTS = (
+    ("query", "/store/query?protocol=exact"),
+    ("aggregate", "/store/aggregate?group_by=protocol,dimension"),
+    ("stats", "/store/stats"),
+)
+
+
+def _grid(trials: int, base_seed: int) -> Campaign:
+    return Campaign.from_grid(
+        "bench-server",
+        protocols=("exact",),
+        dimensions=(1,),
+        fault_bounds=(1,),
+        repeats=trials,
+        base_seed=base_seed,
+    )
+
+
+class _Server:
+    """The asyncio server on an ephemeral port, in a background thread."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "server did not come up"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        task = asyncio.create_task(
+            serve(self.service, host="127.0.0.1", port=0, ready=self._on_ready)
+        )
+        await self._stop.wait()
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    def _on_ready(self, _host: str, port: int) -> None:
+        self.port = port
+        self._ready.set()
+
+    def url(self, path: str) -> str:
+        return f"http://127.0.0.1:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(60)
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _timed_get(url: str) -> tuple[float, int]:
+    started = time.perf_counter()
+    with urllib.request.urlopen(url, timeout=60) as response:
+        response.read()
+        status = response.status
+    return (time.perf_counter() - started) * 1000.0, status
+
+
+def test_server_latency_under_mixed_traffic(benchmark, record_table, tmp_path):
+    store_path = tmp_path / "store.db"
+    summary, _ = run_campaign(_grid(WARM_TRIALS, base_seed=7), store=store_path)
+    assert summary.errors == 0
+
+    latencies: dict[str, list[float]] = {name: [] for name, _ in _READ_ENDPOINTS}
+    failures: list[tuple[str, int]] = []
+    lock = threading.Lock()
+
+    def run_mixed_traffic() -> dict[str, float]:
+        server = _Server(CampaignService(store_path, max_active=2))
+        try:
+            # Compute traffic: a fresh-seed campaign submitted over HTTP,
+            # streamed to completion so sessions commit while readers poll.
+            body = json.dumps(
+                {
+                    "campaign": {
+                        "name": "bench-compute",
+                        "grid": {
+                            "protocols": ["exact"],
+                            "dimensions": [1],
+                            "fault_bounds": [1],
+                            "repeats": COMPUTE_TRIALS,
+                            "base_seed": 1_000_003,
+                        },
+                    }
+                }
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                server.url("/campaigns"),
+                data=body,
+                headers={"Content-Type": "application/json", "X-Api-Key": "bench"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                accepted = json.loads(response.read())
+                assert response.status == 202
+
+            streamed: list[int] = []
+
+            def stream_rows() -> None:
+                with urllib.request.urlopen(
+                    server.url(accepted["rows_url"]), timeout=120
+                ) as stream:
+                    streamed.append(len(stream.read().splitlines()))
+
+            def read_loop() -> None:
+                for turn in range(REQUESTS_PER_READER):
+                    name, path = _READ_ENDPOINTS[turn % len(_READ_ENDPOINTS)]
+                    elapsed_ms, status = _timed_get(server.url(path))
+                    with lock:
+                        if status != 200:
+                            failures.append((name, status))
+                        latencies[name].append(elapsed_ms)
+
+            threads = [threading.Thread(target=stream_rows)]
+            threads.extend(threading.Thread(target=read_loop) for _ in range(READERS))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(300)
+            assert streamed == [COMPUTE_TRIALS], "row stream must drain the campaign"
+
+            status = json.loads(
+                urllib.request.urlopen(
+                    server.url(accepted["status_url"]), timeout=60
+                ).read()
+            )
+            assert status["state"] == "finished" and status["errors"] == 0
+            return {"compute_trials": streamed[0]}
+        finally:
+            server.close()
+
+    benchmark.pedantic(run_mixed_traffic, rounds=1, iterations=1)
+
+    assert failures == [], f"non-200 read responses under load: {failures}"
+    rows = [
+        {
+            "endpoint": name,
+            "requests": len(samples),
+            "p50_ms": round(_percentile(samples, 0.50), 2),
+            "p99_ms": round(_percentile(samples, 0.99), 2),
+            "max_ms": round(max(samples), 2),
+        }
+        for name, samples in latencies.items()
+    ]
+    record_table(
+        "E22_server_latency",
+        rows,
+        "Serving layer — warm-store read latency (ms) under concurrent "
+        f"compute traffic ({WARM_TRIALS} stored trials, {READERS} readers, "
+        f"{COMPUTE_TRIALS}-trial campaign streaming)",
+    )
+    query_p99 = next(row["p99_ms"] for row in rows if row["endpoint"] == "query")
+    assert query_p99 <= MAX_QUERY_P99_MS, (
+        f"warm-store query p99 is {query_p99:.0f} ms under mixed load "
+        f"(sanity ceiling: {MAX_QUERY_P99_MS:.0f} ms)"
+    )

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli campaign --store sweep.db --resume       # resumable, cached sweep
     python -m repro.cli fuzz --count 200 --workers 4      # random-scenario invariant fuzz
     python -m repro.cli store stats --store sweep.db      # inspect a results store
+    python -m repro.cli serve --store sweep.db            # HTTP API over store + executor
     python -m repro.cli --help                    # usage examples + documentation map
 
 The experiment ids match ``DESIGN.md`` §4 and ``EXPERIMENTS.md``; E15 is the
@@ -162,9 +163,16 @@ examples:
   python -m repro.cli campaign --store sweep.db --resume --jsonl sweep.jsonl
                                               resume: serve stored trials, run only misses
   python -m repro.cli store stats --store sweep.db
+  python -m repro.cli store claims --store sweep.db
+                                              outstanding cross-process claims
   python -m repro.cli store query --store sweep.db --protocol exact --status error
   python -m repro.cli store export --store sweep.db --output rows.jsonl
   python -m repro.cli store gc --store sweep.db   drop rows from older engine versions
+  python -m repro.cli campaign --repeats 2 --summary-json -
+                                              machine-readable summary line on stdout
+  python -m repro.cli serve --store sweep.db --port 8321
+                                              HTTP API: query/export the store,
+                                              submit campaigns, stream rows
 
 campaigns and fuzz runs are deterministic: the same --seed produces
 byte-identical JSONL rows (modulo the elapsed_ms timing field) for any
@@ -345,6 +353,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_run_flags(fuzz_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the results store and campaign submission over HTTP",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve_parser.add_argument(
+        "--store", type=Path, required=True,
+        help="results store to serve (created if missing); submitted "
+             "campaigns read cached trials from it and commit misses to it",
+    )
+    serve_parser.add_argument(
+        "--store-backend", choices=BACKEND_CHOICES, default="auto",
+        help="results-store backend (auto: directory/suffix-less path = jsonl, else sqlite)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="default worker processes per submitted campaign "
+             "(submissions may override with a 'workers' field)",
+    )
+    serve_parser.add_argument(
+        "--max-active", type=int, default=2,
+        help="campaign sessions executing concurrently",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=8,
+        help="submissions allowed to queue behind the active sessions "
+             "(beyond this, POST /campaigns answers 429)",
+    )
+
     store_parser = subparsers.add_parser(
         "store",
         help="inspect and manage a content-addressed results store",
@@ -374,9 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--process-count", type=int, default=None, help="filter: n")
 
     stats_parser = store_sub.add_parser(
-        "stats", help="row counts by status and engine version"
+        "stats", help="row counts by status and engine version, plus claim counters"
     )
     _store_common(stats_parser)
+
+    claims_parser = store_sub.add_parser(
+        "claims", help="list outstanding cross-process claims (owner, age)"
+    )
+    _store_common(claims_parser)
 
     query_parser = store_sub.add_parser(
         "query", help="list stored trials matching shape filters"
@@ -451,6 +498,20 @@ def _add_store_run_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="serve trials already present in --store instead of re-executing "
              "them; only the missing trials run (requires --store)",
     )
+    sub_parser.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="emit the summary row (plus run_id and per-reason fallback "
+             "counts) as one machine-readable JSON line to PATH ('-' = stdout)",
+    )
+
+
+def _emit_summary_json(destination: str, row: dict[str, object]) -> None:
+    """Write the --summary-json line ('-' = stdout), always exactly one line."""
+    line = json.dumps(row, sort_keys=True)
+    if destination == "-":
+        print(line)
+    else:
+        Path(destination).write_text(line + "\n", encoding="utf-8")
 
 
 def _run_experiments(ids: Sequence[str]) -> str:
@@ -526,6 +587,15 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
         _print_store_outcome(arguments, summary.cache_hits, summary.trials)
     if arguments.jsonl is not None:
         print(f"wrote {summary.trials} rows to {arguments.jsonl}")
+    if arguments.summary_json is not None:
+        _emit_summary_json(
+            arguments.summary_json,
+            {
+                **summary.to_row(),
+                "run_id": summary.run_id,
+                "fallback_reasons": dict(summary.fallback_reasons),
+            },
+        )
     return 0 if summary.errors == 0 else 1
 
 
@@ -558,6 +628,15 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
     print(render_table([report.to_row()], title="Fuzz summary"))
     if arguments.jsonl is not None:
         print(f"wrote {report.runs} rows to {arguments.jsonl}")
+    if arguments.summary_json is not None:
+        _emit_summary_json(
+            arguments.summary_json,
+            {
+                **report.to_row(),
+                "run_id": report.run_id,
+                "fallback_reasons": dict(report.fallback_reasons),
+            },
+        )
     if report.violations:
         print(
             render_table(
@@ -567,6 +646,27 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
         )
         return 1
     print("all scenarios upheld agreement and validity")
+    return 0
+
+
+def _run_serve_command(arguments: argparse.Namespace) -> int:
+    # Imported here so the CLI stays import-light for non-serving commands.
+    from repro.server import run_server
+
+    def _ready(host: str, port: int) -> None:
+        # Flushed readiness line — smoke scripts wait for it before connecting.
+        print(f"serving {arguments.store} on http://{host}:{port}", flush=True)
+
+    run_server(
+        str(arguments.store),
+        host=arguments.host,
+        port=arguments.port,
+        backend=arguments.store_backend,
+        workers=arguments.workers,
+        max_active=arguments.max_active,
+        max_pending=arguments.max_pending,
+        ready=_ready,
+    )
     return 0
 
 
@@ -591,6 +691,8 @@ def _run_store_command(arguments: argparse.Namespace) -> int:
                 "backend": stats["backend"],
                 "trials": stats["trials"],
                 "stale": stats["stale_trials"],
+                "claims_live": stats["claims_live"],
+                "claims_expired": stats["claims_expired"],
                 "engine_version": stats["current_engine_version"],
             }], title=f"Store {stats['path']}"))
             for title, counts in (("By status", stats["statuses"]),
@@ -598,6 +700,24 @@ def _run_store_command(arguments: argparse.Namespace) -> int:
                 if counts:
                     rows = [{"value": value, "trials": count} for value, count in counts.items()]
                     print(render_table(rows, title=title))
+            return 0
+        if arguments.store_command == "claims":
+            claims = store.list_claims()
+            if not claims:
+                print("no outstanding claims")
+                return 0
+            print(render_table(
+                [
+                    {
+                        "key": claim["key"][:16],
+                        "owner": claim["owner"],
+                        "age_s": round(claim["age_seconds"], 1),
+                        "state": "expired" if claim["expired"] else "live",
+                    }
+                    for claim in claims
+                ],
+                title=f"Outstanding claims ({len(claims)})",
+            ))
             return 0
         if arguments.store_command == "query":
             trial_filter = _store_filter(arguments)
@@ -674,6 +794,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "fuzz":
         return _run_fuzz_command(arguments)
+
+    if arguments.command == "serve":
+        return _run_serve_command(arguments)
 
     if arguments.command == "store":
         return _run_store_command(arguments)

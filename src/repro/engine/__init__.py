@@ -8,8 +8,11 @@ workload, adversary, scheduler, seed) configurations fast and reproducibly":
   :class:`~repro.engine.spec.TrialResult` out (a pure function of the spec);
 * :class:`~repro.engine.campaign.Campaign` — grid declarations expanded into
   deterministic trial lists with ``SeedSequence.spawn`` seed derivation;
+* :class:`~repro.engine.session.CampaignSession` — one observable campaign
+  execution: typed progress events, spec-order row streaming, cooperative
+  cancellation, status snapshots;
 * :func:`~repro.engine.executor.run_campaign` — sequential or worker-pool
-  execution streaming into a JSONL sink.
+  execution streaming into a JSONL sink (a thin wrapper over a session).
 
 The experiment runners in :mod:`repro.analysis.experiments` and the
 ``python -m repro.cli campaign`` command are thin layers over this module.
@@ -28,6 +31,18 @@ from repro.engine.executor import (
     read_jsonl,
     run_campaign,
     strip_timing,
+)
+from repro.engine.session import (
+    SESSION_STATES,
+    CampaignSession,
+    CampaignStatus,
+    ClaimedEvent,
+    FallbackEvent,
+    FinishedEvent,
+    PlannedEvent,
+    RowEvent,
+    SessionEvent,
+    UnitCommittedEvent,
 )
 from repro.engine.pool import (
     POOL_CHOICES,
@@ -87,16 +102,26 @@ __all__ = [
     "VECTORIZED_ASYNC_SCHEDULERS",
     "VECTORIZED_RESTRICTED_ADVERSARIES",
     "WORKLOAD_NAMES",
+    "SESSION_STATES",
     "AdversaryBundle",
     "FallbackReason",
     "Campaign",
+    "CampaignSession",
+    "CampaignStatus",
     "CampaignSummary",
+    "ClaimedEvent",
     "CostModel",
     "ExecutionUnit",
+    "FallbackEvent",
+    "FinishedEvent",
     "FuzzReport",
     "FuzzViolation",
     "JsonlSink",
+    "PlannedEvent",
+    "RowEvent",
+    "SessionEvent",
     "StoreCacheStats",
+    "UnitCommittedEvent",
     "TrialResult",
     "TrialSpec",
     "WorkerPool",

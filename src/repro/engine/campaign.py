@@ -169,50 +169,69 @@ class Campaign:
         declaration = json.loads(path.read_text())
         if not isinstance(declaration, Mapping):
             raise ConfigurationError(f"{path}: campaign file must be a JSON object")
-        name = str(declaration.get("name", path.stem))
+        return cls.from_payload(declaration, source=str(path), default_name=path.stem)
+
+    @classmethod
+    def from_payload(
+        cls,
+        declaration: Mapping[str, Any],
+        source: str = "campaign",
+        default_name: str = "campaign",
+    ) -> "Campaign":
+        """Build a campaign from a parsed JSON declaration.
+
+        The declaration shape is the campaign-file schema (``{"grid": {...}}``
+        or ``{"trials": [...]}`` plus an optional ``"name"``); the HTTP
+        server's campaign-submission body goes through here too, so files and
+        API requests validate identically.  ``source`` labels error messages
+        (a path, or e.g. ``"request body"``).
+        """
+        if not isinstance(declaration, Mapping):
+            raise ConfigurationError(f"{source}: campaign declaration must be a JSON object")
+        name = str(declaration.get("name", default_name))
         if "trials" in declaration:
             records = declaration["trials"]
             if isinstance(records, (str, bytes)) or not isinstance(records, Sequence):
-                raise ConfigurationError(f"{path}: 'trials' must be a list of trial objects")
+                raise ConfigurationError(f"{source}: 'trials' must be a list of trial objects")
             specs: list[TrialSpec] = []
             for index, record in enumerate(records):
                 if not isinstance(record, Mapping):
                     raise ConfigurationError(
-                        f"{path}: trials[{index}] must be a JSON object, got {type(record).__name__}"
+                        f"{source}: trials[{index}] must be a JSON object, got {type(record).__name__}"
                     )
                 try:
                     specs.append(TrialSpec.from_dict(record))
                 except ConfigurationError as error:
-                    raise ConfigurationError(f"{path}: trials[{index}]: {error}") from error
+                    raise ConfigurationError(f"{source}: trials[{index}]: {error}") from error
                 except (TypeError, ValueError) as error:
                     # e.g. a parameter mapping spelled as a scalar — surface
                     # the entry and the field-level complaint, not a traceback.
                     raise ConfigurationError(
-                        f"{path}: trials[{index}]: malformed trial entry: {error}"
+                        f"{source}: trials[{index}]: malformed trial entry: {error}"
                     ) from error
             return cls.from_specs(name, specs)
         if "grid" in declaration:
             if not isinstance(declaration["grid"], Mapping):
-                raise ConfigurationError(f"{path}: 'grid' must be a JSON object")
+                raise ConfigurationError(f"{source}: 'grid' must be a JSON object")
             grid: dict[str, Any] = dict(declaration["grid"])
             axes = set(inspect.signature(cls.from_grid).parameters) - {"name"}
             unknown = set(grid) - axes
             if unknown:
                 raise ConfigurationError(
-                    f"{path}: unknown grid axes {sorted(unknown)}; known: {sorted(axes)}"
+                    f"{source}: unknown grid axes {sorted(unknown)}; known: {sorted(axes)}"
                 )
             for key, value in grid.items():
                 if key in cls._SCALAR_GRID_KEYS:
                     valid = value is None if key == "max_rounds_override" else False
                     if not valid and (isinstance(value, bool) or not isinstance(value, int)):
                         raise ConfigurationError(
-                            f"{path}: grid key {key!r} must be an integer, got {value!r}"
+                            f"{source}: grid key {key!r} must be an integer, got {value!r}"
                         )
                 elif value is None and key == "process_counts":
                     pass  # explicit null = from_grid's own "paper minimum n" default
                 elif isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
                     raise ConfigurationError(
-                        f"{path}: grid axis {key!r} must be a list of values, got {value!r}"
+                        f"{source}: grid axis {key!r} must be a list of values, got {value!r}"
                     )
             try:
                 return cls.from_grid(name, **grid)
@@ -220,9 +239,9 @@ class Campaign:
                 raise
             except (TypeError, ValueError) as error:
                 raise ConfigurationError(
-                    f"{path}: malformed grid declaration: {error}"
+                    f"{source}: malformed grid declaration: {error}"
                 ) from error
-        raise ConfigurationError(f"{path}: campaign file needs a 'grid' or 'trials' key")
+        raise ConfigurationError(f"{source}: campaign declaration needs a 'grid' or 'trials' key")
 
     # -- views -----------------------------------------------------------------
 

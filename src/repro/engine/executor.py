@@ -1,66 +1,42 @@
-"""Campaign execution: batch-planned, sequential or worker-pool, JSONL-streamed.
+"""Campaign execution entry points: thin wrappers over :class:`CampaignSession`.
 
-The executor maps a campaign's specs onto one of two execution substrates:
+The planning, cache, claim and dispatch machinery lives in
+:mod:`repro.engine.session` — a campaign run is a first-class
+:class:`~repro.engine.session.CampaignSession` object with typed progress
+events, cooperative cancellation and status snapshots.  This module keeps the
+historical functional surface on top of it:
 
-* the **object engine** (:func:`~repro.engine.trial.run_trial`), the
-  per-process simulation oracle that can run every spec; and
-* the **columnar engine** (:mod:`repro.engine.vectorized`), which executes
-  whole same-shape groups of eligible synchronous trials as array programs
-  and emits byte-identical rows (modulo ``elapsed_ms``).
+* :func:`execute_specs` — yield one row per spec, in spec order, through a
+  session (byte-identical to the pre-session engine for every engine, pool
+  and worker count, modulo ``elapsed_ms``);
+* :func:`run_campaign` — run a whole :class:`~repro.engine.campaign.Campaign`
+  with JSONL sink / callback / collection plumbing and return its
+  :class:`~repro.engine.session.CampaignSummary`;
+* the JSONL row helpers (:class:`JsonlSink`, :func:`iter_jsonl`,
+  :func:`read_jsonl`, :func:`strip_timing`) used by equivalence comparisons
+  and store imports.
 
-:func:`plan_specs` is the batch planner: it groups a spec list by
-:func:`~repro.engine.vectorized.vectorized_group_key` shape class, routes
-eligible groups to the columnar engine and everything else back to
-``run_trial``, recording a structured
-:class:`~repro.engine.vectorized.FallbackReason` count for every demotion
-(surfaced on :class:`CampaignSummary`).  ``engine="auto"`` additionally keeps
-singleton groups on the object engine (no batch to amortise);
-``engine="object"`` bypasses planning entirely and preserves the original
-streaming behaviour.
-
-With ``workers > 1`` the plan's execution units fan out over the persistent
-worker pool (:mod:`repro.engine.pool`): long-lived workers pull cost-model
-sized sub-units on demand, specs ship as shared-memory delta columns, and
-warm kernel caches survive from one campaign to the next (``pool="spawn"``
-keeps the legacy per-call ``ProcessPoolExecutor`` as an escape hatch).
-Whatever the engine, pool or worker count, results are always emitted in
-spec order and are byte-identical for any ``workers`` value (every trial is
-a pure function of its spec; only the ``elapsed_ms`` timing field varies run
-to run).
-
-Passing a :class:`~repro.store.backend.ResultStore` (``store=``) turns the
-executor into a **write-through cache** over that purity guarantee: every
-spec is content-addressed (:func:`~repro.store.keys.trial_key`), cached rows
-are served without spawning workers, only the misses are planned and run,
-and each completed execution unit commits to the store in one transaction
-*before* its rows are emitted — so an interrupted campaign can be resumed
-with only the missing trials executed.  When several *processes* share one
-store, misses are additionally claimed (:meth:`ResultStore.claim_keys`)
-before execution: trials another process is already computing are deferred
-and served from its committed rows instead of being recomputed, so
-concurrent campaigns over one store do disjoint work.
+There is exactly **one** planning/claims/cache code path — the session's; no
+execution logic remains here.
 """
 
 from __future__ import annotations
 
 import json
-import time
-import uuid
-from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.campaign import Campaign
-from repro.engine.pool import POOL_CHOICES, ExecutionUnit, execute_plan
-from repro.engine.spec import TrialResult, TrialSpec
-from repro.engine.trial import run_trial
-from repro.engine.vectorized import (
-    FallbackReason,
-    run_specs_vectorized,
-    vectorization_fallback,
-    vectorized_group_key,
+from repro.engine.pool import POOL_CHOICES, ExecutionUnit
+from repro.engine.session import (
+    ENGINE_CHOICES,
+    STORE_COMMIT_CHUNK,
+    CampaignSession,
+    CampaignSummary,
+    StoreCacheStats,
+    plan_specs,
 )
-from repro.exceptions import ConfigurationError
+from repro.engine.spec import TrialResult, TrialSpec
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.store.backend import ResultStore
@@ -68,6 +44,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 __all__ = [
     "ENGINE_CHOICES",
     "POOL_CHOICES",
+    "STORE_COMMIT_CHUNK",
+    "CampaignSession",
     "CampaignSummary",
     "JsonlSink",
     "ExecutionUnit",
@@ -79,9 +57,6 @@ __all__ = [
     "read_jsonl",
     "strip_timing",
 ]
-
-#: Execution substrates the executor can route a campaign through.
-ENGINE_CHOICES = ("auto", "vectorized", "object")
 
 
 class JsonlSink:
@@ -142,305 +117,6 @@ def strip_timing(rows: Iterable[dict[str, Any]]) -> list[str]:
     return canonical
 
 
-def plan_specs(
-    specs: Sequence[TrialSpec],
-    engine: str = "auto",
-    fallback_reasons: dict[str, int] | None = None,
-) -> list[ExecutionUnit]:
-    """Partition a spec list into columnar groups and object-engine chunks.
-
-    Eligible specs are grouped by
-    :func:`~repro.engine.vectorized.vectorized_group_key`; everything else
-    stays on the object engine.  ``engine="auto"`` sends singleton groups to
-    the object engine too (a batch of one amortises nothing);
-    ``engine="vectorized"`` routes every eligible spec columnar;
-    ``engine="object"`` plans one object chunk.
-
-    ``fallback_reasons`` — when provided — is filled with a count per
-    :class:`~repro.engine.vectorized.FallbackReason` value for every spec the
-    plan routes to the object engine, so a campaign summary can say *why*
-    trials missed the columnar engine instead of silently falling back.
-    """
-    if engine not in ENGINE_CHOICES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
-        )
-
-    def count_fallback(reason: FallbackReason, occurrences: int = 1) -> None:
-        if fallback_reasons is not None and occurrences:
-            fallback_reasons[reason.value] = (
-                fallback_reasons.get(reason.value, 0) + occurrences
-            )
-
-    if engine == "object":
-        count_fallback(FallbackReason.FORCED_OBJECT, len(specs))
-        return [ExecutionUnit("object", tuple(range(len(specs))))] if specs else []
-    groups: dict[tuple, list[int]] = {}
-    fallback: list[int] = []
-    for position, spec in enumerate(specs):
-        reason = vectorization_fallback(spec)
-        if reason is None:
-            groups.setdefault(vectorized_group_key(spec), []).append(position)
-        else:
-            fallback.append(position)
-            count_fallback(reason)
-    units: list[ExecutionUnit] = []
-    for positions in groups.values():
-        if engine == "auto" and len(positions) < 2:
-            fallback.extend(positions)
-            count_fallback(FallbackReason.SINGLETON_GROUP, len(positions))
-        else:
-            units.append(ExecutionUnit("columnar", tuple(positions)))
-    if fallback:
-        units.append(ExecutionUnit("object", tuple(sorted(fallback))))
-    units.sort(key=lambda unit: unit.positions[0])
-    return units
-
-
-def _execute_unit(
-    unit: ExecutionUnit, specs: Sequence[TrialSpec]
-) -> list[TrialResult]:
-    if unit.kind == "columnar":
-        return run_specs_vectorized([specs[position] for position in unit.positions])
-    return [run_trial(specs[position]) for position in unit.positions]
-
-
-@dataclass
-class StoreCacheStats:
-    """Cache outcome of one store-backed execution (filled by ``execute_specs``)."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def total(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of specs served from the store (0.0 on an empty spec list)."""
-        return self.hits / self.total if self.total else 0.0
-
-
-#: Object-engine units are re-chunked to at most this many trials in store
-#: mode, bounding how much completed work one interruption can lose (each
-#: chunk commits transactionally on completion).  Kept small: a store commit
-#: costs milliseconds while a protocol trial costs ~a second, so a narrow
-#: loss window is nearly free.
-STORE_COMMIT_CHUNK = 4
-
-#: Cache hits are fetched from the store in slices of this many rows at
-#: emission time, keeping warm-resume memory bounded by the batch size (plus
-#: the reorder window) instead of the campaign size.
-_SERVE_BATCH = 1024
-
-
-def _split_units_for_commit(units: list[ExecutionUnit]) -> list[ExecutionUnit]:
-    """Cap object units at :data:`STORE_COMMIT_CHUNK` trials per transaction.
-
-    Columnar units ship whole — the batch is solved as one array program, so
-    it completes (and commits) as one unit anyway.
-    """
-    split: list[ExecutionUnit] = []
-    for unit in units:
-        if unit.kind == "object" and len(unit.positions) > STORE_COMMIT_CHUNK:
-            for start in range(0, len(unit.positions), STORE_COMMIT_CHUNK):
-                split.append(
-                    ExecutionUnit("object", unit.positions[start : start + STORE_COMMIT_CHUNK])
-                )
-        else:
-            split.append(unit)
-    return split
-
-
-def _execute_specs_stored(
-    specs: Sequence[TrialSpec],
-    store: "ResultStore",
-    workers: int,
-    engine: str,
-    reuse_cached: bool,
-    cache_stats: StoreCacheStats | None,
-    fallback_reasons: dict[str, int] | None = None,
-    chunksize: int | None = None,
-    pool: str = "persistent",
-    claim_wait_timeout: float = 60.0,
-) -> Iterator[TrialResult]:
-    """Store-backed execution: serve cached rows, run misses, commit per unit.
-
-    ``record_history`` specs are never *served* from the store (per-round
-    state histories are not serialised, so a cached row cannot satisfy the
-    in-memory consumer), but their rows are still recorded — under a key
-    that, by construction, a history-free spec resolves to as well.
-
-    Before executing, each miss key is **claimed** on the store
-    (:meth:`~repro.store.backend.ResultStore.claim_keys`): keys another
-    process already holds are *deferred* — this run polls for that process's
-    committed rows and serves them as cache hits instead of recomputing.  A
-    deferred trial whose owner never commits (crash, timeout) is recomputed
-    locally after ``claim_wait_timeout`` seconds, so the campaign always
-    completes.  Single-writer backends grant every claim, making this path
-    identical to the old behaviour.
-    """
-    from repro.store.keys import trial_key
-
-    keys = [trial_key(spec) for spec in specs]
-    # Only the *keys* of cache hits are held for the whole run; the rows
-    # themselves are fetched in _SERVE_BATCH-sized slices at emission time,
-    # so a warm million-trial resume never materialises the campaign.
-    hit_keys: dict[int, str] = {}
-    if reuse_cached:
-        servable = [key for spec, key in zip(specs, keys) if not spec.record_history]
-        present = store.contains_keys(servable)
-        for position, (spec, key) in enumerate(zip(specs, keys)):
-            if not spec.record_history and key in present:
-                hit_keys[position] = key
-    if cache_stats is not None:
-        cache_stats.hits = len(hit_keys)
-        cache_stats.misses = len(specs) - len(hit_keys)
-    miss_positions = [position for position in range(len(specs)) if position not in hit_keys]
-
-    # Claim the misses so concurrent campaigns over this store split the
-    # work: denied keys are being computed elsewhere — defer them and serve
-    # the other process's rows.  record_history misses always run locally
-    # (a stored row cannot carry the in-memory histories).
-    owner = uuid.uuid4().hex
-    deferred: dict[int, str] = {}
-    claimed_keys: list[str] = []
-    if reuse_cached and miss_positions:
-        claimable = list(
-            dict.fromkeys(
-                keys[position]
-                for position in miss_positions
-                if not specs[position].record_history
-            )
-        )
-        granted = store.claim_keys(claimable, owner) if claimable else set()
-        claimed_keys = [key for key in claimable if key in granted]
-        for position in miss_positions:
-            if not specs[position].record_history and keys[position] not in granted:
-                deferred[position] = keys[position]
-    run_positions = [position for position in miss_positions if position not in deferred]
-    run_specs = [specs[position] for position in run_positions]
-
-    pending: dict[int, TrialResult] = {}
-    emitted = 0
-
-    def _drain() -> Iterator[TrialResult]:
-        nonlocal emitted
-        while True:
-            if emitted in pending:
-                yield pending.pop(emitted)
-                emitted += 1
-            elif emitted in hit_keys:
-                # Serve the next contiguous run of cached positions in one
-                # bounded fetch.
-                batch = []
-                position = emitted
-                while position in hit_keys and len(batch) < _SERVE_BATCH:
-                    batch.append(position)
-                    position += 1
-                rows = store.get_rows([hit_keys[position] for position in batch])
-                for position in batch:
-                    row = rows.get(hit_keys[position])
-                    if row is None:
-                        raise RuntimeError(
-                            f"store row for trial {position} vanished during execution; "
-                            "result stores must not be mutated concurrently with a run"
-                        )
-                    # Reattach the *requested* spec: the stored row may carry
-                    # a different trial_index (key-excluded field), and the
-                    # emitted row must be byte-identical to a fresh run.
-                    yield replace(TrialResult.from_row(row), spec=specs[position])
-                    del hit_keys[position]
-                    emitted = position + 1
-            elif emitted in deferred:
-                # Another process owns these trials; serve whatever it has
-                # committed so far, stopping at the first still-absent row.
-                batch = []
-                position = emitted
-                while position in deferred and len(batch) < _SERVE_BATCH:
-                    batch.append(position)
-                    position += 1
-                rows = store.get_rows([deferred[position] for position in batch])
-                progressed = False
-                for position in batch:
-                    row = rows.get(deferred[position])
-                    if row is None:
-                        break
-                    yield replace(TrialResult.from_row(row), spec=specs[position])
-                    if cache_stats is not None:
-                        cache_stats.hits += 1
-                        cache_stats.misses -= 1
-                    del deferred[position]
-                    emitted = position + 1
-                    progressed = True
-                if not progressed:
-                    return
-            else:
-                return
-
-    def _commit(local_positions: Sequence[int], unit_result: list[TrialResult]) -> None:
-        # Commit-then-emit: once a row has been yielded downstream, it is
-        # guaranteed to be in the store, so resuming after an interruption
-        # can never lose acknowledged work.
-        store.put_results(
-            (keys[run_positions[local]], result)
-            for local, result in zip(local_positions, unit_result)
-        )
-        for local, result in zip(local_positions, unit_result):
-            pending[run_positions[local]] = result
-
-    try:
-        # Serve every prefix-complete cached row before any execution starts.
-        yield from _drain()
-        units = _split_units_for_commit(plan_specs(run_specs, engine, fallback_reasons))
-        if workers <= 1 or len(run_specs) <= 1:
-            for unit in units:
-                _commit(unit.positions, _execute_unit(unit, run_specs))
-                yield from _drain()
-        else:
-            for local_positions, unit_result in execute_plan(
-                run_specs, units, workers, chunksize, pool
-            ):
-                _commit(local_positions, unit_result)
-                yield from _drain()
-
-        # Wait out trials owned by other processes, then recompute leftovers.
-        if deferred:
-            deadline = time.monotonic() + claim_wait_timeout
-            delay = 0.05
-            while deferred and time.monotonic() < deadline:
-                before = len(deferred)
-                yield from _drain()
-                if deferred and len(deferred) == before:
-                    time.sleep(delay)
-                    delay = min(delay * 1.6, 1.0)
-        if deferred:
-            # The owning process never committed (crashed or stuck): finish
-            # its share ourselves.  Last-write-wins commits keep this safe
-            # even if it eventually completes too.
-            retry_positions = sorted(deferred)
-            retry_specs = [specs[position] for position in retry_positions]
-            for unit in _split_units_for_commit(
-                plan_specs(retry_specs, engine, fallback_reasons)
-            ):
-                unit_result = _execute_unit(unit, retry_specs)
-                store.put_results(
-                    (keys[retry_positions[local]], result)
-                    for local, result in zip(unit.positions, unit_result)
-                )
-                for local, result in zip(unit.positions, unit_result):
-                    pending[retry_positions[local]] = result
-                    deferred.pop(retry_positions[local], None)
-                yield from _drain()
-    finally:
-        if claimed_keys:
-            try:
-                store.release_claims(claimed_keys, owner)
-            except Exception:  # noqa: BLE001 — claims expire by TTL anyway
-                pass
-
-
 def execute_specs(
     specs: Sequence[TrialSpec],
     workers: int = 1,
@@ -475,117 +151,19 @@ def execute_specs(
     ``claim_wait_timeout`` bounds how long this run waits for rows another
     process has claimed before recomputing them itself.
     """
-    if engine not in ENGINE_CHOICES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}"
-        )
-    if pool not in POOL_CHOICES:
-        raise ConfigurationError(
-            f"unknown pool {pool!r}; known: {', '.join(POOL_CHOICES)}"
-        )
-    if store is not None:
-        yield from _execute_specs_stored(
-            specs,
-            store,
-            workers,
-            engine,
-            reuse_cached,
-            cache_stats,
-            fallback_reasons,
-            chunksize,
-            pool,
-            claim_wait_timeout,
-        )
-        return
-    if engine == "object" and (workers <= 1 or len(specs) <= 1):
-        if fallback_reasons is not None:
-            # The object fast path bypasses planning; run the planner purely
-            # for its fallback accounting.
-            plan_specs(specs, engine, fallback_reasons)
-        for spec in specs:
-            yield run_trial(spec)
-        return
-
-    units = plan_specs(specs, engine, fallback_reasons)
-    # Reorder buffer: holds only results that arrived ahead of spec order;
-    # every emitted result is released immediately, so memory stays bounded
-    # by the out-of-order window rather than the campaign size.
-    pending: dict[int, TrialResult] = {}
-    emitted = 0
-
-    def _drain(
-        positions: Sequence[int], unit_result: list[TrialResult]
-    ) -> Iterator[TrialResult]:
-        nonlocal emitted
-        for position, result in zip(positions, unit_result):
-            pending[position] = result
-        # Stream every prefix-complete result so sinks fill while later
-        # units are still running.
-        while emitted in pending:
-            yield pending.pop(emitted)
-            emitted += 1
-
-    if workers <= 1 or len(specs) <= 1:
-        for unit in units:
-            yield from _drain(unit.positions, _execute_unit(unit, specs))
-        return
-    # The pool cuts every unit — object chunks *and* columnar groups — into
-    # cost-model-sized tasks and yields them in completion order; the
-    # reorder buffer above restores spec order.
-    for positions, unit_result in execute_plan(specs, units, workers, chunksize, pool):
-        yield from _drain(positions, unit_result)
-
-
-@dataclass(frozen=True)
-class CampaignSummary:
-    """Aggregate view of a finished campaign run."""
-
-    name: str
-    trials: int
-    ok: int
-    errors: int
-    agreement_failures: int
-    validity_failures: int
-    elapsed_seconds: float
-    workers: int
-    jsonl_path: str | None
-    engine: str = "object"
-    #: Dispatch substrate used for multi-worker execution (:data:`POOL_CHOICES`).
-    pool: str = "persistent"
-    #: Trials served straight from the results store (0 without a store).
-    cache_hits: int = 0
-    #: Executed trials the planner routed to the object engine, counted per
-    #: :class:`~repro.engine.vectorized.FallbackReason` value.  Store-served
-    #: trials are never planned, so they are not counted here.
-    fallback_reasons: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def trials_per_second(self) -> float:
-        """Throughput, clamped to 0.0 when no time was measured.
-
-        A zero-length (or clock-resolution-zero) run must not report
-        ``inf``: ``json.dumps`` would emit ``Infinity``, which is not valid
-        JSON and breaks downstream row consumers.
-        """
-        return self.trials / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
-
-    def to_row(self) -> dict[str, Any]:
-        """One table row for the CLI / benchmarks."""
-        return {
-            "campaign": self.name,
-            "engine": self.engine,
-            "trials": self.trials,
-            "ok": self.ok,
-            "errors": self.errors,
-            "agreement_failures": self.agreement_failures,
-            "validity_failures": self.validity_failures,
-            "workers": self.workers,
-            "pool": self.pool,
-            "cache_hits": self.cache_hits,
-            "fallbacks": sum(self.fallback_reasons.values()),
-            "seconds": round(self.elapsed_seconds, 3),
-            "trials_per_s": round(self.trials_per_second, 1),
-        }
+    session = CampaignSession(
+        specs,
+        workers=workers,
+        chunksize=chunksize,
+        engine=engine,
+        store=store,
+        reuse_cached=reuse_cached,
+        pool=pool,
+        claim_wait_timeout=claim_wait_timeout,
+        cache_stats=cache_stats,
+        fallback_reasons=fallback_reasons,
+    )
+    yield from session.rows()
 
 
 def run_campaign(
@@ -599,6 +177,7 @@ def run_campaign(
     reuse_cached: bool = True,
     pool: str = "persistent",
     chunksize: int | None = None,
+    session_factory: Callable[..., CampaignSession] = CampaignSession,
 ) -> tuple[CampaignSummary, list[TrialResult]]:
     """Run every trial of the campaign, streaming rows to the optional sink.
 
@@ -607,37 +186,31 @@ def run_campaign(
     are byte-identical across engines, pools and worker counts modulo
     ``elapsed_ms``.  ``store`` — a
     :class:`~repro.store.backend.ResultStore` or a path, opened (and closed)
-    here via :func:`~repro.store.backend.open_store` — enables the
+    by the session via :func:`~repro.store.backend.open_store` — enables the
     write-through cache: cached trials are served without execution (set
     ``reuse_cached=False`` to force recomputation while still recording),
     misses commit per execution unit, and the summary's ``cache_hits``
     reports the split.  Returns the summary and — only when ``collect=True``
     — the full result list (large sweeps should rely on the JSONL sink
     instead and keep ``collect`` off).
+
+    ``session_factory`` lets callers observe or steer the underlying
+    :class:`CampaignSession` (e.g. to keep a handle for ``status()`` or
+    ``cancel()``) without a second execution path.
     """
-    start = time.perf_counter()
-    ok = errors = agreement_failures = validity_failures = 0
+    session = session_factory(
+        campaign,
+        workers=workers,
+        chunksize=chunksize,
+        engine=engine,
+        store=store,
+        reuse_cached=reuse_cached,
+        pool=pool,
+    )
     collected: list[TrialResult] = []
 
-    opened_store: "ResultStore | None" = None
-    if isinstance(store, (str, Path)):
-        from repro.store.backend import open_store
-
-        store = opened_store = open_store(store)
-    cache_stats = StoreCacheStats() if store is not None else None
-    fallback_reasons: dict[str, int] = {}
-
-    def _consume(results: Iterable[TrialResult]) -> None:
-        nonlocal ok, errors, agreement_failures, validity_failures
+    def _consume(results: Iterable[TrialResult], sink: JsonlSink | None) -> None:
         for result in results:
-            if result.ok:
-                ok += 1
-                if result.agreement is False:
-                    agreement_failures += 1
-                if result.validity is False:
-                    validity_failures += 1
-            else:
-                errors += 1
             if sink is not None:
                 sink.write(result)
             if on_result is not None:
@@ -645,41 +218,16 @@ def run_campaign(
             if collect:
                 collected.append(result)
 
+    results = session.rows()
     try:
-        results = execute_specs(
-            campaign.specs,
-            workers=workers,
-            chunksize=chunksize,
-            engine=engine,
-            store=store,
-            reuse_cached=reuse_cached,
-            cache_stats=cache_stats,
-            fallback_reasons=fallback_reasons,
-            pool=pool,
-        )
         if jsonl_path is not None:
             with JsonlSink(jsonl_path) as sink:
-                _consume(results)
+                _consume(results, sink)
         else:
-            sink = None
-            _consume(results)
+            _consume(results, None)
     finally:
-        if opened_store is not None:
-            opened_store.close()
+        # Deterministic cleanup on consumer errors: closing the row iterator
+        # releases claims and closes a session-owned store.
+        results.close()
 
-    summary = CampaignSummary(
-        name=campaign.name,
-        trials=len(campaign.specs),
-        ok=ok,
-        errors=errors,
-        agreement_failures=agreement_failures,
-        validity_failures=validity_failures,
-        elapsed_seconds=time.perf_counter() - start,
-        workers=workers,
-        jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
-        engine=engine,
-        pool=pool,
-        cache_hits=cache_stats.hits if cache_stats is not None else 0,
-        fallback_reasons=fallback_reasons,
-    )
-    return summary, collected
+    return session.summary(jsonl_path), collected

@@ -14,10 +14,10 @@ the paper's two safety invariants on every completed trial:
 Above the resilience bounds the theorems promise both invariants against
 *every* adversary, so any violation — or any trial that errors out — is a
 bug in the implementation (or a genuinely new attack) and is reported as a
-violation row.  Because the harness reuses :func:`~repro.engine.executor.run_campaign`,
-fuzz runs inherit the engine's guarantees: the same seed produces the same
-compositions and byte-identical JSONL rows (modulo ``elapsed_ms``) for any
-worker count.
+violation row.  Because the harness runs as a
+:class:`~repro.engine.session.CampaignSession`, fuzz runs inherit the
+engine's guarantees: the same seed produces the same compositions and
+byte-identical JSONL rows (modulo ``elapsed_ms``) for any worker count.
 
 Protocol coverage notes baked into the defaults:
 
@@ -40,7 +40,8 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.engine.campaign import Campaign
-from repro.engine.executor import run_campaign
+from repro.engine.executor import JsonlSink
+from repro.engine.session import CampaignSession
 from repro.engine.factories import (
     ADVERSARY_NAMES,
     SCHEDULER_NAMES,
@@ -202,6 +203,10 @@ class FuzzReport:
     violations: tuple[FuzzViolation, ...] = field(default=())
     #: Scenarios served straight from the results store (0 without a store).
     cache_hits: int = 0
+    #: Executed scenarios demoted to the object engine, per fallback reason.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    #: Identifier of the session that ran the sample ("" for hand-built reports).
+    run_id: str = ""
 
     @property
     def clean(self) -> bool:
@@ -260,7 +265,7 @@ def run_fuzz(
 ) -> FuzzReport:
     """Sample ``count`` scenarios and execute them, checking both invariants.
 
-    Runs through :func:`~repro.engine.executor.run_campaign`, so rows stream
+    Runs as a :class:`~repro.engine.session.CampaignSession`, so rows stream
     to the optional JSONL sink in trial order and the output is
     worker-count-invariant.  ``store`` (a
     :class:`~repro.store.backend.ResultStore` or path) enables the engine's
@@ -281,21 +286,34 @@ def run_fuzz(
     campaign = Campaign.from_specs(f"fuzz-seed{seed}", specs)
     violations: list[FuzzViolation] = []
 
-    def _check(result: TrialResult) -> None:
-        violation = _violation_of(result)
-        if violation is not None:
-            violations.append(violation)
-
-    summary, _ = run_campaign(
+    session = CampaignSession(
         campaign,
         workers=workers,
-        jsonl_path=jsonl_path,
-        on_result=_check,
         engine=engine,
         store=store,
         reuse_cached=reuse_cached,
         pool=pool,
     )
+
+    def _consume(results, sink: JsonlSink | None) -> None:
+        for result in results:
+            if sink is not None:
+                sink.write(result)
+            violation = _violation_of(result)
+            if violation is not None:
+                violations.append(violation)
+
+    results = session.rows()
+    try:
+        if jsonl_path is not None:
+            with JsonlSink(jsonl_path) as sink:
+                _consume(results, sink)
+        else:
+            _consume(results, None)
+    finally:
+        results.close()
+
+    summary = session.summary(jsonl_path)
     return FuzzReport(
         name=campaign.name,
         runs=summary.trials,
@@ -308,4 +326,6 @@ def run_fuzz(
         jsonl_path=str(jsonl_path) if jsonl_path is not None else None,
         violations=tuple(violations),
         cache_hits=summary.cache_hits,
+        fallback_reasons=dict(summary.fallback_reasons),
+        run_id=session.run_id,
     )

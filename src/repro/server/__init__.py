@@ -1,0 +1,38 @@
+"""Async HTTP serving layer over the campaign sessions and the results store.
+
+ROADMAP item 2 made concrete: the content-addressed warehouse plus the
+session-backed execution stack, served over HTTP.  Two halves:
+
+* :class:`~repro.server.service.CampaignService` — transport-independent
+  core: bounded campaign submission onto
+  :class:`~repro.engine.session.CampaignSession` worker threads, run-id
+  addressed status/cancel/row-log access, store query/aggregate/export
+  reads, content-hash ETags, and per-API-key accounting.
+* :mod:`repro.server.http` — a stdlib-only asyncio HTTP/1.1 front end
+  (``repro serve``) exposing the service: JSON resources, ``If-None-Match``
+  revalidation, and chunked NDJSON streams for campaign rows and store
+  exports.
+
+See ``docs/ARCHITECTURE.md`` (serving layer section) for the resource map
+and the cancellation/validation semantics.
+"""
+
+from repro.server.http import RequestHandler, run_server, serve
+from repro.server.service import (
+    CampaignService,
+    RunHandle,
+    ServiceBusy,
+    ServiceError,
+    UnknownRun,
+)
+
+__all__ = [
+    "CampaignService",
+    "RequestHandler",
+    "RunHandle",
+    "ServiceBusy",
+    "ServiceError",
+    "UnknownRun",
+    "run_server",
+    "serve",
+]

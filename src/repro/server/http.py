@@ -1,0 +1,486 @@
+"""Asyncio HTTP/1.1 front end for :class:`~repro.server.service.CampaignService`.
+
+Stdlib-only by design (``asyncio.start_server`` + hand-rolled HTTP/1.1):
+the reproduction must stay installable with numpy/scipy alone, so the serving
+layer cannot take a framework dependency.  The protocol support is scoped to
+what the resources need — ``GET``/``POST``, JSON bodies, query strings,
+``If-None-Match`` revalidation, and chunked NDJSON streaming — with
+``Connection: close`` semantics (one request per connection; campaign row
+streams are long-lived anyway).
+
+Resources::
+
+    GET  /healthz                     liveness + service bounds
+    GET  /metrics                     per-API-key accounting + run states
+    GET  /store/stats                 store row/claim counters
+    GET  /store/claims                outstanding claims (age, owner)
+    GET  /store/query?...             filtered trial rows (ETag)
+    GET  /store/aggregate?group_by=.. grouped outcome counters (ETag)
+    GET  /store/export?...            NDJSON row export (ETag)
+    POST /campaigns                   submit a campaign -> 202 {run_id, ...}
+    GET  /campaigns                   status of every run this process knows
+    GET  /campaigns/{run_id}          one run's status snapshot
+    GET  /campaigns/{run_id}/rows     NDJSON row stream (replay + live tail)
+    POST /campaigns/{run_id}/cancel   cooperative cancellation
+
+Identity is the ``X-Api-Key`` header (default ``"anonymous"``) — accounting,
+not authentication.  Store-read endpoints honour ``If-None-Match`` against
+an ETag derived from the matching rows' content keys, so an unchanged store
+answers repeated polls with bodyless 304s.  Blocking store and service calls
+run in the default executor, keeping the event loop free to accept traffic
+while sessions compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ConfigurationError
+from repro.server.service import CampaignService, ServiceError
+from repro.store.keys import ENGINE_VERSION
+from repro.store.query import TrialFilter
+
+__all__ = ["HttpError", "RequestHandler", "serve", "run_server"]
+
+#: How often a live row stream re-checks its session for new lines (seconds).
+STREAM_POLL_SECONDS = 0.05
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Request failure carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed HTTP request (method, path, query, headers, JSON body)."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, list[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def api_key(self) -> str:
+        return self.headers.get("x-api-key", "anonymous") or "anonymous"
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def int_param(self, name: str, default: int | None = None) -> int | None:
+        raw = self.param(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(400, f"query parameter {name!r} must be an integer, got {raw!r}")
+
+    def json_body(self) -> Any:
+        if not self.body:
+            raise HttpError(400, "request body must be JSON (got an empty body)")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many request headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpError(400, f"malformed Content-Length: {length!r}")
+        if size > _MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(size)
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def _response_head(status: int, headers: Mapping[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    lines.append("connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    extra_headers: Mapping[str, str] | None = None,
+) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    headers = {
+        "content-type": "application/json",
+        "content-length": str(len(body)),
+        **(extra_headers or {}),
+    }
+    writer.write(_response_head(status, headers) + body)
+    await writer.drain()
+
+
+async def _send_empty(
+    writer: asyncio.StreamWriter, status: int, extra_headers: Mapping[str, str] | None = None
+) -> None:
+    headers = {"content-length": "0", **(extra_headers or {})}
+    writer.write(_response_head(status, headers))
+    await writer.drain()
+
+
+class _ChunkedWriter:
+    """Chunked transfer encoding over a StreamWriter (for NDJSON streams)."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+
+    async def start(self, extra_headers: Mapping[str, str] | None = None) -> None:
+        headers = {
+            "content-type": "application/x-ndjson",
+            "transfer-encoding": "chunked",
+            **(extra_headers or {}),
+        }
+        self._writer.write(_response_head(200, headers))
+        await self._writer.drain()
+
+    async def send_line(self, line: str) -> None:
+        data = (line + "\n").encode("utf-8")
+        self._writer.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+class RequestHandler:
+    """Routes parsed requests onto a :class:`CampaignService`."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                await self.dispatch(request, writer)
+            except HttpError as error:
+                await _send_json(writer, error.status, {"error": str(error)})
+            except ServiceError as error:
+                await _send_json(writer, error.status, {"error": str(error)})
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass  # client went away mid-exchange; nothing to answer
+            except Exception as error:  # noqa: BLE001 — last-resort 500
+                try:
+                    await _send_json(
+                        writer, 500, {"error": f"{type(error).__name__}: {error}"}
+                    )
+                except (ConnectionError, RuntimeError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        service = self.service
+        await asyncio.to_thread(service.record_request, request.api_key)
+        method, path = request.method, request.path.rstrip("/") or "/"
+
+        if method == "GET" and path == "/healthz":
+            await _send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "store": str(service.store_path),
+                    "max_active": service.max_active,
+                    "max_pending": service.max_pending,
+                },
+            )
+            return
+        if method == "GET" and path == "/metrics":
+            await _send_json(writer, 200, await asyncio.to_thread(service.metrics))
+            return
+        if method == "GET" and path == "/store/stats":
+            await _send_json(writer, 200, await asyncio.to_thread(service.store_stats))
+            return
+        if method == "GET" and path == "/store/claims":
+            claims = await asyncio.to_thread(service.store_claims)
+            await _send_json(writer, 200, {"claims": claims, "count": len(claims)})
+            return
+        if method == "GET" and path == "/store/query":
+            await self._handle_query(request, writer)
+            return
+        if method == "GET" and path == "/store/aggregate":
+            await self._handle_aggregate(request, writer)
+            return
+        if method == "GET" and path == "/store/export":
+            await self._handle_export(request, writer)
+            return
+        if path == "/campaigns":
+            if method == "POST":
+                await self._handle_submit(request, writer)
+                return
+            if method == "GET":
+                runs = await asyncio.to_thread(service.list_runs)
+                await _send_json(writer, 200, {"runs": runs})
+                return
+            raise HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/campaigns/"):
+            await self._dispatch_run(request, writer, path)
+            return
+        raise HttpError(404, f"no resource at {path}")
+
+    # -- store reads ---------------------------------------------------------
+
+    def _trial_filter(self, request: Request) -> TrialFilter:
+        try:
+            return TrialFilter(
+                protocol=request.param("protocol"),
+                workload=request.param("workload"),
+                adversary=request.param("adversary"),
+                scheduler=request.param("scheduler"),
+                status=request.param("status"),
+                dimension=request.int_param("dimension"),
+                fault_bound=request.int_param("fault_bound"),
+                process_count=request.int_param("process_count"),
+            )
+        except ConfigurationError as error:
+            raise HttpError(400, str(error))
+
+    async def _revalidate(
+        self, request: Request, where: Mapping[str, Any] | None
+    ) -> tuple[str, bool]:
+        """Compute the ETag for ``where``; True means the client's copy is current."""
+        etag = await asyncio.to_thread(self.service.etag_for, where)
+        return etag, request.headers.get("if-none-match") == etag
+
+    async def _handle_query(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        trial_filter = self._trial_filter(request)
+        limit = request.int_param("limit")
+        if limit is not None and limit < 1:
+            raise HttpError(400, "limit must be a positive integer")
+        etag, current = await self._revalidate(request, trial_filter.to_where())
+        if current:
+            await _send_empty(writer, 304, {"etag": etag})
+            return
+        rows = await asyncio.to_thread(self.service.query_rows, trial_filter, limit)
+        await _send_json(
+            writer, 200, {"rows": rows, "count": len(rows)}, {"etag": etag}
+        )
+
+    async def _handle_aggregate(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        raw_group = request.param("group_by", "protocol")
+        group_by = tuple(column for column in raw_group.split(",") if column)
+        if not group_by:
+            raise HttpError(400, "group_by must name at least one column")
+        trial_filter = self._trial_filter(request)
+        etag, current = await self._revalidate(request, trial_filter.to_where())
+        if current:
+            await _send_empty(writer, 304, {"etag": etag})
+            return
+        try:
+            rows = await asyncio.to_thread(self.service.aggregate, group_by, trial_filter)
+        except ConfigurationError as error:
+            raise HttpError(400, str(error))
+        await _send_json(
+            writer, 200, {"rows": rows, "count": len(rows)}, {"etag": etag}
+        )
+
+    async def _handle_export(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        where = self._trial_filter(request).to_where()
+        where["engine_version"] = request.param("engine_version", ENGINE_VERSION)
+        etag, current = await self._revalidate(request, where)
+        if current:
+            await _send_empty(writer, 304, {"etag": etag})
+            return
+        lines = await asyncio.to_thread(self.service.export_lines, where)
+        stream = _ChunkedWriter(writer)
+        await stream.start({"etag": etag})
+        for line in lines:
+            await stream.send_line(line)
+        await stream.finish()
+        await asyncio.to_thread(self.service.record_rows, request.api_key, len(lines))
+
+    # -- campaign resources --------------------------------------------------
+
+    async def _handle_submit(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        payload = request.json_body()
+        handle = await asyncio.to_thread(self.service.submit, payload, request.api_key)
+        await asyncio.to_thread(
+            self.service.record_request, request.api_key, campaigns=1
+        )
+        await _send_json(
+            writer,
+            202,
+            {
+                "run_id": handle.run_id,
+                "name": handle.session.name,
+                "trials": len(handle.session.specs),
+                "status_url": f"/campaigns/{handle.run_id}",
+                "rows_url": f"/campaigns/{handle.run_id}/rows",
+                "cancel_url": f"/campaigns/{handle.run_id}/cancel",
+            },
+        )
+
+    async def _dispatch_run(
+        self, request: Request, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        parts = path.split("/")[2:]  # ["<run_id>"] or ["<run_id>", "rows"|"cancel"]
+        run_id = parts[0]
+        tail = parts[1] if len(parts) > 1 else ""
+        if len(parts) > 2 or tail not in ("", "rows", "cancel"):
+            raise HttpError(404, f"no resource at {path}")
+        if tail == "" and request.method == "GET":
+            await _send_json(writer, 200, await asyncio.to_thread(self.service.status, run_id))
+            return
+        if tail == "cancel" and request.method == "POST":
+            await _send_json(writer, 200, await asyncio.to_thread(self.service.cancel, run_id))
+            return
+        if tail == "rows" and request.method == "GET":
+            await self._stream_rows(request, writer, run_id)
+            return
+        raise HttpError(405, f"{request.method} not allowed on {path}")
+
+    async def _stream_rows(
+        self, request: Request, writer: asyncio.StreamWriter, run_id: str
+    ) -> None:
+        """NDJSON row stream: replay the buffered rows, then follow live.
+
+        Rows are written as the session commits them, so a client watching a
+        mixed hit/miss campaign sees the cached prefix immediately and
+        executed rows arrive unit by unit — well before the campaign
+        finishes.  ``?cancel_on_disconnect=1`` ties the session's lifetime
+        to this stream: if the client goes away, the run is cancelled
+        (claims released, store left resumable).
+        """
+        handle = self.service.get(run_id)
+        cancel_on_disconnect = request.param("cancel_on_disconnect") in ("1", "true", "yes")
+        stream = _ChunkedWriter(writer)
+        sent = 0
+        try:
+            await stream.start({"x-run-id": run_id})
+            while True:
+                lines, done = handle.snapshot(sent)
+                for line in lines:
+                    await stream.send_line(line)
+                sent += len(lines)
+                if done and not lines:
+                    break
+                if not lines:
+                    await asyncio.sleep(STREAM_POLL_SECONDS)
+            await stream.finish()
+        except (ConnectionError, asyncio.CancelledError):
+            if cancel_on_disconnect:
+                handle.session.cancel()
+            raise
+        finally:
+            await asyncio.to_thread(self.service.record_rows, request.api_key, sent)
+
+
+async def serve(
+    service: CampaignService,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Serve until cancelled.  ``ready`` is called with the bound address."""
+    handler = RequestHandler(service)
+    server = await asyncio.start_server(handler.handle_connection, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    if ready is not None:
+        ready(bound[0], bound[1])
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        service.shutdown()
+
+
+def run_server(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    backend: str = "auto",
+    workers: int = 1,
+    max_active: int = 2,
+    max_pending: int = 8,
+    ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Blocking convenience entry point (the CLI's ``repro serve``)."""
+    service = CampaignService(
+        store_path,
+        backend=backend,
+        workers=workers,
+        max_active=max_active,
+        max_pending=max_pending,
+    )
+    try:
+        asyncio.run(serve(service, host=host, port=port, ready=ready))
+    except KeyboardInterrupt:
+        pass

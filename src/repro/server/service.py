@@ -1,0 +1,336 @@
+"""Campaign service: sessions, bounded execution, accounting, ETags.
+
+This is the transport-independent half of the serving layer (ROADMAP item
+2): everything the HTTP front end in :mod:`repro.server.http` does is a thin
+translation onto :class:`CampaignService`, so the service is testable without
+sockets and reusable under a different transport.
+
+Responsibilities:
+
+* **Submission** — :meth:`CampaignService.submit` validates a campaign
+  declaration (the same ``{"grid": ...}`` / ``{"trials": ...}`` schema as
+  campaign files, via :meth:`~repro.engine.campaign.Campaign.from_payload`),
+  wraps it in a :class:`~repro.engine.session.CampaignSession` against the
+  service's results store, and runs it on a **bounded** thread pool: at most
+  ``max_active`` sessions execute concurrently, at most ``max_pending`` wait,
+  and anything beyond that is refused with :class:`ServiceBusy` (HTTP 429).
+  The store turns every submission into an incremental computation — cached
+  trials stream back immediately, only the misses execute.
+* **Observation** — each run is addressed by its session ``run_id``:
+  :meth:`status` snapshots, :meth:`cancel` for cooperative cancellation, and
+  :meth:`RunHandle.snapshot` for NDJSON row streaming (rows are buffered as
+  serialised lines, so late subscribers replay from the start and live
+  subscribers follow the commit frontier).
+* **Store reads** — :meth:`query_rows`, :meth:`aggregate`,
+  :meth:`export_lines`, :meth:`store_stats`, :meth:`store_claims` open a
+  fresh store handle per call (SQLite connections are thread-bound; the
+  service is called from worker threads and the event loop's executor).
+* **Validation** — :meth:`etag_for` derives an entity tag from the sorted
+  content keys matching a filter.  Keys are content hashes of the trial
+  specs (salted with the engine version), so the tag changes exactly when
+  the matching result set changes; repeated ``GET`` s revalidate with
+  ``If-None-Match`` and get 304s while the store is unchanged.
+* **Accounting** — per-API-key counters (requests, campaigns submitted,
+  rows streamed), surfaced by the ``/metrics`` resource.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.campaign import Campaign
+from repro.engine.pool import POOL_CHOICES, shutdown_pools
+from repro.engine.session import ENGINE_CHOICES, CampaignSession, RowEvent
+from repro.exceptions import ConfigurationError
+from repro.store.backend import open_store
+from repro.store.query import TrialFilter, aggregate_store, query_store
+
+__all__ = [
+    "CampaignService",
+    "RunHandle",
+    "ServiceBusy",
+    "ServiceError",
+    "UnknownRun",
+]
+
+
+class ServiceError(Exception):
+    """Client error in a service call (maps to HTTP 400)."""
+
+    status = 400
+
+
+class UnknownRun(ServiceError):
+    """No run with the requested ``run_id`` (maps to HTTP 404)."""
+
+    status = 404
+
+
+class ServiceBusy(ServiceError):
+    """Submission refused: the in-flight session bound is reached (HTTP 429)."""
+
+    status = 429
+
+
+@dataclass
+class RunHandle:
+    """One submitted campaign: its session plus the replayable row log.
+
+    Row lines are the session's committed rows serialised with
+    ``TrialResult.to_json()`` — exactly the CLI's ``--jsonl`` line format —
+    appended in spec order as the session emits them.  ``snapshot`` gives a
+    consistent (lines-after-offset, finished) view, which is all a streaming
+    subscriber needs: replay what exists, then follow until ``finished``.
+    """
+
+    run_id: str
+    session: CampaignSession
+    api_key: str
+    submitted_at: float
+    _lines: list[str] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Set when the worker thread has fully retired the session (its final
+    #: state is readable and no more rows will arrive).
+    finished: threading.Event = field(default_factory=threading.Event)
+
+    def append_line(self, line: str) -> None:
+        with self._lock:
+            self._lines.append(line)
+
+    def snapshot(self, start: int = 0) -> tuple[list[str], bool]:
+        """Row lines from ``start`` onward, plus whether the run is finished.
+
+        The finished flag is read *before* the lines are copied: a True flag
+        with an empty tail means the stream is genuinely drained (rows only
+        ever get appended, never removed).
+        """
+        done = self.finished.is_set()
+        with self._lock:
+            return self._lines[start:], done
+
+    def status_dict(self) -> dict[str, Any]:
+        status = self.session.status().to_dict()
+        status["submitted_at"] = self.submitted_at
+        status["rows_available"] = len(self._lines)
+        status["api_key"] = self.api_key
+        return status
+
+
+class CampaignService:
+    """Sessions + store reads behind one bounded, accounted facade."""
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        backend: str = "auto",
+        workers: int = 1,
+        max_active: int = 2,
+        max_pending: int = 8,
+        claim_wait_timeout: float = 60.0,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.backend = backend
+        self.default_workers = workers
+        self.max_active = max_active
+        self.max_pending = max_pending
+        self.claim_wait_timeout = claim_wait_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_active, thread_name_prefix="campaign-session"
+        )
+        self._runs: dict[str, RunHandle] = {}
+        self._lock = threading.Lock()
+        self._accounting: dict[str, dict[str, int]] = {}
+        # Create the store eagerly so the first query does not race the first
+        # submission on schema creation, and a bad path fails at startup.
+        open_store(self.store_path, backend=self.backend).close()
+
+    # -- accounting ----------------------------------------------------------
+
+    def record_request(self, api_key: str, *, rows: int = 0, campaigns: int = 0) -> None:
+        """Bump the per-key counters (``api_key`` is already normalised)."""
+        with self._lock:
+            counters = self._accounting.setdefault(
+                api_key, {"requests": 0, "campaigns": 0, "rows_streamed": 0}
+            )
+            counters["requests"] += 1
+            counters["campaigns"] += campaigns
+            counters["rows_streamed"] += rows
+
+    def record_rows(self, api_key: str, rows: int) -> None:
+        with self._lock:
+            counters = self._accounting.setdefault(
+                api_key, {"requests": 0, "campaigns": 0, "rows_streamed": 0}
+            )
+            counters["rows_streamed"] += rows
+
+    def metrics(self) -> dict[str, Any]:
+        with self._lock:
+            per_key = {key: dict(counters) for key, counters in self._accounting.items()}
+            states: dict[str, int] = {}
+            for handle in self._runs.values():
+                state = handle.session.state
+                states[state] = states.get(state, 0) + 1
+        return {"api_keys": per_key, "runs": states}
+
+    # -- campaign lifecycle --------------------------------------------------
+
+    def _in_flight(self) -> int:
+        return sum(1 for handle in self._runs.values() if not handle.finished.is_set())
+
+    def submit(self, payload: Mapping[str, Any], api_key: str = "anonymous") -> RunHandle:
+        """Validate and enqueue one campaign; returns its :class:`RunHandle`.
+
+        ``payload`` is ``{"campaign": <declaration>, "workers"?, "engine"?,
+        "pool"?, "resume"?}`` — the declaration is the campaign-file schema.
+        Raises :class:`ServiceBusy` once ``max_active + max_pending`` runs
+        are in flight (the bound that keeps one tenant from queueing
+        unbounded compute), :class:`ServiceError` on malformed payloads.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        declaration = payload.get("campaign")
+        if declaration is None:
+            raise ServiceError("request body needs a 'campaign' declaration")
+        try:
+            campaign = Campaign.from_payload(declaration, source="request body")
+        except ConfigurationError as error:
+            raise ServiceError(str(error)) from error
+        workers = payload.get("workers", self.default_workers)
+        engine = payload.get("engine", "auto")
+        pool = payload.get("pool", "persistent")
+        resume = payload.get("resume", True)
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ServiceError(f"'workers' must be a positive integer, got {workers!r}")
+        if engine not in ENGINE_CHOICES:
+            raise ServiceError(f"unknown engine {engine!r}; known: {', '.join(ENGINE_CHOICES)}")
+        if pool not in POOL_CHOICES:
+            raise ServiceError(f"unknown pool {pool!r}; known: {', '.join(POOL_CHOICES)}")
+        if not isinstance(resume, bool):
+            raise ServiceError(f"'resume' must be a boolean, got {resume!r}")
+
+        with self._lock:
+            if self._in_flight() >= self.max_active + self.max_pending:
+                raise ServiceBusy(
+                    f"{self._in_flight()} campaigns in flight "
+                    f"(bound: {self.max_active} active + {self.max_pending} pending); "
+                    "retry after a run finishes"
+                )
+            # The session opens its own store connection inside the worker
+            # thread (SQLite connections are thread-bound).
+            session = CampaignSession(
+                campaign,
+                workers=workers,
+                engine=engine,
+                store=self.store_path,
+                reuse_cached=resume,
+                pool=pool,
+                claim_wait_timeout=self.claim_wait_timeout,
+            )
+            handle = RunHandle(
+                run_id=session.run_id,
+                session=session,
+                api_key=api_key,
+                submitted_at=time.time(),
+            )
+            self._runs[handle.run_id] = handle
+        self._executor.submit(self._drive, handle)
+        return handle
+
+    def _drive(self, handle: RunHandle) -> None:
+        """Worker-thread body: run the session, logging rows as NDJSON lines."""
+        try:
+            for event in handle.session.events():
+                if isinstance(event, RowEvent):
+                    handle.append_line(event.result.to_json())
+        except BaseException:
+            # The session already recorded the failure in its status; the
+            # handle must still flip to finished so streams terminate.
+            pass
+        finally:
+            handle.finished.set()
+
+    def get(self, run_id: str) -> RunHandle:
+        with self._lock:
+            handle = self._runs.get(run_id)
+        if handle is None:
+            raise UnknownRun(f"unknown run_id {run_id!r}")
+        return handle
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        return self.get(run_id).status_dict()
+
+    def cancel(self, run_id: str) -> dict[str, Any]:
+        handle = self.get(run_id)
+        handle.session.cancel()
+        return handle.status_dict()
+
+    def list_runs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            handles = list(self._runs.values())
+        return [handle.status_dict() for handle in handles]
+
+    def shutdown(self, cancel_runs: bool = True) -> None:
+        """Cancel in-flight sessions and retire the thread pool."""
+        if cancel_runs:
+            with self._lock:
+                handles = list(self._runs.values())
+            for handle in handles:
+                handle.session.cancel()
+        self._executor.shutdown(wait=True)
+        shutdown_pools()
+
+    # -- store reads ---------------------------------------------------------
+
+    def _open_store(self):
+        return open_store(self.store_path, backend=self.backend)
+
+    def store_stats(self) -> dict[str, Any]:
+        with self._open_store() as store:
+            return store.stats()
+
+    def store_claims(self) -> list[dict[str, Any]]:
+        with self._open_store() as store:
+            return store.list_claims()
+
+    def etag_for(self, where: Mapping[str, Any] | None = None) -> str:
+        """Entity tag for the result set matching ``where``.
+
+        The tag hashes the sorted content keys of the matching rows.  Keys
+        are content hashes of spec + engine version, so the tag is stable
+        across processes and changes exactly when the matching set changes —
+        rows added, deleted, or produced by a different engine revision.
+        """
+        digest = hashlib.sha256()
+        with self._open_store() as store:
+            for entry in store.iter_entries(where=dict(where) if where else None):
+                digest.update(entry.key.encode("ascii"))
+                digest.update(b"\n")
+        return f'"{digest.hexdigest()}"'
+
+    def query_rows(
+        self, trial_filter: TrialFilter, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        with self._open_store() as store:
+            return [hit.to_row() for hit in query_store(store, trial_filter, limit=limit)]
+
+    def aggregate(
+        self, group_by: tuple[str, ...], trial_filter: TrialFilter
+    ) -> list[dict[str, Any]]:
+        with self._open_store() as store:
+            return aggregate_store(store, group_by=group_by, trial_filter=trial_filter)
+
+    def export_lines(self, where: Mapping[str, Any] | None = None) -> list[str]:
+        """Stored rows as serialised JSONL lines (the CLI export format)."""
+        import json as _json
+
+        with self._open_store() as store:
+            return [
+                _json.dumps(entry.row, sort_keys=True)
+                for entry in store.iter_entries(where=dict(where) if where else None)
+            ]

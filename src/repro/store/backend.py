@@ -218,6 +218,26 @@ class ResultStore(ABC):
         theirs); returns the number released.  No-op on the base class."""
         return 0
 
+    def list_claims(self) -> list[dict[str, Any]]:
+        """Outstanding claims as ``{key, owner, claimed_at, age_seconds, expired}``.
+
+        Diagnostic surface for stuck concurrent campaigns (``repro store
+        claims``): a long-lived *live* claim is a session still computing;
+        an *expired* one is a crashed claimant whose keys the next session
+        will re-claim.  Backends without claim coordination have none.
+        """
+        return []
+
+    def claim_stats(self) -> dict[str, int]:
+        """Live/expired claim counts (``{"live": n, "expired": n}``)."""
+        live = expired = 0
+        for claim in self.list_claims():
+            if claim["expired"]:
+                expired += 1
+            else:
+                live += 1
+        return {"live": live, "expired": expired}
+
     def gc(self, engine_version: str = ENGINE_VERSION, dry_run: bool = False) -> int:
         """Delete (or with ``dry_run`` just count) rows under any other engine salt.
 
@@ -282,6 +302,7 @@ class ResultStore(ABC):
             by_version[entry.engine_version] = by_version.get(entry.engine_version, 0) + 1
             status = str(entry.row.get("status"))
             by_status[status] = by_status.get(status, 0) + 1
+        claims = self.claim_stats()
         return {
             "backend": self.backend_name,
             "path": str(self.path),
@@ -290,6 +311,8 @@ class ResultStore(ABC):
             "stale_trials": total - by_version.get(ENGINE_VERSION, 0),
             "engine_versions": dict(sorted(by_version.items())),
             "statuses": dict(sorted(by_status.items())),
+            "claims_live": claims["live"],
+            "claims_expired": claims["expired"],
         }
 
 
@@ -509,6 +532,7 @@ class SqliteResultStore(ResultStore):
             )
         }
         total = sum(by_version.values())
+        claims = self.claim_stats()
         return {
             "backend": self.backend_name,
             "path": str(self.path),
@@ -517,7 +541,34 @@ class SqliteResultStore(ResultStore):
             "stale_trials": total - by_version.get(ENGINE_VERSION, 0),
             "engine_versions": by_version,
             "statuses": by_status,
+            "claims_live": claims["live"],
+            "claims_expired": claims["expired"],
         }
+
+    def list_claims(self) -> list[dict[str, Any]]:
+        now = time.time()
+        return [
+            {
+                "key": key,
+                "owner": owner,
+                "claimed_at": claimed_at,
+                "age_seconds": max(0.0, now - claimed_at),
+                "expired": claimed_at < now - self.CLAIM_TTL_SECONDS,
+            }
+            for key, owner, claimed_at in self._connection.execute(
+                "SELECT key, owner, claimed_at FROM claims ORDER BY claimed_at, key"
+            )
+        ]
+
+    def claim_stats(self) -> dict[str, int]:
+        cutoff = time.time() - self.CLAIM_TTL_SECONDS
+        (live,) = self._connection.execute(
+            "SELECT COUNT(*) FROM claims WHERE claimed_at >= ?", (cutoff,)
+        ).fetchone()
+        (expired,) = self._connection.execute(
+            "SELECT COUNT(*) FROM claims WHERE claimed_at < ?", (cutoff,)
+        ).fetchone()
+        return {"live": int(live), "expired": int(expired)}
 
     def close(self) -> None:
         self._connection.close()

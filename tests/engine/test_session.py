@@ -1,0 +1,235 @@
+"""Campaign sessions: typed events, status snapshots, cooperative cancellation.
+
+The session is the single execution path every consumer rides
+(``execute_specs``, ``run_campaign``, ``run_fuzz``, the experiments, the
+HTTP server), so these tests pin its contract directly:
+
+* ``events()`` yields planned/claimed/fallback/unit-committed/row/finished
+  in a coherent order, with rows in spec order and byte-identical to the
+  functional API;
+* ``status()`` snapshots are consistent mid-flight and terminal afterwards;
+* cancellation — whether by ``cancel()`` or by abandoning the generator (the
+  client-disconnect analog) — halts work promptly, **releases SQLite
+  claims**, and leaves the store resumable: a rerun serves everything
+  already committed and recomputes nothing twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Campaign,
+    CampaignSession,
+    ClaimedEvent,
+    FinishedEvent,
+    PlannedEvent,
+    RowEvent,
+    TrialSpec,
+    UnitCommittedEvent,
+    execute_specs,
+    run_fuzz,
+    strip_timing,
+)
+from repro.engine.executor import StoreCacheStats
+from repro.store.backend import SqliteResultStore
+
+
+def _specs(count: int = 8) -> list[TrialSpec]:
+    return [
+        TrialSpec(protocol="exact", workload="uniform_box", process_count=5,
+                  dimension=1, fault_bound=1, seed=index, trial_index=index)
+        for index in range(count)
+    ]
+
+
+def _rows(results) -> list[str]:
+    return strip_timing(result.to_row() for result in results)
+
+
+class TestEventStream:
+    def test_rows_arrive_in_spec_order_and_match_execute_specs(self):
+        specs = _specs(6)
+        expected = _rows(execute_specs(specs))
+        session = CampaignSession(specs, engine="auto")
+        events = list(session.events())
+        rows = [event for event in events if isinstance(event, RowEvent)]
+        assert [event.position for event in rows] == list(range(len(specs)))
+        assert _rows(event.result for event in rows) == expected
+        assert all(event.source == "executed" for event in rows)
+
+    def test_event_shape_planned_first_finished_last(self):
+        session = CampaignSession(_specs(4), engine="auto")
+        events = list(session.events())
+        assert isinstance(events[0], PlannedEvent)
+        assert events[0].trials == 4
+        assert isinstance(events[-1], FinishedEvent)
+        assert events[-1].status.state == "finished"
+        assert session.state == "finished"
+
+    def test_stored_session_emits_claimed_and_committed_events(self, tmp_path):
+        specs = _specs(6)
+        session = CampaignSession(specs, store=tmp_path / "store.db")
+        events = list(session.events())
+        claimed = [event for event in events if isinstance(event, ClaimedEvent)]
+        assert len(claimed) == 1 and claimed[0].granted == len(specs)
+        committed = [event for event in events if isinstance(event, UnitCommittedEvent)]
+        assert committed and all(event.committed for event in committed)
+
+    def test_warm_rerun_serves_rows_from_cache(self, tmp_path):
+        specs = _specs(5)
+        store_path = tmp_path / "store.db"
+        assert len(list(CampaignSession(specs, store=store_path).rows())) == 5
+        warm = CampaignSession(specs, store=store_path)
+        rows = [event for event in warm.events() if isinstance(event, RowEvent)]
+        assert all(event.source == "cache" for event in rows)
+        assert warm.cache_stats.hits == len(specs)
+
+    def test_session_is_single_use(self):
+        session = CampaignSession(_specs(2))
+        list(session.events())
+        with pytest.raises(RuntimeError, match="single-use"):
+            next(session.events())
+
+    def test_rows_wrapper_filters_row_events(self):
+        specs = _specs(4)
+        assert _rows(CampaignSession(specs).rows()) == _rows(execute_specs(specs))
+
+
+class TestStatus:
+    def test_snapshot_midstream_and_terminal(self):
+        specs = _specs(6)
+        session = CampaignSession(specs, engine="object")
+        assert session.status().state == "pending"
+        rows = session.rows()
+        next(rows), next(rows)
+        status = session.status()
+        assert status.state == "running"
+        assert status.emitted == 2 and status.trials == 6
+        list(rows)
+        final = session.status()
+        assert final.state == "finished"
+        assert final.emitted == final.ok == 6
+        assert final.done and final.elapsed_seconds > 0
+
+    def test_summary_carries_run_id_and_fallbacks(self):
+        specs = _specs(4)
+        session = CampaignSession(specs, name="pinned", engine="object")
+        list(session.rows())
+        summary = session.summary("out.jsonl")
+        assert summary.run_id == session.run_id and len(summary.run_id) == 16
+        assert summary.name == "pinned"
+        assert summary.jsonl_path == "out.jsonl"
+        assert summary.trials == summary.ok == 4
+        assert sum(summary.fallback_reasons.values()) == 4  # forced object
+
+    def test_status_to_dict_is_json_shaped(self):
+        session = CampaignSession(_specs(2))
+        list(session.rows())
+        payload = session.status().to_dict()
+        assert payload["state"] == "finished"
+        assert payload["run_id"] == session.run_id
+        assert isinstance(payload["fallback_reasons"], dict)
+
+
+class TestCancellation:
+    def test_cancel_mid_stream_halts_and_releases_claims(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        specs = _specs(12)
+        # Object engine -> STORE_COMMIT_CHUNK-sized units, so cancellation
+        # has unit boundaries to act on (a columnar batch ships whole).
+        session = CampaignSession(specs, store=store_path, engine="object")
+        consumed = []
+        for result in session.rows():
+            consumed.append(result)
+            if len(consumed) == 3:
+                session.cancel()
+        assert session.state == "cancelled"
+        assert len(consumed) < len(specs)
+        with SqliteResultStore(store_path) as store:
+            assert store.claim_stats() == {"live": 0, "expired": 0}
+
+    def test_generator_close_is_client_disconnect(self, tmp_path):
+        """Abandoning rows() (a dropped HTTP client) cancels like cancel()."""
+        store_path = tmp_path / "store.db"
+        session = CampaignSession(_specs(12), store=store_path)
+        rows = session.rows()
+        next(rows), next(rows)
+        rows.close()
+        assert session.state == "cancelled"
+        with SqliteResultStore(store_path) as store:
+            assert store.claim_stats() == {"live": 0, "expired": 0}
+
+    def test_multiworker_cancel_halts_promptly_and_releases_claims(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        specs = _specs(16)
+        session = CampaignSession(
+            specs, store=store_path, workers=2, chunksize=2, engine="object"
+        )
+        received = 0
+        for _ in session.rows():
+            received += 1
+            if received == 2:
+                session.cancel()
+        assert session.state == "cancelled"
+        assert session.status().emitted == received
+        with SqliteResultStore(store_path) as store:
+            assert store.claim_stats() == {"live": 0, "expired": 0}
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_resume_after_cancel_is_byte_identical_with_zero_recompute(
+        self, tmp_path, workers
+    ):
+        """The satellite contract: cancel -> resume completes, recomputing
+        nothing that was committed, and exports byte-identical rows."""
+        store_path = tmp_path / "store.db"
+        specs = _specs(12)
+        expected = _rows(execute_specs(specs))
+
+        first = CampaignSession(
+            specs, store=store_path, workers=workers, chunksize=2, engine="object"
+        )
+        consumed = 0
+        for _ in first.rows():
+            consumed += 1
+            if consumed == 3:
+                first.cancel()
+        assert first.state == "cancelled"
+
+        committed = len(SqliteResultStore(store_path))
+        # Commit-then-emit: every consumed row is durably in the store.
+        assert committed >= consumed
+
+        stats = StoreCacheStats()
+        resumed = CampaignSession(
+            specs, store=store_path, workers=workers, cache_stats=stats
+        )
+        rows = _rows(resumed.rows())
+        assert rows == expected
+        # Zero duplicate computation: everything the first run committed is
+        # served from the store, only the remainder executes.
+        assert stats.hits == committed
+        assert stats.misses == len(specs) - committed
+
+    def test_cancel_before_start_emits_nothing(self):
+        session = CampaignSession(_specs(4))
+        session.cancel()
+        rows = list(session.rows())
+        assert rows == []
+        assert session.state == "cancelled"
+
+
+class TestConsumersRideSessions:
+    def test_fuzz_report_carries_run_id_and_fallback_reasons(self):
+        report = run_fuzz(count=4, seed=3, workers=1)
+        assert len(report.run_id) == 16
+        assert isinstance(report.fallback_reasons, dict)
+        assert report.runs == 4
+
+    def test_run_campaign_summary_run_id_matches_session(self, tmp_path):
+        from repro.engine import run_campaign
+
+        campaign = Campaign.from_specs("c", _specs(3))
+        summary, _ = run_campaign(campaign, store=tmp_path / "s.db")
+        assert len(summary.run_id) == 16
+        assert summary.cache_hits == 0 and summary.trials == 3
