@@ -1,22 +1,26 @@
 """Serving-layer latency: warm-store reads under concurrent mixed traffic.
 
 Not a paper experiment — this benchmarks the HTTP serving layer added with
-the campaign-session refactor.  A store is pre-warmed with the reference
-grid, the stdlib asyncio server is started on an ephemeral port, and then
-two kinds of traffic hit it at once:
+the campaign-session refactor and the keep-alive fast path layered on top
+of it.  A store is pre-warmed with the reference grid, the stdlib asyncio
+server is started on an ephemeral port, and then two kinds of traffic hit
+it at once:
 
 * **read traffic** — reader threads hammering ``/store/query``,
-  ``/store/aggregate`` and ``/store/stats`` against the warm store;
+  ``/store/aggregate`` and ``/store/stats`` over **persistent keep-alive
+  connections** (one socket per reader for its whole request loop), plus
+  ``If-None-Match`` revalidations of the query ETag (the amortised-O(1)
+  304 path);
 * **compute traffic** — a campaign with fresh seeds submitted over
   ``POST /campaigns`` and streamed to completion via its NDJSON row stream,
   so sessions execute and commit while the readers poll.
 
-The recorded table (E22) reports per-endpoint request counts and p50/p99
-latency in milliseconds.  The qualitative bar: the store's read path must
-stay responsive while sessions compute — zero failed requests, and the
-warm-store query p99 stays under a generous sanity ceiling (seconds-scale
-latency would mean reads are serialised behind compute, i.e. the
-``asyncio.to_thread`` offloading is broken).
+The recorded table (E22) reports per-endpoint request counts, p50/p99
+latency in milliseconds, and per-connection throughput in requests/sec.
+The qualitative bar: the store's read path must stay responsive while
+sessions compute — zero failed requests — and the warm-store query p99
+must beat the pre-fast-path reference (147.6 ms committed with PR 8) by at
+least 3x, which is the no-regression floor CI's bench-smoke enforces.
 
 The grid shrinks when ``REPRO_BENCH_SMOKE`` is set (CI smoke).
 """
@@ -25,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import http.client
 import json
 import os
 import threading
@@ -41,14 +46,20 @@ WARM_TRIALS = 60 if SMOKE else 200
 #: Trials in the campaign submitted over HTTP while readers poll.
 COMPUTE_TRIALS = 20 if SMOKE else 60
 READERS = 3 if SMOKE else 4
-REQUESTS_PER_READER = 20 if SMOKE else 60
-#: Sanity ceiling on the warm-store query p99 under load (milliseconds).
-MAX_QUERY_P99_MS = 2_000.0
+REQUESTS_PER_READER = 24 if SMOKE else 64
+#: The committed E22 query p99 from the pre-fast-path serving layer
+#: (open-per-request stores, full-row ETag scans, ``Connection: close``).
+PRIOR_QUERY_P99_MS = 147.6
+#: No-regression floor: the fast path must hold at least a 3x improvement.
+MAX_QUERY_P99_MS = PRIOR_QUERY_P99_MS / 3
 
+#: (name, path, revalidate?) — revalidating entries send ``If-None-Match``
+#: with the last tag seen and measure the 304 path.
 _READ_ENDPOINTS = (
-    ("query", "/store/query?protocol=exact"),
-    ("aggregate", "/store/aggregate?group_by=protocol,dimension"),
-    ("stats", "/store/stats"),
+    ("query", "/store/query?protocol=exact", False),
+    ("aggregate", "/store/aggregate?group_by=protocol,dimension", False),
+    ("stats", "/store/stats", False),
+    ("revalidate", "/store/query?protocol=exact", True),
 )
 
 
@@ -109,20 +120,12 @@ def _percentile(samples: list[float], fraction: float) -> float:
     return ordered[index]
 
 
-def _timed_get(url: str) -> tuple[float, int]:
-    started = time.perf_counter()
-    with urllib.request.urlopen(url, timeout=60) as response:
-        response.read()
-        status = response.status
-    return (time.perf_counter() - started) * 1000.0, status
-
-
 def test_server_latency_under_mixed_traffic(benchmark, record_table, tmp_path):
     store_path = tmp_path / "store.db"
     summary, _ = run_campaign(_grid(WARM_TRIALS, base_seed=7), store=store_path)
     assert summary.errors == 0
 
-    latencies: dict[str, list[float]] = {name: [] for name, _ in _READ_ENDPOINTS}
+    latencies: dict[str, list[float]] = {name: [] for name, _, _ in _READ_ENDPOINTS}
     failures: list[tuple[str, int]] = []
     lock = threading.Lock()
 
@@ -164,13 +167,46 @@ def test_server_latency_under_mixed_traffic(benchmark, record_table, tmp_path):
                     streamed.append(len(stream.read().splitlines()))
 
             def read_loop() -> None:
-                for turn in range(REQUESTS_PER_READER):
-                    name, path = _READ_ENDPOINTS[turn % len(_READ_ENDPOINTS)]
-                    elapsed_ms, status = _timed_get(server.url(path))
-                    with lock:
-                        if status != 200:
-                            failures.append((name, status))
-                        latencies[name].append(elapsed_ms)
+                # One persistent connection per reader: every request in the
+                # loop reuses the same socket (the keep-alive fast path).
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", server.port, timeout=60
+                )
+                etag: str | None = None
+                try:
+                    for turn in range(REQUESTS_PER_READER):
+                        name, path, revalidate = _READ_ENDPOINTS[
+                            turn % len(_READ_ENDPOINTS)
+                        ]
+                        headers = (
+                            {"If-None-Match": etag}
+                            if revalidate and etag is not None
+                            else {}
+                        )
+                        started = time.perf_counter()
+                        connection.request("GET", path, headers=headers)
+                        response = connection.getresponse()
+                        response.read()
+                        elapsed_ms = (time.perf_counter() - started) * 1000.0
+                        fresh_tag = response.getheader("etag")
+                        if fresh_tag is not None:
+                            # The compute campaign commits to the same store,
+                            # so the tag legitimately rolls mid-run; track it.
+                            etag = fresh_tag
+                        with lock:
+                            if revalidate:
+                                # A 200 here is a genuine miss (the store
+                                # moved) — only the 304 path is the sample.
+                                if response.status == 304:
+                                    latencies[name].append(elapsed_ms)
+                                elif response.status != 200:
+                                    failures.append((name, response.status))
+                            elif response.status == 200:
+                                latencies[name].append(elapsed_ms)
+                            else:
+                                failures.append((name, response.status))
+                finally:
+                    connection.close()
 
             threads = [threading.Thread(target=stream_rows)]
             threads.extend(threading.Thread(target=read_loop) for _ in range(READERS))
@@ -192,7 +228,7 @@ def test_server_latency_under_mixed_traffic(benchmark, record_table, tmp_path):
 
     benchmark.pedantic(run_mixed_traffic, rounds=1, iterations=1)
 
-    assert failures == [], f"non-200 read responses under load: {failures}"
+    assert failures == [], f"failed read responses under load: {failures}"
     rows = [
         {
             "endpoint": name,
@@ -200,18 +236,31 @@ def test_server_latency_under_mixed_traffic(benchmark, record_table, tmp_path):
             "p50_ms": round(_percentile(samples, 0.50), 2),
             "p99_ms": round(_percentile(samples, 0.99), 2),
             "max_ms": round(max(samples), 2),
+            # Per-connection throughput: requests per second of socket-busy
+            # time on a persistent connection (1000 / mean latency).
+            "rps": round(1000.0 * len(samples) / sum(samples), 1),
         }
         for name, samples in latencies.items()
+        if samples
     ]
     record_table(
         "E22_server_latency",
         rows,
-        "Serving layer — warm-store read latency (ms) under concurrent "
+        "Serving layer — warm-store read latency (ms) and per-connection "
+        "throughput (requests/sec) over keep-alive sockets under concurrent "
         f"compute traffic ({WARM_TRIALS} stored trials, {READERS} readers, "
-        f"{COMPUTE_TRIALS}-trial campaign streaming)",
+        f"{COMPUTE_TRIALS}-trial campaign streaming; 'revalidate' is the "
+        "If-None-Match 304 path)",
     )
-    query_p99 = next(row["p99_ms"] for row in rows if row["endpoint"] == "query")
+    by_endpoint = {row["endpoint"]: row for row in rows}
+    assert "revalidate" in by_endpoint, "no 304 revalidations were observed"
+    query_p99 = by_endpoint["query"]["p99_ms"]
     assert query_p99 <= MAX_QUERY_P99_MS, (
-        f"warm-store query p99 is {query_p99:.0f} ms under mixed load "
-        f"(sanity ceiling: {MAX_QUERY_P99_MS:.0f} ms)"
+        f"warm-store query p99 is {query_p99:.1f} ms under mixed load — the "
+        f"fast path must stay >=3x under the pre-keep-alive reference "
+        f"({PRIOR_QUERY_P99_MS:.1f} ms), i.e. <= {MAX_QUERY_P99_MS:.1f} ms"
+    )
+    assert by_endpoint["revalidate"]["p99_ms"] <= MAX_QUERY_P99_MS, (
+        "the 304 revalidation path must be at least as fast as the floor "
+        "on full query responses"
     )

@@ -386,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="submissions allowed to queue behind the active sessions "
              "(beyond this, POST /campaigns answers 429)",
     )
+    serve_parser.add_argument(
+        "--idle-timeout", type=float, default=30.0,
+        help="seconds a keep-alive connection may sit idle between requests "
+             "before the server closes it",
+    )
 
     store_parser = subparsers.add_parser(
         "store",
@@ -666,6 +671,7 @@ def _run_serve_command(arguments: argparse.Namespace) -> int:
         max_active=arguments.max_active,
         max_pending=arguments.max_pending,
         ready=_ready,
+        idle_timeout=arguments.idle_timeout,
     )
     return 0
 

@@ -5,8 +5,13 @@ the reproduction must stay installable with numpy/scipy alone, so the serving
 layer cannot take a framework dependency.  The protocol support is scoped to
 what the resources need — ``GET``/``POST``, JSON bodies, query strings,
 ``If-None-Match`` revalidation, and chunked NDJSON streaming — with
-``Connection: close`` semantics (one request per connection; campaign row
-streams are long-lived anyway).
+**keep-alive** connection semantics: each connection serves a loop of
+requests until the client sends ``Connection: close`` (or speaks HTTP/1.0
+without ``keep-alive``), the idle timeout expires between requests, the
+per-connection request cap is reached, or an error leaves the stream in an
+unknown framing state.  Chunked responses are self-delimiting, so even
+NDJSON streams hand the socket back for the next request when they finish
+cleanly.
 
 Resources::
 
@@ -16,7 +21,7 @@ Resources::
     GET  /store/claims                outstanding claims (age, owner)
     GET  /store/query?...             filtered trial rows (ETag)
     GET  /store/aggregate?group_by=.. grouped outcome counters (ETag)
-    GET  /store/export?...            NDJSON row export (ETag)
+    GET  /store/export?...            NDJSON row export (ETag, streamed)
     POST /campaigns                   submit a campaign -> 202 {run_id, ...}
     GET  /campaigns                   status of every run this process knows
     GET  /campaigns/{run_id}          one run's status snapshot
@@ -25,15 +30,18 @@ Resources::
 
 Identity is the ``X-Api-Key`` header (default ``"anonymous"``) — accounting,
 not authentication.  Store-read endpoints honour ``If-None-Match`` against
-an ETag derived from the matching rows' content keys, so an unchanged store
-answers repeated polls with bodyless 304s.  Blocking store and service calls
-run in the default executor, keeping the event loop free to accept traffic
-while sessions compute.
+an ETag derived from the matching rows' content keys; the service caches the
+digest per store generation, so an unchanged store answers repeated polls
+with bodyless 304s in O(1).  Blocking store and service calls run in the
+default executor (on pooled per-thread store handles), keeping the event
+loop free to accept traffic while sessions compute; the accounting counters
+are a plain in-memory lock and are bumped inline on the loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlsplit
@@ -45,8 +53,19 @@ from repro.store.query import TrialFilter
 
 __all__ = ["HttpError", "RequestHandler", "serve", "run_server"]
 
-#: How often a live row stream re-checks its session for new lines (seconds).
-STREAM_POLL_SECONDS = 0.05
+#: Seconds a keep-alive connection may sit idle between requests before the
+#: server closes it.
+IDLE_TIMEOUT_SECONDS = 30.0
+
+#: Requests served on one connection before the server closes it (bounds how
+#: long one client can pin a connection's resources).
+MAX_REQUESTS_PER_CONNECTION = 1000
+
+#: Fallback wakeup for live row streams.  Streams are push-notified on every
+#: committed row (``RunHandle`` waiters via ``loop.call_soon_threadsafe``),
+#: so this only bounds the stall after a lost wakeup — it is a safety net,
+#: not a poll interval.
+STREAM_WAIT_FALLBACK_SECONDS = 5.0
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 100
@@ -72,6 +91,24 @@ class HttpError(Exception):
         self.status = status
 
 
+class _ConnectionState:
+    """Per-request connection bookkeeping shared with response writers.
+
+    ``keep_alive`` is the decision for *this* response's ``Connection:``
+    header; ``response_started`` flips once any bytes of a (possibly
+    streaming) response hit the socket, after which an error can no longer
+    be answered in-band — the connection must close instead.
+    """
+
+    def __init__(self, keep_alive: bool) -> None:
+        self.keep_alive = keep_alive
+        self.response_started = False
+
+    @property
+    def close(self) -> bool:
+        return not self.keep_alive
+
+
 class Request:
     """One parsed HTTP request (method, path, query, headers, JSON body)."""
 
@@ -82,16 +119,29 @@ class Request:
         query: Mapping[str, list[str]],
         headers: Mapping[str, str],
         body: bytes,
+        http_version: str = "HTTP/1.1",
     ) -> None:
         self.method = method
         self.path = path
         self.query = query
         self.headers = headers
         self.body = body
+        self.http_version = http_version
 
     @property
     def api_key(self) -> str:
         return self.headers.get("x-api-key", "anonymous") or "anonymous"
+
+    @property
+    def keep_alive(self) -> bool:
+        """The client's connection-persistence preference (RFC 9112 §9.3)."""
+        connection = self.headers.get("connection", "").lower()
+        tokens = {token.strip() for token in connection.split(",") if token.strip()}
+        if "close" in tokens:
+            return False
+        if self.http_version == "HTTP/1.0":
+            return "keep-alive" in tokens
+        return True
 
     def param(self, name: str, default: str | None = None) -> str | None:
         values = self.query.get(name)
@@ -115,17 +165,23 @@ class Request:
             raise HttpError(400, f"request body is not valid JSON: {error}")
 
 
-async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+async def _read_request(
+    reader: asyncio.StreamReader, idle_timeout: float | None = None
+) -> Request | None:
+    """Parse one request; ``None`` on EOF or idle timeout (close quietly)."""
     try:
-        request_line = await reader.readline()
-    except (ConnectionError, asyncio.IncompleteReadError):
+        if idle_timeout is None:
+            request_line = await reader.readline()
+        else:
+            request_line = await asyncio.wait_for(reader.readline(), idle_timeout)
+    except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
         return None
     if not request_line:
         return None
     parts = request_line.decode("latin-1").strip().split()
     if len(parts) != 3:
         raise HttpError(400, f"malformed request line: {request_line!r}")
-    method, target, _version = parts
+    method, target, version = parts
     headers: dict[str, str] = {}
     for _ in range(_MAX_HEADER_LINES):
         line = await reader.readline()
@@ -135,6 +191,14 @@ async def _read_request(reader: asyncio.StreamReader) -> Request | None:
         headers[name.strip().lower()] = value.strip()
     else:
         raise HttpError(400, "too many request headers")
+    if "transfer-encoding" in headers:
+        # The parser only frames Content-Length bodies; silently ignoring a
+        # chunked body would desynchronise the connection on the next read.
+        raise HttpError(
+            400,
+            "Transfer-Encoding request bodies are not supported; "
+            "send a Content-Length body",
+        )
     body = b""
     length = headers.get("content-length")
     if length is not None:
@@ -142,6 +206,8 @@ async def _read_request(reader: asyncio.StreamReader) -> Request | None:
             size = int(length)
         except ValueError:
             raise HttpError(400, f"malformed Content-Length: {length!r}")
+        if size < 0:
+            raise HttpError(400, f"Content-Length must be non-negative, got {size}")
         if size > _MAX_BODY_BYTES:
             raise HttpError(413, f"request body exceeds {_MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(size)
@@ -152,13 +218,14 @@ async def _read_request(reader: asyncio.StreamReader) -> Request | None:
         query=parse_qs(split.query),
         headers=headers,
         body=body,
+        http_version=version.upper(),
     )
 
 
-def _response_head(status: int, headers: Mapping[str, str]) -> bytes:
+def _response_head(status: int, headers: Mapping[str, str], close: bool) -> bytes:
     lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
     lines.extend(f"{name}: {value}" for name, value in headers.items())
-    lines.append("connection: close")
+    lines.append("connection: close" if close else "connection: keep-alive")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
@@ -167,6 +234,7 @@ async def _send_json(
     status: int,
     payload: Any,
     extra_headers: Mapping[str, str] | None = None,
+    close: bool = True,
 ) -> None:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
     headers = {
@@ -174,23 +242,33 @@ async def _send_json(
         "content-length": str(len(body)),
         **(extra_headers or {}),
     }
-    writer.write(_response_head(status, headers) + body)
+    writer.write(_response_head(status, headers, close) + body)
     await writer.drain()
 
 
 async def _send_empty(
-    writer: asyncio.StreamWriter, status: int, extra_headers: Mapping[str, str] | None = None
+    writer: asyncio.StreamWriter,
+    status: int,
+    extra_headers: Mapping[str, str] | None = None,
+    close: bool = True,
 ) -> None:
     headers = {"content-length": "0", **(extra_headers or {})}
-    writer.write(_response_head(status, headers))
+    writer.write(_response_head(status, headers, close))
     await writer.drain()
 
 
 class _ChunkedWriter:
-    """Chunked transfer encoding over a StreamWriter (for NDJSON streams)."""
+    """Chunked transfer encoding over a StreamWriter (for NDJSON streams).
 
-    def __init__(self, writer: asyncio.StreamWriter) -> None:
+    Chunked framing is self-delimiting (the ``0\\r\\n\\r\\n`` trailer marks
+    the end), so a cleanly-finished stream keeps the connection reusable;
+    the shared :class:`_ConnectionState` records that the response started,
+    which is what forces a close if the stream dies midway instead.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, state: _ConnectionState) -> None:
         self._writer = writer
+        self._state = state
 
     async def start(self, extra_headers: Mapping[str, str] | None = None) -> None:
         headers = {
@@ -198,7 +276,8 @@ class _ChunkedWriter:
             "transfer-encoding": "chunked",
             **(extra_headers or {}),
         }
-        self._writer.write(_response_head(200, headers))
+        self._state.response_started = True
+        self._writer.write(_response_head(200, headers, self._state.close))
         await self._writer.drain()
 
     async def send_line(self, line: str) -> None:
@@ -212,33 +291,66 @@ class _ChunkedWriter:
 
 
 class RequestHandler:
-    """Routes parsed requests onto a :class:`CampaignService`."""
+    """Routes parsed requests onto a :class:`CampaignService`.
 
-    def __init__(self, service: CampaignService) -> None:
+    One :meth:`handle_connection` call serves a whole keep-alive session:
+    requests are read and dispatched in a loop until the client opts out,
+    the idle timeout fires, the request cap is reached, or framing is lost.
+    """
+
+    def __init__(
+        self, service: CampaignService, idle_timeout: float = IDLE_TIMEOUT_SECONDS
+    ) -> None:
         self.service = service
+        self.idle_timeout = idle_timeout
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            try:
-                request = await _read_request(reader)
-                if request is None:
-                    return
-                await self.dispatch(request, writer)
-            except HttpError as error:
-                await _send_json(writer, error.status, {"error": str(error)})
-            except ServiceError as error:
-                await _send_json(writer, error.status, {"error": str(error)})
-            except (ConnectionError, asyncio.IncompleteReadError):
-                pass  # client went away mid-exchange; nothing to answer
-            except Exception as error:  # noqa: BLE001 — last-resort 500
+            served = 0
+            while served < MAX_REQUESTS_PER_CONNECTION:
                 try:
+                    request = await _read_request(reader, self.idle_timeout)
+                except HttpError as error:
+                    # Parse failure: the read offset is unknowable, so this
+                    # response is the connection's last.
+                    with contextlib.suppress(ConnectionError, RuntimeError):
+                        await _send_json(
+                            writer, error.status, {"error": str(error)}, close=True
+                        )
+                    return
+                if request is None:
+                    return  # EOF or idle timeout — close quietly
+                served += 1
+                state = _ConnectionState(
+                    keep_alive=request.keep_alive
+                    and served < MAX_REQUESTS_PER_CONNECTION
+                )
+                try:
+                    await self.dispatch(request, writer, state)
+                except (HttpError, ServiceError) as error:
+                    if state.response_started:
+                        return  # mid-stream failure: framing lost, close
+                    # The request was fully read and the response is complete
+                    # JSON — framing is intact, keep-alive may continue.
                     await _send_json(
-                        writer, 500, {"error": f"{type(error).__name__}: {error}"}
+                        writer, error.status, {"error": str(error)}, close=state.close
                     )
-                except (ConnectionError, RuntimeError):
-                    pass
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return  # client went away mid-exchange; nothing to answer
+                except Exception as error:  # noqa: BLE001 — last-resort 500
+                    with contextlib.suppress(ConnectionError, RuntimeError):
+                        if not state.response_started:
+                            await _send_json(
+                                writer,
+                                500,
+                                {"error": f"{type(error).__name__}: {error}"},
+                                close=True,
+                            )
+                    return
+                if state.close:
+                    return
         finally:
             try:
                 writer.close()
@@ -246,9 +358,13 @@ class RequestHandler:
             except (ConnectionError, RuntimeError):
                 pass
 
-    async def dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
         service = self.service
-        await asyncio.to_thread(service.record_request, request.api_key)
+        # Plain-lock counter bump: cheap enough to run inline on the loop
+        # (no executor round trip per request).
+        service.record_request(request.api_key)
         method, path = request.method, request.path.rstrip("/") or "/"
 
         if method == "GET" and path == "/healthz":
@@ -261,38 +377,51 @@ class RequestHandler:
                     "max_active": service.max_active,
                     "max_pending": service.max_pending,
                 },
+                close=state.close,
             )
             return
         if method == "GET" and path == "/metrics":
-            await _send_json(writer, 200, await asyncio.to_thread(service.metrics))
+            await _send_json(
+                writer, 200, await asyncio.to_thread(service.metrics), close=state.close
+            )
             return
         if method == "GET" and path == "/store/stats":
-            await _send_json(writer, 200, await asyncio.to_thread(service.store_stats))
+            await _send_json(
+                writer,
+                200,
+                await asyncio.to_thread(service.store_stats),
+                close=state.close,
+            )
             return
         if method == "GET" and path == "/store/claims":
             claims = await asyncio.to_thread(service.store_claims)
-            await _send_json(writer, 200, {"claims": claims, "count": len(claims)})
+            await _send_json(
+                writer,
+                200,
+                {"claims": claims, "count": len(claims)},
+                close=state.close,
+            )
             return
         if method == "GET" and path == "/store/query":
-            await self._handle_query(request, writer)
+            await self._handle_query(request, writer, state)
             return
         if method == "GET" and path == "/store/aggregate":
-            await self._handle_aggregate(request, writer)
+            await self._handle_aggregate(request, writer, state)
             return
         if method == "GET" and path == "/store/export":
-            await self._handle_export(request, writer)
+            await self._handle_export(request, writer, state)
             return
         if path == "/campaigns":
             if method == "POST":
-                await self._handle_submit(request, writer)
+                await self._handle_submit(request, writer, state)
                 return
             if method == "GET":
                 runs = await asyncio.to_thread(service.list_runs)
-                await _send_json(writer, 200, {"runs": runs})
+                await _send_json(writer, 200, {"runs": runs}, close=state.close)
                 return
             raise HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/campaigns/"):
-            await self._dispatch_run(request, writer, path)
+            await self._dispatch_run(request, writer, path, state)
             return
         raise HttpError(404, f"no resource at {path}")
 
@@ -316,25 +445,37 @@ class RequestHandler:
     async def _revalidate(
         self, request: Request, where: Mapping[str, Any] | None
     ) -> tuple[str, bool]:
-        """Compute the ETag for ``where``; True means the client's copy is current."""
+        """Compute the ETag for ``where``; True means the client's copy is current.
+
+        Amortised O(1): the service caches digests per store generation, so
+        while the store is unchanged this is a dictionary hit — no row scan.
+        """
         etag = await asyncio.to_thread(self.service.etag_for, where)
         return etag, request.headers.get("if-none-match") == etag
 
-    async def _handle_query(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _handle_query(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
         trial_filter = self._trial_filter(request)
         limit = request.int_param("limit")
         if limit is not None and limit < 1:
             raise HttpError(400, "limit must be a positive integer")
         etag, current = await self._revalidate(request, trial_filter.to_where())
         if current:
-            await _send_empty(writer, 304, {"etag": etag})
+            await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
         rows = await asyncio.to_thread(self.service.query_rows, trial_filter, limit)
         await _send_json(
-            writer, 200, {"rows": rows, "count": len(rows)}, {"etag": etag}
+            writer,
+            200,
+            {"rows": rows, "count": len(rows)},
+            {"etag": etag},
+            close=state.close,
         )
 
-    async def _handle_aggregate(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _handle_aggregate(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
         raw_group = request.param("group_by", "protocol")
         group_by = tuple(column for column in raw_group.split(",") if column)
         if not group_by:
@@ -342,39 +483,55 @@ class RequestHandler:
         trial_filter = self._trial_filter(request)
         etag, current = await self._revalidate(request, trial_filter.to_where())
         if current:
-            await _send_empty(writer, 304, {"etag": etag})
+            await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
         try:
             rows = await asyncio.to_thread(self.service.aggregate, group_by, trial_filter)
         except ConfigurationError as error:
             raise HttpError(400, str(error))
         await _send_json(
-            writer, 200, {"rows": rows, "count": len(rows)}, {"etag": etag}
+            writer,
+            200,
+            {"rows": rows, "count": len(rows)},
+            {"etag": etag},
+            close=state.close,
         )
 
-    async def _handle_export(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _handle_export(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
+        """Stream the export in bounded pages: constant memory, immediate
+        time-to-first-byte, no store cursor held across socket writes."""
         where = self._trial_filter(request).to_where()
         where["engine_version"] = request.param("engine_version", ENGINE_VERSION)
         etag, current = await self._revalidate(request, where)
         if current:
-            await _send_empty(writer, 304, {"etag": etag})
+            await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
-        lines = await asyncio.to_thread(self.service.export_lines, where)
-        stream = _ChunkedWriter(writer)
+        stream = _ChunkedWriter(writer, state)
         await stream.start({"etag": etag})
-        for line in lines:
-            await stream.send_line(line)
+        sent = 0
+        after_key: str | None = None
+        while True:
+            lines, after_key = await asyncio.to_thread(
+                self.service.export_batch, where, after_key
+            )
+            if not lines:
+                break
+            for line in lines:
+                await stream.send_line(line)
+            sent += len(lines)
         await stream.finish()
-        await asyncio.to_thread(self.service.record_rows, request.api_key, len(lines))
+        self.service.record_rows(request.api_key, sent)
 
     # -- campaign resources --------------------------------------------------
 
-    async def _handle_submit(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _handle_submit(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
         payload = request.json_body()
         handle = await asyncio.to_thread(self.service.submit, payload, request.api_key)
-        await asyncio.to_thread(
-            self.service.record_request, request.api_key, campaigns=1
-        )
+        self.service.record_campaigns(request.api_key)
         await _send_json(
             writer,
             202,
@@ -386,10 +543,15 @@ class RequestHandler:
                 "rows_url": f"/campaigns/{handle.run_id}/rows",
                 "cancel_url": f"/campaigns/{handle.run_id}/cancel",
             },
+            close=state.close,
         )
 
     async def _dispatch_run(
-        self, request: Request, writer: asyncio.StreamWriter, path: str
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        path: str,
+        state: _ConnectionState,
     ) -> None:
         parts = path.split("/")[2:]  # ["<run_id>"] or ["<run_id>", "rows"|"cancel"]
         run_id = parts[0]
@@ -397,50 +559,80 @@ class RequestHandler:
         if len(parts) > 2 or tail not in ("", "rows", "cancel"):
             raise HttpError(404, f"no resource at {path}")
         if tail == "" and request.method == "GET":
-            await _send_json(writer, 200, await asyncio.to_thread(self.service.status, run_id))
+            await _send_json(
+                writer,
+                200,
+                await asyncio.to_thread(self.service.status, run_id),
+                close=state.close,
+            )
             return
         if tail == "cancel" and request.method == "POST":
-            await _send_json(writer, 200, await asyncio.to_thread(self.service.cancel, run_id))
+            await _send_json(
+                writer,
+                200,
+                await asyncio.to_thread(self.service.cancel, run_id),
+                close=state.close,
+            )
             return
         if tail == "rows" and request.method == "GET":
-            await self._stream_rows(request, writer, run_id)
+            await self._stream_rows(request, writer, run_id, state)
             return
         raise HttpError(405, f"{request.method} not allowed on {path}")
 
     async def _stream_rows(
-        self, request: Request, writer: asyncio.StreamWriter, run_id: str
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        run_id: str,
+        state: _ConnectionState,
     ) -> None:
         """NDJSON row stream: replay the buffered rows, then follow live.
 
         Rows are written as the session commits them, so a client watching a
         mixed hit/miss campaign sees the cached prefix immediately and
         executed rows arrive unit by unit — well before the campaign
-        finishes.  ``?cancel_on_disconnect=1`` ties the session's lifetime
-        to this stream: if the client goes away, the run is cancelled
-        (claims released, store left resumable).
+        finishes.  The live tail is **event-driven**: a waiter registered on
+        the :class:`~repro.server.service.RunHandle` is woken through
+        ``loop.call_soon_threadsafe`` the moment the session commits a row,
+        so there is no poll interval between a commit and the bytes leaving
+        the socket (a bounded fallback timeout guards against lost wakeups).
+        ``?cancel_on_disconnect=1`` ties the session's lifetime to this
+        stream: if the client goes away, the run is cancelled (claims
+        released, store left resumable).
         """
         handle = self.service.get(run_id)
         cancel_on_disconnect = request.param("cancel_on_disconnect") in ("1", "true", "yes")
-        stream = _ChunkedWriter(writer)
+        stream = _ChunkedWriter(writer, state)
         sent = 0
+        loop = asyncio.get_running_loop()
         try:
             await stream.start({"x-run-id": run_id})
             while True:
-                lines, done = handle.snapshot(sent)
-                for line in lines:
-                    await stream.send_line(line)
-                sent += len(lines)
-                if done and not lines:
-                    break
-                if not lines:
-                    await asyncio.sleep(STREAM_POLL_SECONDS)
+                # Register the waiter *before* snapshotting: a row appended
+                # after the snapshot wakes the event, so nothing is missed.
+                event = asyncio.Event()
+                handle.add_waiter(loop, event)
+                try:
+                    lines, done = handle.snapshot(sent)
+                    for line in lines:
+                        await stream.send_line(line)
+                    sent += len(lines)
+                    if done and not lines:
+                        break
+                    if not lines:
+                        with contextlib.suppress(asyncio.TimeoutError):
+                            await asyncio.wait_for(
+                                event.wait(), STREAM_WAIT_FALLBACK_SECONDS
+                            )
+                finally:
+                    handle.discard_waiter(loop, event)
             await stream.finish()
         except (ConnectionError, asyncio.CancelledError):
             if cancel_on_disconnect:
                 handle.session.cancel()
             raise
         finally:
-            await asyncio.to_thread(self.service.record_rows, request.api_key, sent)
+            self.service.record_rows(request.api_key, sent)
 
 
 async def serve(
@@ -448,9 +640,10 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 8321,
     ready: Callable[[str, int], None] | None = None,
+    idle_timeout: float = IDLE_TIMEOUT_SECONDS,
 ) -> None:
     """Serve until cancelled.  ``ready`` is called with the bound address."""
-    handler = RequestHandler(service)
+    handler = RequestHandler(service, idle_timeout=idle_timeout)
     server = await asyncio.start_server(handler.handle_connection, host=host, port=port)
     bound = server.sockets[0].getsockname()
     if ready is not None:
@@ -471,6 +664,7 @@ def run_server(
     max_active: int = 2,
     max_pending: int = 8,
     ready: Callable[[str, int], None] | None = None,
+    idle_timeout: float = IDLE_TIMEOUT_SECONDS,
 ) -> None:
     """Blocking convenience entry point (the CLI's ``repro serve``)."""
     service = CampaignService(
@@ -481,6 +675,6 @@ def run_server(
         max_pending=max_pending,
     )
     try:
-        asyncio.run(serve(service, host=host, port=port, ready=ready))
+        asyncio.run(serve(service, host=host, port=port, ready=ready, idle_timeout=idle_timeout))
     except KeyboardInterrupt:
         pass

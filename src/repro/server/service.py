@@ -22,14 +22,19 @@ Responsibilities:
   serialised lines, so late subscribers replay from the start and live
   subscribers follow the commit frontier).
 * **Store reads** — :meth:`query_rows`, :meth:`aggregate`,
-  :meth:`export_lines`, :meth:`store_stats`, :meth:`store_claims` open a
-  fresh store handle per call (SQLite connections are thread-bound; the
-  service is called from worker threads and the event loop's executor).
+  :meth:`export_batch`, :meth:`store_stats`, :meth:`store_claims` run on
+  **pooled per-thread store handles** (one long-lived connection per reader
+  thread, closed at shutdown) instead of opening a fresh store per call,
+  and query/aggregate bodies are served from a bounded LRU keyed by the
+  store's **generation counter** — any commit bumps the generation, so
+  stale cached bodies are unreachable rather than explicitly invalidated.
 * **Validation** — :meth:`etag_for` derives an entity tag from the sorted
   content keys matching a filter.  Keys are content hashes of the trial
   specs (salted with the engine version), so the tag changes exactly when
   the matching result set changes; repeated ``GET`` s revalidate with
-  ``If-None-Match`` and get 304s while the store is unchanged.
+  ``If-None-Match`` and get 304s while the store is unchanged.  Digests are
+  cached per ``(generation, filter)``, making revalidation amortised O(1)
+  in store size.
 * **Accounting** — per-API-key counters (requests, campaigns submitted,
   rows streamed), surfaced by the ``/metrics`` resource.
 """
@@ -37,8 +42,10 @@ Responsibilities:
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -87,6 +94,12 @@ class RunHandle:
     appended in spec order as the session emits them.  ``snapshot`` gives a
     consistent (lines-after-offset, finished) view, which is all a streaming
     subscriber needs: replay what exists, then follow until ``finished``.
+
+    Live subscribers are **push-notified**: a streaming coroutine registers
+    an ``(event loop, asyncio.Event)`` waiter and the session's worker thread
+    wakes it through ``loop.call_soon_threadsafe`` the moment a row commits
+    (or the run retires) — no poll interval between a commit and the bytes
+    leaving the socket.
     """
 
     run_id: str
@@ -95,6 +108,7 @@ class RunHandle:
     submitted_at: float
     _lines: list[str] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock)
+    _waiters: list[tuple[Any, Any]] = field(default_factory=list)
     #: Set when the worker thread has fully retired the session (its final
     #: state is readable and no more rows will arrive).
     finished: threading.Event = field(default_factory=threading.Event)
@@ -102,6 +116,39 @@ class RunHandle:
     def append_line(self, line: str) -> None:
         with self._lock:
             self._lines.append(line)
+            waiters, self._waiters = self._waiters, []
+        self._wake(waiters)
+
+    def mark_finished(self) -> None:
+        """Flip to finished and wake every live subscriber (worker thread)."""
+        self.finished.set()
+        with self._lock:
+            waiters, self._waiters = self._waiters, []
+        self._wake(waiters)
+
+    @staticmethod
+    def _wake(waiters: list[tuple[Any, Any]]) -> None:
+        for loop, event in waiters:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # the subscriber's loop already shut down
+
+    def add_waiter(self, loop: Any, event: Any) -> None:
+        """Register a one-shot wakeup for the next row/finish transition."""
+        with self._lock:
+            self._waiters.append((loop, event))
+        if self.finished.is_set():
+            # The run retired between the caller's snapshot and registration;
+            # wake immediately so the subscriber re-checks instead of waiting.
+            event.set()
+
+    def discard_waiter(self, loop: Any, event: Any) -> None:
+        with self._lock:
+            try:
+                self._waiters.remove((loop, event))
+            except ValueError:
+                pass  # already consumed by a wake
 
     def snapshot(self, start: int = 0) -> tuple[list[str], bool]:
         """Row lines from ``start`` onward, plus whether the run is finished.
@@ -125,6 +172,14 @@ class RunHandle:
 class CampaignService:
     """Sessions + store reads behind one bounded, accounted facade."""
 
+    #: Bound on cached ``(generation, filter) → ETag`` digests.
+    ETAG_CACHE_SIZE = 256
+    #: Bound on cached query/aggregate response bodies (entry count, not
+    #: bytes — entries die with the generation that keyed them anyway).
+    RESPONSE_CACHE_SIZE = 64
+    #: Rows per export page (one pooled-store round trip each).
+    EXPORT_BATCH = 512
+
     def __init__(
         self,
         store_path: str | Path,
@@ -145,7 +200,22 @@ class CampaignService:
         )
         self._runs: dict[str, RunHandle] = {}
         self._lock = threading.Lock()
+        # Accounting has its own lock: counters are bumped inline on the
+        # event loop (no executor hop), so they must never contend with the
+        # run-table lock held across submissions and status scans.
+        self._accounting_lock = threading.Lock()
         self._accounting: dict[str, dict[str, int]] = {}
+        # Pooled read handles: one long-lived store per reader thread (SQLite
+        # connections must not be shared across threads mid-statement), all
+        # tracked for shutdown.  Opened lazily — the event loop's executor
+        # and the session pool create threads on demand.
+        self._thread_store = threading.local()
+        self._pooled_stores: list[Any] = []
+        self._pool_lock = threading.Lock()
+        # Generation-keyed read caches (see etag_for / _cached_read).
+        self._read_cache_lock = threading.Lock()
+        self._etag_cache: "OrderedDict[tuple, str]" = OrderedDict()
+        self._response_cache: "OrderedDict[tuple, Any]" = OrderedDict()
         # Create the store eagerly so the first query does not race the first
         # submission on schema creation, and a bad path fails at startup.
         open_store(self.store_path, backend=self.backend).close()
@@ -153,8 +223,13 @@ class CampaignService:
     # -- accounting ----------------------------------------------------------
 
     def record_request(self, api_key: str, *, rows: int = 0, campaigns: int = 0) -> None:
-        """Bump the per-key counters (``api_key`` is already normalised)."""
-        with self._lock:
+        """Bump the per-key counters (``api_key`` is already normalised).
+
+        Cheap by design — a dict update under a dedicated lock — so the HTTP
+        layer calls it inline on the event loop instead of paying two
+        ``asyncio.to_thread`` hops per request.
+        """
+        with self._accounting_lock:
             counters = self._accounting.setdefault(
                 api_key, {"requests": 0, "campaigns": 0, "rows_streamed": 0}
             )
@@ -163,15 +238,23 @@ class CampaignService:
             counters["rows_streamed"] += rows
 
     def record_rows(self, api_key: str, rows: int) -> None:
-        with self._lock:
+        with self._accounting_lock:
             counters = self._accounting.setdefault(
                 api_key, {"requests": 0, "campaigns": 0, "rows_streamed": 0}
             )
             counters["rows_streamed"] += rows
 
+    def record_campaigns(self, api_key: str, campaigns: int = 1) -> None:
+        with self._accounting_lock:
+            counters = self._accounting.setdefault(
+                api_key, {"requests": 0, "campaigns": 0, "rows_streamed": 0}
+            )
+            counters["campaigns"] += campaigns
+
     def metrics(self) -> dict[str, Any]:
-        with self._lock:
+        with self._accounting_lock:
             per_key = {key: dict(counters) for key, counters in self._accounting.items()}
+        with self._lock:
             states: dict[str, int] = {}
             for handle in self._runs.values():
                 state = handle.session.state
@@ -253,7 +336,7 @@ class CampaignService:
             # handle must still flip to finished so streams terminate.
             pass
         finally:
-            handle.finished.set()
+            handle.mark_finished()
 
     def get(self, run_id: str) -> RunHandle:
         with self._lock:
@@ -284,53 +367,159 @@ class CampaignService:
                 handle.session.cancel()
         self._executor.shutdown(wait=True)
         shutdown_pools()
+        # Pooled read handles were opened with check_same_thread=False
+        # exactly so this cross-thread close is legal; reader threads are
+        # quiescent by now (the loop and the session executor are retired).
+        with self._pool_lock:
+            stores, self._pooled_stores = self._pooled_stores, []
+        self._thread_store = threading.local()
+        for store in stores:
+            try:
+                store.close()
+            except Exception:  # noqa: BLE001 — best-effort resource release
+                pass
 
     # -- store reads ---------------------------------------------------------
 
-    def _open_store(self):
-        return open_store(self.store_path, backend=self.backend)
+    def _pooled_store(self):
+        """This thread's long-lived read handle (opened on first use).
+
+        Replaces the open-per-request pattern: a warm read no longer pays
+        connection setup + schema DDL, just the query.  JSONL handles are
+        refreshed against the on-disk generation so externally-committed
+        rows become visible; SQLite sees committed state per statement.
+        """
+        store = getattr(self._thread_store, "store", None)
+        if store is None:
+            store = open_store(
+                self.store_path, backend=self.backend, check_same_thread=False
+            )
+            self._thread_store.store = store
+            with self._pool_lock:
+                self._pooled_stores.append(store)
+        store.refresh()
+        return store
+
+    def _cached_read(self, cache_key_tail: tuple, compute) -> Any:
+        """Serve ``compute(store)`` through the generation-keyed LRU.
+
+        The cache key is ``(generation, *cache_key_tail)``: any commit bumps
+        the generation (in the writer's transaction), so stale bodies are
+        simply unreachable — no explicit invalidation, correct across
+        processes.  A result is only cached when the generation did not move
+        during the read, so a racing write can never pin newer content under
+        an older generation.
+        """
+        store = self._pooled_store()
+        generation = store.generation()
+        cache_key = (generation, *cache_key_tail)
+        with self._read_cache_lock:
+            if cache_key in self._response_cache:
+                self._response_cache.move_to_end(cache_key)
+                return self._response_cache[cache_key]
+        value = compute(store)
+        if store.generation() == generation:
+            with self._read_cache_lock:
+                self._response_cache[cache_key] = value
+                while len(self._response_cache) > self.RESPONSE_CACHE_SIZE:
+                    self._response_cache.popitem(last=False)
+        return value
+
+    @staticmethod
+    def _where_key(where: Mapping[str, Any] | None) -> tuple:
+        return tuple(sorted((where or {}).items()))
 
     def store_stats(self) -> dict[str, Any]:
-        with self._open_store() as store:
-            return store.stats()
+        return self._pooled_store().stats()
 
     def store_claims(self) -> list[dict[str, Any]]:
-        with self._open_store() as store:
-            return store.list_claims()
+        return self._pooled_store().list_claims()
 
     def etag_for(self, where: Mapping[str, Any] | None = None) -> str:
-        """Entity tag for the result set matching ``where``.
+        """Entity tag for the result set matching ``where`` — amortised O(1).
 
         The tag hashes the sorted content keys of the matching rows.  Keys
         are content hashes of spec + engine version, so the tag is stable
         across processes and changes exactly when the matching set changes —
         rows added, deleted, or produced by a different engine revision.
+
+        Digests are cached per ``(generation, where)``: while the store is
+        unchanged, revalidation is a dictionary hit, not a row scan; the
+        first request after a commit recomputes from the backend's key-only
+        index scan (:meth:`~repro.store.backend.ResultStore.iter_keys` —
+        row payloads are never deserialised).  The tag bytes are identical
+        to the uncached computation, so clients never see a spurious
+        invalidation.
         """
+        store = self._pooled_store()
+        generation = store.generation()
+        cache_key = (generation, self._where_key(where))
+        with self._read_cache_lock:
+            cached = self._etag_cache.get(cache_key)
+            if cached is not None:
+                self._etag_cache.move_to_end(cache_key)
+                return cached
         digest = hashlib.sha256()
-        with self._open_store() as store:
-            for entry in store.iter_entries(where=dict(where) if where else None):
-                digest.update(entry.key.encode("ascii"))
-                digest.update(b"\n")
-        return f'"{digest.hexdigest()}"'
+        for key in store.iter_keys(where=dict(where) if where else None):
+            digest.update(key.encode("ascii"))
+            digest.update(b"\n")
+        etag = f'"{digest.hexdigest()}"'
+        if store.generation() == generation:
+            with self._read_cache_lock:
+                self._etag_cache[cache_key] = etag
+                while len(self._etag_cache) > self.ETAG_CACHE_SIZE:
+                    self._etag_cache.popitem(last=False)
+        return etag
 
     def query_rows(
         self, trial_filter: TrialFilter, limit: int | None = None
     ) -> list[dict[str, Any]]:
-        with self._open_store() as store:
-            return [hit.to_row() for hit in query_store(store, trial_filter, limit=limit)]
+        return self._cached_read(
+            ("query", self._where_key(trial_filter.to_where()), limit),
+            lambda store: [
+                hit.to_row() for hit in query_store(store, trial_filter, limit=limit)
+            ],
+        )
 
     def aggregate(
         self, group_by: tuple[str, ...], trial_filter: TrialFilter
     ) -> list[dict[str, Any]]:
-        with self._open_store() as store:
-            return aggregate_store(store, group_by=group_by, trial_filter=trial_filter)
+        return self._cached_read(
+            ("aggregate", group_by, self._where_key(trial_filter.to_where())),
+            lambda store: aggregate_store(
+                store, group_by=group_by, trial_filter=trial_filter
+            ),
+        )
+
+    def export_batch(
+        self,
+        where: Mapping[str, Any] | None = None,
+        after_key: str | None = None,
+        batch_size: int | None = None,
+    ) -> tuple[list[str], str | None]:
+        """One page of the NDJSON export: ``(lines, last_key_seen)``.
+
+        Key-ordered pagination: pass the returned ``last_key_seen`` back as
+        ``after_key`` until an empty page signals the end.  Each page is an
+        independent bounded read, so the HTTP export streams with constant
+        memory and immediate time-to-first-byte, and never holds a store
+        cursor (or its locks) across socket writes.
+        """
+        store = self._pooled_store()
+        limit = batch_size if batch_size is not None else self.EXPORT_BATCH
+        lines: list[str] = []
+        last_key = after_key
+        for entry in store.iter_entries(
+            where=dict(where) if where else None, after_key=after_key, limit=limit
+        ):
+            lines.append(json.dumps(entry.row, sort_keys=True))
+            last_key = entry.key
+        return lines, last_key
 
     def export_lines(self, where: Mapping[str, Any] | None = None) -> list[str]:
         """Stored rows as serialised JSONL lines (the CLI export format)."""
-        import json as _json
-
-        with self._open_store() as store:
-            return [
-                _json.dumps(entry.row, sort_keys=True)
-                for entry in store.iter_entries(where=dict(where) if where else None)
-            ]
+        store = self._pooled_store()
+        return [
+            json.dumps(entry.row, sort_keys=True)
+            for entry in store.iter_entries(where=dict(where) if where else None)
+        ]

@@ -16,7 +16,11 @@ the same durability contract the executor's resume path relies on:
   simply re-runs whatever the store is missing;
 * rows are stamped with the :data:`~repro.store.keys.ENGINE_VERSION` they
   were produced under.  Because keys are salted with that version, stale
-  rows are unreachable by lookup; :meth:`ResultStore.gc` deletes them.
+  rows are unreachable by lookup; :meth:`ResultStore.gc` deletes them;
+* every mutating commit bumps a **generation counter**
+  (:meth:`ResultStore.generation`) in the same transaction, so read-side
+  caches (ETag digests, response bodies) can validate in O(1): equal
+  generations bracket an unchanged result set, across processes.
 
 Backends:
 
@@ -154,15 +158,60 @@ class ResultStore(ABC):
         """
 
     @abstractmethod
-    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
-        """Yield stored entries, optionally filtered on :data:`INDEXED_COLUMNS`."""
+    def iter_entries(
+        self,
+        where: Mapping[str, Any] | None = None,
+        after_key: str | None = None,
+        limit: int | None = None,
+    ) -> Iterator[StoreEntry]:
+        """Yield stored entries in key order, optionally filtered and paginated.
+
+        ``where`` filters on :data:`INDEXED_COLUMNS`; ``after_key`` resumes a
+        key-ordered scan strictly after that key and ``limit`` caps the yield
+        count — together they let a consumer page through a large store in
+        bounded slices (the HTTP export stream) without holding a cursor, and
+        without the backend materialising anything beyond the requested page.
+        """
 
     @abstractmethod
     def delete_keys(self, keys: Sequence[str]) -> int:
         """Delete the given keys (missing ones ignored); returns rows removed."""
 
     @abstractmethod
+    def generation(self) -> int:
+        """Monotonic content generation: bumped by every mutating commit.
+
+        ``put_rows``, ``delete_keys``, ``gc`` and ``import_jsonl`` advance it
+        transactionally whenever they actually change rows, so two reads of an
+        equal generation bracket an unchanged result set.  This is what turns
+        ETag revalidation into an O(1) lookup — a cached ``(generation,
+        filter) → digest`` entry stays valid exactly until the store mutates —
+        and it is shared across processes (SQLite ``meta`` table / JSONL
+        meta file), so concurrent writers invalidate each other's caches.
+        Claims do not bump it: they coordinate work, not content.
+        """
+
+    @abstractmethod
     def __len__(self) -> int: ...
+
+    def iter_keys(self, where: Mapping[str, Any] | None = None) -> Iterator[str]:
+        """Yield matching content keys in sorted order, rows never deserialised.
+
+        Backends override this with an index-only scan; the ETag digest is
+        computed from it, so revalidation cost is bounded by key count, not
+        row payload size.
+        """
+        for entry in self.iter_entries(where=where):
+            yield entry.key
+
+    def refresh(self) -> None:
+        """Make externally-committed writes visible to this handle.
+
+        SQLite handles see committed state on every statement, so this is a
+        no-op there; the JSONL backend reloads its in-memory index when the
+        on-disk generation has moved.  Long-lived pooled read handles call
+        this before serving.
+        """
 
     def close(self) -> None:
         """Release backend resources (idempotent)."""
@@ -336,7 +385,14 @@ CREATE TABLE IF NOT EXISTS claims (
     owner TEXT NOT NULL,
     claimed_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS meta (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+INSERT OR IGNORE INTO meta (name, value) VALUES ('generation', 0);
 """
+
+_BUMP_GENERATION = "UPDATE meta SET value = value + 1 WHERE name = 'generation'"
 
 # SQLite caps bound parameters per statement; stay well under the historic
 # 999 default.
@@ -348,11 +404,16 @@ class SqliteResultStore(ResultStore):
 
     backend_name = "sqlite"
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, check_same_thread: bool = True) -> None:
+        # ``check_same_thread=False`` is for pooled handles whose owner
+        # guarantees one-thread-at-a-time use but closes them from a
+        # different thread at shutdown (the serving layer's per-thread pool).
         super().__init__(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            self._connection = sqlite3.connect(str(self.path))
+            self._connection = sqlite3.connect(
+                str(self.path), check_same_thread=check_same_thread
+            )
         except sqlite3.Error as error:  # e.g. the path is a directory
             raise ConfigurationError(
                 f"{self.path} is not a usable SQLite result store: {error}"
@@ -416,6 +477,8 @@ class SqliteResultStore(ResultStore):
             self._connection.executemany(
                 "DELETE FROM claims WHERE key = ?", [(key,) for key, _ in entries]
             )
+            if records:
+                self._connection.execute(_BUMP_GENERATION)
         return len(records)
 
     def claim_keys(self, keys: Sequence[str], owner: str) -> set[str]:
@@ -471,19 +534,49 @@ class SqliteResultStore(ResultStore):
                 released += cursor.rowcount
         return released
 
-    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
-        filters = _check_where(where)
-        clause = ""
-        values: list[Any] = []
-        if filters:
-            clause = " WHERE " + " AND ".join(f"{column} = ?" for column in filters)
-            values = list(filters.values())
+    @staticmethod
+    def _scan_clauses(
+        filters: Mapping[str, Any], after_key: str | None, limit: int | None
+    ) -> tuple[str, str, list[Any]]:
+        conditions = [f"{column} = ?" for column in filters]
+        values: list[Any] = list(filters.values())
+        if after_key is not None:
+            conditions.append("key > ?")
+            values.append(after_key)
+        clause = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+        tail = " ORDER BY key"
+        if limit is not None:
+            tail += " LIMIT ?"
+            values.append(limit)
+        return clause, tail, values
+
+    def iter_entries(
+        self,
+        where: Mapping[str, Any] | None = None,
+        after_key: str | None = None,
+        limit: int | None = None,
+    ) -> Iterator[StoreEntry]:
+        clause, tail, values = self._scan_clauses(_check_where(where), after_key, limit)
         cursor = self._connection.execute(
-            f"SELECT key, engine_version, created_at, row FROM trials{clause} ORDER BY key",
+            f"SELECT key, engine_version, created_at, row FROM trials{clause}{tail}",
             values,
         )
         for key, engine_version, created_at, row_text in cursor:
             yield StoreEntry(key, engine_version, created_at, json.loads(row_text))
+
+    def iter_keys(self, where: Mapping[str, Any] | None = None) -> Iterator[str]:
+        # Index-only scan: the ETag digest never touches the row TEXT column.
+        clause, tail, values = self._scan_clauses(_check_where(where), None, None)
+        for (key,) in self._connection.execute(
+            f"SELECT key FROM trials{clause}{tail}", values
+        ):
+            yield key
+
+    def generation(self) -> int:
+        (value,) = self._connection.execute(
+            "SELECT value FROM meta WHERE name = 'generation'"
+        ).fetchone()
+        return int(value)
 
     def delete_keys(self, keys: Sequence[str]) -> int:
         deleted = 0
@@ -495,6 +588,8 @@ class SqliteResultStore(ResultStore):
                     f"DELETE FROM trials WHERE key IN ({placeholders})", chunk
                 )
                 deleted += cursor.rowcount
+            if deleted:
+                self._connection.execute(_BUMP_GENERATION)
         return deleted
 
     def __len__(self) -> int:
@@ -513,6 +608,8 @@ class SqliteResultStore(ResultStore):
             cursor = self._connection.execute(
                 "DELETE FROM trials WHERE engine_version != ?", (engine_version,)
             )
+            if cursor.rowcount:
+                self._connection.execute(_BUMP_GENERATION)
         return cursor.rowcount
 
     def stats(self) -> dict[str, Any]:
@@ -589,6 +686,10 @@ class JsonlDirectoryStore(ResultStore):
 
     backend_name = "jsonl"
 
+    #: Generation counter file (``.json`` suffix keeps it out of the
+    #: ``*.jsonl`` shard glob).
+    _META_NAME = "_meta.json"
+
     def __init__(self, path: str | Path) -> None:
         super().__init__(path)
         if self.path.exists() and not self.path.is_dir():
@@ -600,6 +701,11 @@ class JsonlDirectoryStore(ResultStore):
         #: Lines that failed to parse during load (torn trailing appends).
         self.corrupt_lines = 0
         self._entries: dict[str, StoreEntry] = {}
+        self._generation = self._disk_generation()
+        self._load()
+
+    def _load(self) -> None:
+        self._entries.clear()
         for shard in sorted(self.path.glob("*.jsonl")):
             with shard.open("r", encoding="utf-8") as handle:
                 for line in handle:
@@ -618,6 +724,34 @@ class JsonlDirectoryStore(ResultStore):
                         self.corrupt_lines += 1
                         continue
                     self._entries[entry.key] = entry
+
+    def _disk_generation(self) -> int:
+        meta = self.path / self._META_NAME
+        try:
+            return int(json.loads(meta.read_text(encoding="utf-8"))["generation"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return 0
+
+    def _bump_generation(self) -> None:
+        self._generation = self._disk_generation() + 1
+        meta = self.path / self._META_NAME
+        replacement = meta.with_suffix(".json.tmp")
+        replacement.write_text(
+            json.dumps({"generation": self._generation}), encoding="utf-8"
+        )
+        os.replace(replacement, meta)
+
+    def generation(self) -> int:
+        return self._generation
+
+    def refresh(self) -> None:
+        # Another handle (same or different process) committed: reload the
+        # in-memory index.  Handles that only ever write through themselves
+        # never reload — their index is already current.
+        disk = self._disk_generation()
+        if disk != self._generation:
+            self._generation = disk
+            self._load()
 
     def _shard(self, key: str) -> Path:
         return self.path / f"{key[:2]}.jsonl"
@@ -659,11 +793,23 @@ class JsonlDirectoryStore(ResultStore):
         for _, shard_entries in sorted(by_shard.items()):
             for entry in shard_entries:
                 self._entries[entry.key] = entry
+        if entries:
+            self._bump_generation()
         return len(entries)
 
-    def iter_entries(self, where: Mapping[str, Any] | None = None) -> Iterator[StoreEntry]:
+    def iter_entries(
+        self,
+        where: Mapping[str, Any] | None = None,
+        after_key: str | None = None,
+        limit: int | None = None,
+    ) -> Iterator[StoreEntry]:
         filters = _check_where(where)
+        yielded = 0
         for key in sorted(self._entries):
+            if after_key is not None and key <= after_key:
+                continue
+            if limit is not None and yielded >= limit:
+                return
             entry = self._entries[key]
             matches = True
             for column, wanted in filters.items():
@@ -676,6 +822,7 @@ class JsonlDirectoryStore(ResultStore):
                     matches = False
                     break
             if matches:
+                yielded += 1
                 yield entry
 
     def delete_keys(self, keys: Sequence[str]) -> int:
@@ -701,18 +848,24 @@ class JsonlDirectoryStore(ResultStore):
             else:
                 replacement.unlink()
                 shard.unlink(missing_ok=True)
+        if doomed:
+            self._bump_generation()
         return len(doomed)
 
     def __len__(self) -> int:
         return len(self._entries)
 
 
-def open_store(path: str | Path, backend: str = "auto") -> ResultStore:
+def open_store(
+    path: str | Path, backend: str = "auto", check_same_thread: bool = True
+) -> ResultStore:
     """Open (creating if needed) a result store at ``path``.
 
     ``backend="auto"`` resolves from the path: an existing directory — or a
     fresh path with no suffix — becomes a JSONL directory store; anything
     else (``.db``, ``.sqlite``, any file) opens as SQLite.
+    ``check_same_thread=False`` relaxes SQLite's thread pinning for pooled
+    handles (see :class:`SqliteResultStore`); the JSONL backend ignores it.
     """
     if backend not in BACKEND_CHOICES:
         raise ConfigurationError(
@@ -726,4 +879,4 @@ def open_store(path: str | Path, backend: str = "auto") -> ResultStore:
             backend = "sqlite"
     if backend == "jsonl":
         return JsonlDirectoryStore(path)
-    return SqliteResultStore(path)
+    return SqliteResultStore(path, check_same_thread=check_same_thread)

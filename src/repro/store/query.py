@@ -94,9 +94,11 @@ class StoredTrial:
         }
 
 
-def _matching_entries(store: ResultStore, trial_filter: TrialFilter | None) -> Iterator[StoreEntry]:
+def _matching_entries(
+    store: ResultStore, trial_filter: TrialFilter | None, limit: int | None = None
+) -> Iterator[StoreEntry]:
     where = trial_filter.to_where() if trial_filter is not None else {}
-    return store.iter_entries(where=where or None)
+    return store.iter_entries(where=where or None, limit=limit)
 
 
 def query_store(
@@ -104,11 +106,15 @@ def query_store(
     trial_filter: TrialFilter | None = None,
     limit: int | None = None,
 ) -> list[StoredTrial]:
-    """Return matching trials as typed rows, ordered by content key."""
+    """Return matching trials as typed rows, ordered by content key.
+
+    ``limit`` is pushed down to the backend (SQL ``LIMIT`` on SQLite), so a
+    limited query over a large store never scans past its answer.
+    """
     if limit is not None and limit < 0:
         raise ConfigurationError("query limit must be non-negative")
     hits: list[StoredTrial] = []
-    for entry in _matching_entries(store, trial_filter):
+    for entry in _matching_entries(store, trial_filter, limit=limit):
         if limit is not None and len(hits) >= limit:
             break
         hits.append(

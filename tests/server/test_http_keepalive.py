@@ -1,0 +1,317 @@
+"""HTTP/1.1 conformance: keep-alive sessions, timeouts, request framing.
+
+The serving fast path (ROADMAP item 2) replaced the one-request-per-socket
+``Connection: close`` model with real HTTP/1.1 persistence.  This suite
+pins the wire-level contract:
+
+* N sequential requests reuse **one** socket (verified by socket object
+  identity on a ``http.client.HTTPConnection``, which never reconnects
+  silently unless the old socket died);
+* the idle timeout closes a quiet connection, and ``Connection: close`` /
+  HTTP/1.0 opt out of persistence;
+* 304 revalidation and chunked NDJSON streams hand the socket back for the
+  next request (self-delimiting framing);
+* malformed framing — negative or garbage ``Content-Length``,
+  ``Transfer-Encoding`` request bodies — answers 400, not a 500, and closes;
+* ETags are stable across reconnects and roll exactly on a ``put_rows``
+  generation bump.
+
+Raw sockets are used where connection *lifetime* is the assertion (idle
+timeout, opt-out, framing errors) because ``http.client`` transparently
+reopens dead connections; ``http.client`` is used where request *content*
+is the assertion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import json
+import socket
+import threading
+
+from repro.engine import Campaign, CampaignSession
+from repro.server import CampaignService, serve
+
+KEEPALIVE_REQUESTS = 120  # acceptance floor is 100 sequential requests
+
+
+def _declaration(trials: int = 3, name: str = "ka", base_seed: int = 7) -> dict:
+    return {
+        "name": name,
+        "grid": {
+            "protocols": ["exact"],
+            "dimensions": [1],
+            "fault_bounds": [1],
+            "repeats": trials,
+            "base_seed": base_seed,
+        },
+    }
+
+
+def _precache(store_path, declaration: dict) -> None:
+    specs = Campaign.from_payload(declaration).specs
+    session = CampaignSession(list(specs), store=store_path)
+    assert len(list(session.rows())) == len(specs)
+
+
+class _Server:
+    """Run ``serve()`` on an ephemeral port in a background thread."""
+
+    def __init__(self, service: CampaignService, idle_timeout: float = 30.0) -> None:
+        self.service = service
+        self.idle_timeout = idle_timeout
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "server did not come up"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        task = asyncio.create_task(
+            serve(
+                self.service,
+                host="127.0.0.1",
+                port=0,
+                ready=self._on_ready,
+                idle_timeout=self.idle_timeout,
+            )
+        )
+        await self._stop.wait()
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    def _on_ready(self, _host: str, port: int) -> None:
+        self.port = port
+        self._ready.set()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+
+@contextlib.contextmanager
+def _serving(store_path, idle_timeout: float = 30.0, **kwargs):
+    server = _Server(CampaignService(store_path, **kwargs), idle_timeout=idle_timeout)
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+def _get(conn: http.client.HTTPConnection, path: str, headers=None):
+    """One GET on a persistent connection: (status, headers-dict, body-bytes)."""
+    conn.request("GET", path, headers=headers or {})
+    response = conn.getresponse()
+    body = response.read()
+    return response.status, {k.lower(): v for k, v in response.getheaders()}, body
+
+
+def _raw_exchange(port: int, payload: bytes, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, read until the server closes; returns everything read."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return b"".join(chunks)
+            chunks.append(data)
+
+
+class TestKeepAlive:
+    def test_sequential_requests_reuse_one_socket(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        _precache(store_path, _declaration(3))
+        with _serving(store_path) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                status, headers, _ = _get(conn, "/healthz")
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                sock = conn.sock
+                assert sock is not None
+                for _ in range(KEEPALIVE_REQUESTS - 1):
+                    status, headers, _ = _get(conn, "/store/stats")
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+                # http.client only reconnects after observing a closed socket;
+                # identity proves every request rode the original connection.
+                assert conn.sock is sock
+            finally:
+                conn.close()
+
+    def test_export_streams_then_socket_is_reusable(self, tmp_path):
+        """Chunked NDJSON is self-delimiting: a finished stream keeps the
+        connection alive, and its bytes match the in-process CLI export."""
+        store_path = tmp_path / "store.db"
+        declaration = _declaration(4)
+        _precache(store_path, declaration)
+        with _serving(store_path) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                status, headers, body = _get(conn, "/store/export")
+                assert status == 200
+                assert headers["transfer-encoding"] == "chunked"
+                assert headers["connection"] == "keep-alive"
+                sock = conn.sock
+                expected = "".join(
+                    line + "\n" for line in server.service.export_lines()
+                ).encode("utf-8")
+                assert body == expected and len(body.splitlines()) == 4
+
+                status, _, payload = _get(conn, "/healthz")
+                assert status == 200 and json.loads(payload)["status"] == "ok"
+                assert conn.sock is sock
+            finally:
+                conn.close()
+
+    def test_revalidation_304_interleaves_with_keep_alive(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        _precache(store_path, _declaration(3))
+        with _serving(store_path) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                status, headers, _ = _get(conn, "/store/query?protocol=exact")
+                assert status == 200
+                etag = headers["etag"]
+                sock = conn.sock
+                for _ in range(5):
+                    status, headers, body = _get(
+                        conn, "/store/query?protocol=exact", {"If-None-Match": etag}
+                    )
+                    assert status == 304 and body == b""
+                    assert headers["etag"] == etag
+                    assert headers["connection"] == "keep-alive"
+                status, _, _ = _get(conn, "/store/aggregate?group_by=protocol")
+                assert status == 200
+                assert conn.sock is sock
+            finally:
+                conn.close()
+
+    def test_error_responses_keep_the_connection_alive(self, tmp_path):
+        """Dispatch-level errors (404/400) leave framing intact — no close."""
+        with _serving(tmp_path / "store.db") as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                status, headers, body = _get(conn, "/no/such/resource")
+                assert status == 404
+                assert headers["connection"] == "keep-alive"
+                assert "no resource" in json.loads(body)["error"]
+                sock = conn.sock
+                status, _, _ = _get(conn, "/store/query?dimension=abc")
+                assert status == 400
+                status, _, _ = _get(conn, "/healthz")
+                assert status == 200
+                assert conn.sock is sock
+            finally:
+                conn.close()
+
+    def test_connection_close_header_opts_out(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(
+                server.port,
+                b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+            )
+            head = raw.split(b"\r\n\r\n", 1)[0].lower()
+            assert raw.startswith(b"HTTP/1.1 200")
+            assert b"connection: close" in head
+            # _raw_exchange returning at all proves the server closed the
+            # socket after the response instead of waiting for more requests.
+
+    def test_http_10_defaults_to_close(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(server.port, b"GET /healthz HTTP/1.0\r\nhost: x\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 200")
+            assert b"connection: close" in raw.split(b"\r\n\r\n", 1)[0].lower()
+
+    def test_idle_timeout_closes_a_quiet_connection(self, tmp_path):
+        with _serving(tmp_path / "store.db", idle_timeout=0.3) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+                first = sock.recv(65536)
+                assert first.startswith(b"HTTP/1.1 200")
+                # Stay quiet past the idle timeout: the server must close
+                # (EOF), not hold the socket open indefinitely.
+                sock.settimeout(10)
+                assert sock.recv(1) == b""
+
+    def test_etag_stable_across_reconnects_and_rolls_on_generation_bump(self, tmp_path):
+        store_path = tmp_path / "store.db"
+        _precache(store_path, _declaration(3))
+        with _serving(store_path) as server:
+            def fresh_etag() -> str:
+                conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+                try:
+                    status, headers, _ = _get(conn, "/store/query?protocol=exact")
+                    assert status == 200
+                    return headers["etag"]
+                finally:
+                    conn.close()
+
+            first = fresh_etag()
+            assert fresh_etag() == first  # brand-new socket, same tag
+
+            # A put_rows commit bumps the store generation: the old tag must
+            # stop validating and the new tag must differ.
+            _precache(store_path, _declaration(4, base_seed=11))
+            rolled = fresh_etag()
+            assert rolled != first
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                status, headers, _ = _get(
+                    conn, "/store/query?protocol=exact", {"If-None-Match": first}
+                )
+                assert status == 200 and headers["etag"] == rolled
+                status, _, body = _get(
+                    conn, "/store/query?protocol=exact", {"If-None-Match": rolled}
+                )
+                assert status == 304 and body == b""
+            finally:
+                conn.close()
+
+
+class TestRequestFraming:
+    def test_negative_content_length_is_a_400(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(
+                server.port,
+                b"POST /campaigns HTTP/1.1\r\nhost: x\r\ncontent-length: -5\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 400")
+            assert b"non-negative" in raw
+
+    def test_garbage_content_length_is_a_400(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(
+                server.port,
+                b"POST /campaigns HTTP/1.1\r\nhost: x\r\ncontent-length: banana\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 400")
+            assert b"Content-Length" in raw
+
+    def test_transfer_encoding_request_body_is_rejected(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(
+                server.port,
+                b"POST /campaigns HTTP/1.1\r\nhost: x\r\n"
+                b"transfer-encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n",
+            )
+            assert raw.startswith(b"HTTP/1.1 400")
+            assert b"Transfer-Encoding" in raw
+
+    def test_malformed_request_line_is_a_400(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            raw = _raw_exchange(server.port, b"NONSENSE\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 400")

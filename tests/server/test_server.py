@@ -241,6 +241,82 @@ class TestCampaignService:
         finally:
             service.shutdown()
 
+    def test_etag_revalidation_skips_row_scan_when_generation_unchanged(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: warm revalidation is O(1) — the cached path must not
+        touch ``iter_entries``/``iter_keys`` at all, just the generation."""
+        service = CampaignService(tmp_path / "store.db")
+        try:
+            handle = service.submit({"campaign": _declaration(3)})
+            assert handle.finished.wait(60)
+            warm = service.etag_for()
+            filtered = service.etag_for({"protocol": "exact"})
+
+            def _no_scan(self, *args, **kwargs):
+                raise AssertionError("cached ETag path must not scan rows")
+
+            monkeypatch.setattr(SqliteResultStore, "iter_entries", _no_scan)
+            monkeypatch.setattr(SqliteResultStore, "iter_keys", _no_scan)
+            assert service.etag_for() == warm
+            assert service.etag_for({"protocol": "exact"}) == filtered
+        finally:
+            service.shutdown()
+
+    def test_response_cache_serves_repeats_and_rolls_on_generation_bump(
+        self, tmp_path, monkeypatch
+    ):
+        """Query/aggregate bodies come from the generation-keyed LRU on
+        repeats, and a ``put_rows`` commit makes the stale entries
+        unreachable (no explicit invalidation needed)."""
+        store_path = tmp_path / "store.db"
+        _precache(store_path, _specs_of(_declaration(3)))
+        service = CampaignService(store_path)
+        try:
+            first = service.query_rows(TrialFilter(protocol="exact"))
+            groups = service.aggregate(("protocol",), TrialFilter())
+            assert len(first) == 3 and groups[0]["trials"] == 3
+
+            import repro.server.service as service_module
+
+            def _no_recompute(*args, **kwargs):
+                raise AssertionError("repeat read must be served from cache")
+
+            monkeypatch.setattr(service_module, "query_store", _no_recompute)
+            monkeypatch.setattr(service_module, "aggregate_store", _no_recompute)
+            assert service.query_rows(TrialFilter(protocol="exact")) == first
+            assert service.aggregate(("protocol",), TrialFilter()) == groups
+            monkeypatch.undo()
+
+            # New rows bump the store generation: the next read recomputes
+            # against live data instead of resurrecting the cached body.
+            _precache(store_path, _specs_of(_declaration(5, base_seed=11)))
+            assert len(service.query_rows(TrialFilter(protocol="exact"))) == 8
+            assert service.aggregate(("protocol",), TrialFilter())[0]["trials"] == 8
+        finally:
+            service.shutdown()
+
+    def test_export_batch_paginates_in_key_order(self, tmp_path):
+        service = CampaignService(tmp_path / "store.db")
+        try:
+            handle = service.submit({"campaign": _declaration(5)})
+            assert handle.finished.wait(60)
+            paged: list[str] = []
+            after = None
+            pages = 0
+            while True:
+                lines, after = service.export_batch(after_key=after, batch_size=2)
+                if not lines:
+                    break
+                assert len(lines) <= 2
+                paged.extend(lines)
+                pages += 1
+            assert pages == 3  # 2 + 2 + 1
+            # Page-by-page reassembly matches the one-shot key-ordered export.
+            assert paged == service.export_lines()
+        finally:
+            service.shutdown()
+
     def test_store_reads_query_aggregate_export(self, tmp_path):
         service = CampaignService(tmp_path / "store.db")
         try:

@@ -167,6 +167,104 @@ class TestResultStoreContract:
         assert store.gc() == 1
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestGenerationCounter:
+    """The serving layer's cache-invalidation contract: the generation moves
+    exactly when stored content changes (rows added/deleted), never on
+    no-ops, and is visible across handles and reopens."""
+
+    def test_bumps_only_when_rows_actually_change(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        start = store.generation()
+        assert store.put_rows([]) == 0
+        assert store.generation() == start  # empty commit: no bump
+
+        result = _result(seed=20, process_count=3)
+        store.put_rows([(trial_key(result.spec), result.to_row())])
+        after_put = store.generation()
+        assert after_put > start
+
+        assert store.delete_keys(["0" * 64]) == 0
+        assert store.generation() == after_put  # nothing deleted: no bump
+        assert store.delete_keys([trial_key(result.spec)]) == 1
+        assert store.generation() > after_put
+
+    def test_import_and_gc_bump_like_any_write(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        result = _result(seed=21, process_count=3)
+        jsonl = tmp_path / "import.jsonl"
+        jsonl.write_text(result.to_json() + "\n")
+        before = store.generation()
+        assert store.import_jsonl(jsonl, engine_version="0.0.1/rows0") == 1
+        imported = store.generation()
+        assert imported > before
+        assert store.gc(dry_run=True) == 1
+        assert store.generation() == imported  # dry run: no bump
+        assert store.gc() == 1
+        assert store.generation() > imported
+
+    def test_survives_reopen(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        result = _result(seed=22, process_count=3)
+        store.put_rows([(trial_key(result.spec), result.to_row())])
+        committed = store.generation()
+        assert committed > 0
+        store.close()
+        reopened = _make_store(backend, tmp_path)
+        assert reopened.generation() == committed
+        reopened.close()
+
+    def test_refresh_sees_external_commits(self, backend, tmp_path):
+        """Two handles on one store: a commit through one becomes visible to
+        the other after refresh() — the pooled-read-handle contract."""
+        reader = _make_store(backend, tmp_path)
+        writer = _make_store(backend, tmp_path)
+        assert reader.generation() == 0
+        result = _result(seed=23, process_count=3)
+        key = trial_key(result.spec)
+        writer.put_rows([(key, result.to_row())])
+        reader.refresh()
+        assert reader.generation() == writer.generation()
+        assert key in reader
+        writer.close()
+        reader.close()
+
+    def test_iter_keys_matches_iter_entries(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        ok_result = _result(seed=24)
+        error_result = _result(seed=25, process_count=3)
+        store.put_results([
+            (trial_key(ok_result.spec), ok_result),
+            (trial_key(error_result.spec), error_result),
+        ])
+        assert list(store.iter_keys()) == [entry.key for entry in store.iter_entries()]
+        assert list(store.iter_keys(where={"status": "error"})) == [
+            entry.key for entry in store.iter_entries(where={"status": "error"})
+        ]
+        assert list(store.iter_keys(where={"status": "timeout"})) == []
+
+    def test_iter_entries_paginates_in_key_order(self, backend, tmp_path):
+        store = _make_store(backend, tmp_path)
+        results = [_result(seed=seed, process_count=3) for seed in range(5)]
+        store.put_results([(trial_key(result.spec), result) for result in results])
+        full = [entry.key for entry in store.iter_entries()]
+        assert full == sorted(full)
+
+        paged: list[str] = []
+        after = None
+        while True:
+            page = [
+                entry.key
+                for entry in store.iter_entries(after_key=after, limit=2)
+            ]
+            if not page:
+                break
+            assert len(page) <= 2
+            paged.extend(page)
+            after = page[-1]
+        assert paged == full
+
+
 class TestJsonlDurability:
     def test_torn_trailing_line_is_skipped_on_load(self, tmp_path):
         store = JsonlDirectoryStore(tmp_path / "dir")
