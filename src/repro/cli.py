@@ -55,6 +55,12 @@ from repro.engine import (
     run_campaign,
     run_fuzz,
 )
+from repro.obs.trace import (
+    TraceRecorder,
+    format_trace_summary,
+    load_trace,
+    summarize_trace,
+)
 from repro.store import (
     BACKEND_CHOICES,
     ENGINE_VERSION,
@@ -173,6 +179,11 @@ examples:
   python -m repro.cli serve --store sweep.db --port 8321
                                               HTTP API: query/export the store,
                                               submit campaigns, stream rows
+  python -m repro.cli campaign --repeats 5 --trace trace.json
+                                              record a Chrome trace-event timeline
+  python -m repro.cli trace summary trace.json
+                                              top time sinks per phase (Perfetto
+                                              or chrome://tracing renders the file)
 
 campaigns and fuzz runs are deterministic: the same --seed produces
 byte-identical JSONL rows (modulo the elapsed_ms timing field) for any
@@ -186,6 +197,7 @@ documentation:
   README.md                  install, quickstart, paper-section -> module map
   docs/ARCHITECTURE.md       layer stack: geometry kernel, runtimes, engine/campaigns
   docs/PERFORMANCE.md        measured before/after numbers for the kernel
+  docs/OBSERVABILITY.md      metric catalog, /metrics scraping, trace timelines
 
 verify the installation with the tier-1 test suite:
   PYTHONPATH=src python -m pytest -x -q
@@ -391,6 +403,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a keep-alive connection may sit idle between requests "
              "before the server closes it",
     )
+    serve_parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="record a Chrome trace-event timeline per submitted run to "
+             "DIR/<run_id>.json (written when the run retires)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect Chrome trace-event timelines recorded with --trace",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summary_parser = trace_sub.add_parser(
+        "summary", help="print the top time sinks per phase from a trace file"
+    )
+    trace_summary_parser.add_argument("path", type=Path, help="trace JSON file")
+    trace_summary_parser.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
 
     store_parser = subparsers.add_parser(
         "store",
@@ -508,6 +540,12 @@ def _add_store_run_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="emit the summary row (plus run_id and per-reason fallback "
              "counts) as one machine-readable JSON line to PATH ('-' = stdout)",
     )
+    sub_parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record a Chrome trace-event timeline of the run to PATH "
+             "(open in Perfetto / chrome://tracing, or summarise with "
+             "'repro trace summary PATH')",
+    )
 
 
 def _emit_summary_json(destination: str, row: dict[str, object]) -> None:
@@ -574,6 +612,7 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
         f"on {arguments.workers} worker(s)"
     )
     store, reuse_cached = _open_run_store(arguments)
+    trace = TraceRecorder() if arguments.trace is not None else None
     try:
         summary, _ = run_campaign(
             campaign,
@@ -583,10 +622,16 @@ def _run_campaign_command(arguments: argparse.Namespace) -> int:
             store=store,
             reuse_cached=reuse_cached,
             pool=arguments.pool,
+            trace=trace,
         )
     finally:
         if store is not None:
             store.close()
+        # Written even on failure: a partial timeline is exactly what you
+        # want when diagnosing the run that died.
+        if trace is not None:
+            trace.write(arguments.trace)
+            print(f"wrote trace to {arguments.trace}")
     print(render_table([summary.to_row()], title="Campaign summary"))
     if store is not None:
         _print_store_outcome(arguments, summary.cache_hits, summary.trials)
@@ -610,6 +655,7 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
         f"on {arguments.workers} worker(s)"
     )
     store, reuse_cached = _open_run_store(arguments)
+    trace = TraceRecorder() if arguments.trace is not None else None
     try:
         report = run_fuzz(
             count=arguments.count,
@@ -624,10 +670,14 @@ def _run_fuzz_command(arguments: argparse.Namespace) -> int:
             store=store,
             reuse_cached=reuse_cached,
             pool=arguments.pool,
+            trace=trace,
         )
     finally:
         if store is not None:
             store.close()
+        if trace is not None:
+            trace.write(arguments.trace)
+            print(f"wrote trace to {arguments.trace}")
     if store is not None:
         _print_store_outcome(arguments, report.cache_hits, report.runs)
     print(render_table([report.to_row()], title="Fuzz summary"))
@@ -672,7 +722,17 @@ def _run_serve_command(arguments: argparse.Namespace) -> int:
         max_pending=arguments.max_pending,
         ready=_ready,
         idle_timeout=arguments.idle_timeout,
+        trace_dir=str(arguments.trace_dir) if arguments.trace_dir is not None else None,
     )
+    return 0
+
+
+def _run_trace_command(arguments: argparse.Namespace) -> int:
+    if not arguments.path.exists():
+        raise SystemExit(f"no trace file at {arguments.path}")
+    events = load_trace(arguments.path)
+    summary = summarize_trace(events)
+    print(format_trace_summary(summary, limit=arguments.limit))
     return 0
 
 
@@ -803,6 +863,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.command == "serve":
         return _run_serve_command(arguments)
+
+    if arguments.command == "trace":
+        return _run_trace_command(arguments)
 
     if arguments.command == "store":
         return _run_store_command(arguments)

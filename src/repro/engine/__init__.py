@@ -47,9 +47,11 @@ from repro.engine.session import (
 from repro.engine.pool import (
     POOL_CHOICES,
     CostModel,
+    UnitObservation,
     WorkerPool,
     execute_plan,
     get_pool,
+    pool_metrics,
     shutdown_pools,
 )
 from repro.engine.factories import (
@@ -86,6 +88,7 @@ from repro.engine.vectorized import (
     spec_is_vectorizable,
     vectorization_fallback,
     vectorized_group_key,
+    vectorized_stats_snapshot,
 )
 
 __all__ = [
@@ -122,6 +125,7 @@ __all__ = [
     "SessionEvent",
     "StoreCacheStats",
     "UnitCommittedEvent",
+    "UnitObservation",
     "TrialResult",
     "TrialSpec",
     "WorkerPool",
@@ -138,6 +142,7 @@ __all__ = [
     "minimum_processes_for",
     "parameter_grid",
     "plan_specs",
+    "pool_metrics",
     "read_jsonl",
     "run_campaign",
     "run_fuzz",
@@ -149,4 +154,5 @@ __all__ = [
     "strip_timing",
     "vectorization_fallback",
     "vectorized_group_key",
+    "vectorized_stats_snapshot",
 ]

@@ -37,6 +37,7 @@ from repro.engine.session import (
     plan_specs,
 )
 from repro.engine.spec import TrialResult, TrialSpec
+from repro.obs.trace import TraceRecorder
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.store.backend import ResultStore
@@ -178,6 +179,7 @@ def run_campaign(
     pool: str = "persistent",
     chunksize: int | None = None,
     session_factory: Callable[..., CampaignSession] = CampaignSession,
+    trace: TraceRecorder | None = None,
 ) -> tuple[CampaignSummary, list[TrialResult]]:
     """Run every trial of the campaign, streaming rows to the optional sink.
 
@@ -196,7 +198,9 @@ def run_campaign(
 
     ``session_factory`` lets callers observe or steer the underlying
     :class:`CampaignSession` (e.g. to keep a handle for ``status()`` or
-    ``cancel()``) without a second execution path.
+    ``cancel()``) without a second execution path.  ``trace`` hands the
+    session a :class:`~repro.obs.trace.TraceRecorder`; the caller owns
+    writing the recorded timeline out (``trace.write(path)``).
     """
     session = session_factory(
         campaign,
@@ -206,6 +210,7 @@ def run_campaign(
         store=store,
         reuse_cached=reuse_cached,
         pool=pool,
+        trace=trace,
     )
     collected: list[TrialResult] = []
 

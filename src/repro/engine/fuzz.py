@@ -48,6 +48,7 @@ from repro.engine.factories import (
     minimum_processes_for,
 )
 from repro.engine.spec import PROTOCOLS, TrialResult, TrialSpec
+from repro.obs.trace import TraceRecorder
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -262,6 +263,7 @@ def run_fuzz(
     store: Any = None,
     reuse_cached: bool = True,
     pool: str = "persistent",
+    trace: TraceRecorder | None = None,
 ) -> FuzzReport:
     """Sample ``count`` scenarios and execute them, checking both invariants.
 
@@ -293,6 +295,7 @@ def run_fuzz(
         store=store,
         reuse_cached=reuse_cached,
         pool=pool,
+        trace=trace,
     )
 
     def _consume(results, sink: JsonlSink | None) -> None:

@@ -48,7 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from multiprocessing.connection import Connection, wait as connection_wait
 from multiprocessing.shared_memory import SharedMemory
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -56,16 +56,19 @@ from repro.engine.spec import TrialResult, TrialSpec
 from repro.engine.trial import run_trials
 from repro.engine.vectorized import run_specs_vectorized
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry, snapshot_delta
 
 __all__ = [
     "POOL_CHOICES",
     "ExecutionUnit",
+    "UnitObservation",
     "CostModel",
     "WorkerPool",
     "encode_unit",
     "decode_unit",
     "execute_plan",
     "get_pool",
+    "pool_metrics",
     "shutdown_pools",
 ]
 
@@ -73,6 +76,23 @@ __all__ = [
 #: long-lived shared-memory pool, ``"spawn"`` the legacy per-call
 #: ``ProcessPoolExecutor`` escape hatch.
 POOL_CHOICES = ("persistent", "spawn")
+
+
+@dataclass(frozen=True)
+class UnitObservation:
+    """Telemetry for one completed pool unit (the ``on_unit`` callback payload).
+
+    ``seconds`` is worker-measured execution time; ``started_at`` the unit's
+    epoch start on the worker (0.0 when unknown); ``worker`` the executing
+    worker process name — together enough to place the unit on a shared
+    trace timeline.
+    """
+
+    kind: str
+    trials: int
+    seconds: float
+    started_at: float
+    worker: str
 
 
 @dataclass(frozen=True)
@@ -120,6 +140,12 @@ class CostModel:
     def __init__(self) -> None:
         self._per_trial: dict[tuple, float] = {}
         self._kind_default: dict[str, float] = {}
+        #: Calibration probes dispatched for never-seen shape classes.
+        self.probes = 0
+
+    def observed_shapes(self) -> int:
+        """Number of distinct shape classes with a direct latency estimate."""
+        return len(self._per_trial)
 
     @staticmethod
     def shape_key(kind: str, spec: TrialSpec) -> tuple:
@@ -170,6 +196,8 @@ class CostModel:
             return max(1, min(chunksize, remaining))
         per = self.per_trial_seconds(key)
         if per is None:
+            if probe:
+                self.probes += 1
             size = PROBE_TRIALS if probe else max(1, remaining // (max(1, workers) * 4))
         else:
             size = max(1, round(TARGET_UNIT_SECONDS / per))
@@ -315,13 +343,16 @@ def _run_unit(kind: str, specs: Sequence[TrialSpec]) -> list[TrialResult]:
 
 
 def _worker_main(conn: Connection, sibling_conns: Sequence[Connection]) -> None:
-    """Worker loop: decode units, execute, reply ``(status, seconds, rows)``.
+    """Worker loop: decode units, execute, reply ``(status, seconds, rows, extras)``.
 
     Results travel back with ``spec=None`` (the parent holds the originals
     and reattaches them), so specs only ever cross the boundary once — in
-    column form, on the way out.  SIGINT is ignored: campaign interruption is
-    the parent's decision, and a worker dying mid-unit would discard a warm
-    kernel cache for nothing.
+    column form, on the way out.  ``extras`` carries side-band telemetry: the
+    worker registry's counter/histogram delta since its previous reply (the
+    parent merges it, so ``/metrics`` totals span every process) and the
+    unit's wall-clock start for trace timelines.  SIGINT is ignored: campaign
+    interruption is the parent's decision, and a worker dying mid-unit would
+    discard a warm kernel cache for nothing.
     """
     import signal
 
@@ -331,6 +362,8 @@ def _worker_main(conn: Connection, sibling_conns: Sequence[Connection]) -> None:
             sibling.close()
         except OSError:  # pragma: no cover — best-effort fd hygiene
             pass
+    registry = get_registry()
+    baseline = registry.snapshot()
     while True:
         try:
             message = conn.recv()
@@ -340,13 +373,19 @@ def _worker_main(conn: Connection, sibling_conns: Sequence[Connection]) -> None:
             conn.close()
             return
         header = message[1]
+        started_at = time.time()
         start = time.perf_counter()
         try:
             results = _run_unit(header["kind"], decode_unit(header))
             stripped = [replace(result, spec=None) for result in results]
-            reply = ("done", time.perf_counter() - start, stripped)
+            current = registry.snapshot()
+            delta = snapshot_delta(current, baseline)
+            baseline = current
+            extras = {"metrics": delta or None, "started_at": started_at}
+            reply = ("done", time.perf_counter() - start, stripped, extras)
         except BaseException as error:  # noqa: BLE001 — report, keep serving
-            reply = ("fail", 0.0, f"{type(error).__name__}: {error}\n{traceback.format_exc()}")
+            detail = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+            reply = ("fail", 0.0, detail, {})
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # parent is gone
@@ -368,6 +407,11 @@ class _Task:
     shape_key: tuple
     header: dict[str, Any]
     shm: SharedMemory | None
+    # Telemetry filled in by the pool: dispatch time (parent perf_counter),
+    # unit start (worker epoch seconds) and the executing worker's name.
+    dispatched_at: float = 0.0
+    started_at: float = 0.0
+    worker: str = ""
 
 
 @dataclass
@@ -441,6 +485,7 @@ class WorkerPool:
         for _attempt in (0, 1):
             try:
                 slot.conn.send(("unit", task.header))
+                task.dispatched_at = time.perf_counter()
                 slot.task = task
                 return
             except (BrokenPipeError, OSError):
@@ -468,7 +513,9 @@ class WorkerPool:
         def pull() -> _Task | None:
             nonlocal exhausted
             if backlog:
-                return backlog.popleft()
+                task = backlog.popleft()
+                _POOL_BACKLOG.set(len(backlog))
+                return task
             if exhausted:
                 return None
             try:
@@ -499,20 +546,39 @@ class WorkerPool:
                         self.crash_recoveries += 1
                         self._respawn(slot)
                         backlog.append(task)
+                        _POOL_BACKLOG.set(len(backlog))
                         continue
                     slot.task = None
                     _release_shm(task.shm)
                     task.shm = None
-                    status, seconds, body = message
+                    status, seconds, body = message[0], message[1], message[2]
+                    extras = message[3] if len(message) > 3 else {}
                     if status == "fail":
                         raise RuntimeError(f"worker failed executing unit:\n{body}")
+                    delta = extras.get("metrics")
+                    if delta:
+                        get_registry().merge(delta)
+                    task.started_at = float(extras.get("started_at") or 0.0)
+                    task.worker = slot.process.name
                     self.cost_model.observe(task.shape_key, len(task.positions), seconds)
+                    self._observe_unit(task, seconds)
                     yield task, seconds, body
                 fill_idle()
         finally:
             self._drain_inflight()
             for task in backlog:
                 _release_shm(task.shm)
+
+    def _observe_unit(self, task: _Task, seconds: float) -> None:
+        """Fold one completed unit into the process metrics registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        _POOL_UNITS.labels(kind=task.kind).inc()
+        _POOL_TRIALS.labels(kind=task.kind).inc(len(task.positions))
+        _POOL_UNIT_SECONDS.labels(kind=task.kind).observe(seconds)
+        if task.dispatched_at:
+            _POOL_ROUNDTRIP_SECONDS.observe(time.perf_counter() - task.dispatched_at)
 
     def _drain_inflight(self) -> None:
         """Absorb (and discard) any still-running units so seats are clean."""
@@ -552,6 +618,98 @@ class WorkerPool:
 #: lives: warm kernel template caches, warm Gamma memos, calibrated cost
 #: model, zero spawn latency.
 _POOLS: dict[int, WorkerPool] = {}
+
+
+# -- telemetry ---------------------------------------------------------------
+
+#: Unit wall-time buckets (seconds): units target ~0.25 s, probes are tiny.
+_UNIT_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_POOL_UNITS = get_registry().counter(
+    "repro_pool_units_total", "Work units completed by the persistent pool, by kind.",
+    labelnames=("kind",),
+)
+_POOL_TRIALS = get_registry().counter(
+    "repro_pool_trials_total", "Trials completed by the persistent pool, by unit kind.",
+    labelnames=("kind",),
+)
+_POOL_UNIT_SECONDS = get_registry().histogram(
+    "repro_pool_unit_seconds", "Worker-measured unit execution time (seconds).",
+    labelnames=("kind",), buckets=_UNIT_BUCKETS,
+)
+_POOL_ROUNDTRIP_SECONDS = get_registry().histogram(
+    "repro_pool_unit_roundtrip_seconds",
+    "Parent-measured dispatch-to-completion latency per unit (seconds).",
+    buckets=_UNIT_BUCKETS,
+)
+_POOL_BACKLOG = get_registry().gauge(
+    "repro_pool_backlog_units", "Units requeued after a worker crash, awaiting redispatch.",
+)
+
+
+def pool_metrics() -> dict[str, Any]:
+    """Aggregate state of every live pool, for ``/metrics`` JSON exposition.
+
+    Totals cover ``crash_recoveries``, seat counts and occupancy, and the
+    cost model's calibration-probe/shape counters; ``pools`` breaks the same
+    numbers down per pool size.
+    """
+    pools: list[dict[str, Any]] = []
+    for workers, pool in sorted(_POOLS.items()):
+        if pool.closed:
+            continue
+        busy = sum(1 for slot in pool._slots if slot.task is not None)
+        pools.append({
+            "workers": workers,
+            "busy_seats": busy,
+            "crash_recoveries": pool.crash_recoveries,
+            "cost_model_probes": pool.cost_model.probes,
+            "cost_model_shapes": pool.cost_model.observed_shapes(),
+        })
+    return {
+        "pools": pools,
+        "seats": sum(entry["workers"] for entry in pools),
+        "busy_seats": sum(entry["busy_seats"] for entry in pools),
+        "crash_recoveries": sum(entry["crash_recoveries"] for entry in pools),
+        "cost_model_probes": sum(entry["cost_model_probes"] for entry in pools),
+    }
+
+
+def _register_pool_metrics() -> None:
+    """Publish live-pool gauges and crash/probe counters at collection time."""
+    from repro.obs.registry import CounterSync
+
+    registry = get_registry()
+    seats = registry.gauge(
+        "repro_pool_seats", "Worker seats across every live persistent pool.",
+    )
+    busy = registry.gauge(
+        "repro_pool_busy_seats", "Seats currently executing a unit.",
+    )
+    crashes = registry.counter(
+        "repro_pool_crash_recoveries_total",
+        "Workers respawned after dying (their unit was requeued).",
+    )
+    probes = registry.counter(
+        "repro_pool_cost_model_probes_total",
+        "Calibration probe units dispatched for never-seen shape classes.",
+    )
+
+    def _gauges() -> None:
+        state = pool_metrics()
+        seats.set(state["seats"])
+        busy.set(state["busy_seats"])
+
+    registry.register_collector(_gauges)
+    registry.register_collector(
+        CounterSync(crashes, lambda: {"value": pool_metrics()["crash_recoveries"]})
+    )
+    registry.register_collector(
+        CounterSync(probes, lambda: {"value": pool_metrics()["cost_model_probes"]})
+    )
+
+
+_register_pool_metrics()
 
 
 def get_pool(workers: int) -> WorkerPool:
@@ -657,6 +815,7 @@ def execute_plan(
     workers: int,
     chunksize: int | None = None,
     pool: str = "persistent",
+    on_unit: "Callable[[UnitObservation], None] | None" = None,
 ) -> Iterator[tuple[tuple[int, ...], list[TrialResult]]]:
     """Execute a campaign plan across workers, yielding units as they finish.
 
@@ -664,6 +823,8 @@ def execute_plan(
     executor's reorder buffer restores spec order.  ``pool`` selects the
     dispatch substrate (:data:`POOL_CHOICES`); rows are byte-identical
     (modulo ``elapsed_ms``) across pools, worker counts and unit cuts.
+    ``on_unit`` (persistent pool only) receives one :class:`UnitObservation`
+    per completed unit — the hook session trace recorders attach to.
     """
     if pool not in POOL_CHOICES:
         raise ConfigurationError(
@@ -676,7 +837,15 @@ def execute_plan(
         return
     worker_pool = get_pool(workers)
     tasks = _cut_tasks(specs, units, worker_pool.cost_model, workers, chunksize)
-    for task, _seconds, stripped in worker_pool.run_tasks(tasks):
+    for task, seconds, stripped in worker_pool.run_tasks(tasks):
+        if on_unit is not None:
+            on_unit(UnitObservation(
+                kind=task.kind,
+                trials=len(task.positions),
+                seconds=seconds,
+                started_at=task.started_at,
+                worker=task.worker,
+            ))
         results = [
             replace(result, spec=specs[position])
             for result, position in zip(stripped, task.positions)

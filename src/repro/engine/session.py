@@ -45,7 +45,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Sequence, Union
 
 from repro.engine.campaign import Campaign
-from repro.engine.pool import POOL_CHOICES, ExecutionUnit, execute_plan
+from repro.engine.pool import POOL_CHOICES, ExecutionUnit, UnitObservation, execute_plan
 from repro.engine.spec import TrialResult, TrialSpec
 from repro.engine.trial import run_trial
 from repro.engine.vectorized import (
@@ -55,6 +55,8 @@ from repro.engine.vectorized import (
     vectorized_group_key,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry
+from repro.obs.trace import TraceRecorder
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.store.backend import ResultStore
@@ -79,6 +81,31 @@ __all__ = [
 
 #: Execution substrates the session can route a campaign through.
 ENGINE_CHOICES = ("auto", "vectorized", "object")
+
+# Session/store telemetry: planner demotions, row provenance, store cache
+# census outcomes and claim contention — all counters that merge across the
+# pool workers' registries (though these particular ones only move in the
+# session's own process).
+_PLAN_FALLBACKS = get_registry().counter(
+    "repro_plan_fallbacks_total",
+    "Specs the planner routed to the object engine, by fallback reason.",
+    labelnames=("reason",),
+)
+_SESSION_ROWS = get_registry().counter(
+    "repro_session_rows_total",
+    "Rows emitted by campaign sessions, by provenance (executed/cache/deferred).",
+    labelnames=("source",),
+)
+_STORE_CACHE_LOOKUPS = get_registry().counter(
+    "repro_store_cache_lookups_total",
+    "Store cache census outcomes across sessions (hit = served, not recomputed).",
+    labelnames=("outcome",),
+)
+_STORE_CLAIM_WAIT = get_registry().histogram(
+    "repro_store_claim_wait_seconds",
+    "Time spent waiting on trials claimed by concurrent sessions.",
+    buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0),
+)
 
 #: Lifecycle states a session moves through (strictly forward).
 SESSION_STATES = ("pending", "running", "finished", "cancelled", "failed")
@@ -109,6 +136,8 @@ def plan_specs(
         )
 
     def count_fallback(reason: FallbackReason, occurrences: int = 1) -> None:
+        if occurrences:
+            _PLAN_FALLBACKS.labels(reason=reason.value).inc(occurrences)
         if fallback_reasons is not None and occurrences:
             fallback_reasons[reason.value] = (
                 fallback_reasons.get(reason.value, 0) + occurrences
@@ -454,6 +483,7 @@ class CampaignSession:
         run_id: str | None = None,
         cache_stats: StoreCacheStats | None = None,
         fallback_reasons: dict[str, int] | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         if engine not in ENGINE_CHOICES:
             raise ConfigurationError(
@@ -481,6 +511,10 @@ class CampaignSession:
         self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:16]
         self.cache_stats = cache_stats if cache_stats is not None else StoreCacheStats()
         self.fallback_reasons = fallback_reasons if fallback_reasons is not None else {}
+        #: Optional per-session trace recorder: the session records phase and
+        #: per-unit spans (worker spans land on per-worker tracks) as it runs.
+        #: The caller owns writing the file — see ``--trace`` on the CLI.
+        self.trace = trace
 
         self._store_arg = store
         self._store: "ResultStore | None" = None
@@ -591,13 +625,14 @@ class CampaignSession:
             self._started = True
             self._state = "running"
             self._start_time = time.perf_counter()
+        start_epoch = time.time()
         try:
             try:
                 self._open_store()
                 if self._store is None:
-                    yield from self._events_plain()
+                    yield from self._traced(self._events_plain())
                 else:
-                    yield from self._events_stored()
+                    yield from self._traced(self._events_stored())
             except GeneratorExit:
                 self._cancel.set()
                 self._finish("cancelled")
@@ -607,7 +642,15 @@ class CampaignSession:
                 self._finish("failed")
                 raise
             self._finish("cancelled" if self._cancel.is_set() else "finished")
-            yield FinishedEvent(status=self.status())
+            finished = FinishedEvent(status=self.status())
+            if self.trace is not None:
+                self.trace.complete(
+                    "session", start_epoch, time.time() - start_epoch,
+                    category="lifecycle",
+                    args={"run_id": self.run_id, "state": self._state},
+                )
+                self._trace_instant(finished)
+            yield finished
         finally:
             self._close_store()
             if self._state == "running":  # pragma: no cover — belt and braces
@@ -652,6 +695,7 @@ class CampaignSession:
                     self._validity_failures += 1
             else:
                 self._errors += 1
+        _SESSION_ROWS.labels(source=source).inc()
         return RowEvent(position=position, result=result, source=source)
 
     def _fallback_events(self, before: dict[str, int]) -> list[FallbackEvent]:
@@ -669,6 +713,45 @@ class CampaignSession:
             cache_hits=self.cache_stats.hits,
             columnar_units=sum(1 for unit in units if unit.kind == "columnar"),
             object_units=sum(1 for unit in units if unit.kind == "object"),
+        )
+
+    def _trace_instant(self, event: SessionEvent) -> None:
+        if self.trace is not None:
+            self.trace.instant(event.type, category="session", args=event.to_dict())
+
+    def _traced(self, source: Iterator[SessionEvent]) -> Iterator[SessionEvent]:
+        """Mirror every non-row typed event into the trace as an instant marker."""
+        if self.trace is None:
+            yield from source
+            return
+        for event in source:
+            if not isinstance(event, RowEvent):
+                self._trace_instant(event)
+            yield event
+
+    def _run_unit_traced(
+        self, unit: ExecutionUnit, specs: Sequence[TrialSpec]
+    ) -> list[TrialResult]:
+        """Execute a unit inline, recording its span when tracing is on."""
+        if self.trace is None:
+            return _execute_unit(unit, specs)
+        start = time.time()
+        unit_result = _execute_unit(unit, specs)
+        self.trace.complete(
+            f"unit:{unit.kind}", start, time.time() - start,
+            category="execute", args={"trials": len(unit.positions)},
+        )
+        return unit_result
+
+    def _on_pool_unit(self, observation: UnitObservation) -> None:
+        """Place a pool-completed unit on its worker's trace track."""
+        if self.trace is None:
+            return
+        started = observation.started_at or (time.time() - observation.seconds)
+        self.trace.complete(
+            f"unit:{observation.kind}", started, observation.seconds,
+            track=observation.worker or "pool", category="execute",
+            args={"trials": observation.trials},
         )
 
     def _cancellable(self, units: Sequence[ExecutionUnit]) -> Iterator[ExecutionUnit]:
@@ -722,7 +805,7 @@ class CampaignSession:
             for unit in units:
                 if self._cancel.is_set():
                     return
-                unit_result = _execute_unit(unit, specs)
+                unit_result = self._run_unit_traced(unit, specs)
                 yield UnitCommittedEvent(unit.kind, unit.positions, committed=False)
                 yield from _drain(unit.positions, unit_result)
             return
@@ -732,7 +815,8 @@ class CampaignSession:
         # early (cancel) closes execute_plan, which drains in-flight units
         # without dispatching new ones.
         for positions, unit_result in execute_plan(
-            specs, list(self._cancellable(units)), workers, self.chunksize, self.pool
+            specs, list(self._cancellable(units)), workers, self.chunksize, self.pool,
+            on_unit=self._on_pool_unit if self.trace is not None else None,
         ):
             yield UnitCommittedEvent("task", tuple(positions), committed=False)
             yield from _drain(positions, unit_result)
@@ -770,6 +854,7 @@ class CampaignSession:
         # time, so a warm million-trial resume never materialises the
         # campaign.
         hit_keys: dict[int, str] = {}
+        census_start = time.time()
         if self.reuse_cached:
             servable = [key for spec, key in zip(specs, keys) if not spec.record_history]
             present = store.contains_keys(servable)
@@ -779,6 +864,14 @@ class CampaignSession:
         with self._lock:
             cache_stats.hits = len(hit_keys)
             cache_stats.misses = len(specs) - len(hit_keys)
+        _STORE_CACHE_LOOKUPS.labels(outcome="hit").inc(len(hit_keys))
+        _STORE_CACHE_LOOKUPS.labels(outcome="miss").inc(len(specs) - len(hit_keys))
+        if self.trace is not None:
+            self.trace.complete(
+                "cache-census", census_start, time.time() - census_start,
+                category="store",
+                args={"hits": len(hit_keys), "misses": len(specs) - len(hit_keys)},
+            )
         miss_positions = [position for position in range(len(specs)) if position not in hit_keys]
 
         # Claim the misses so concurrent sessions over this store split the
@@ -894,7 +987,7 @@ class CampaignSession:
                 for unit in units:
                     if self._cancel.is_set():
                         return
-                    unit_result = _execute_unit(unit, run_specs)
+                    unit_result = self._run_unit_traced(unit, run_specs)
                     _commit(unit.positions, unit_result)
                     yield UnitCommittedEvent(unit.kind, unit.positions, committed=True)
                     yield from _drain()
@@ -905,6 +998,7 @@ class CampaignSession:
                     self.workers,
                     self.chunksize,
                     self.pool,
+                    on_unit=self._on_pool_unit if self.trace is not None else None,
                 ):
                     _commit(local_positions, unit_result)
                     yield UnitCommittedEvent("task", tuple(local_positions), committed=True)
@@ -915,16 +1009,20 @@ class CampaignSession:
             # Wait out trials owned by other sessions, then recompute
             # leftovers.
             if deferred:
-                deadline = time.monotonic() + self.claim_wait_timeout
+                wait_start = time.monotonic()
+                deadline = wait_start + self.claim_wait_timeout
                 delay = 0.05
-                while deferred and time.monotonic() < deadline:
-                    if self._cancel.is_set():
-                        return
-                    before_count = len(deferred)
-                    yield from _drain()
-                    if deferred and len(deferred) == before_count:
-                        time.sleep(delay)
-                        delay = min(delay * 1.6, 1.0)
+                try:
+                    while deferred and time.monotonic() < deadline:
+                        if self._cancel.is_set():
+                            return
+                        before_count = len(deferred)
+                        yield from _drain()
+                        if deferred and len(deferred) == before_count:
+                            time.sleep(delay)
+                            delay = min(delay * 1.6, 1.0)
+                finally:
+                    _STORE_CLAIM_WAIT.observe(time.monotonic() - wait_start)
             if deferred and not self._cancel.is_set():
                 # The owning session never committed (crashed or stuck):
                 # finish its share ourselves.  Last-write-wins commits keep
@@ -936,7 +1034,7 @@ class CampaignSession:
                 ):
                     if self._cancel.is_set():
                         return
-                    unit_result = _execute_unit(unit, retry_specs)
+                    unit_result = self._run_unit_traced(unit, retry_specs)
                     store.put_results(
                         (keys[retry_positions[local]], result)
                         for local, result in zip(unit.positions, unit_result)

@@ -113,6 +113,7 @@ __all__ = [
     "vectorization_fallback",
     "spec_is_vectorizable",
     "vectorized_group_key",
+    "vectorized_stats_snapshot",
     "run_specs_vectorized",
 ]
 
@@ -162,6 +163,22 @@ _MEMO_LIMIT = 200_000
 _CHOOSERS: dict[int, SafeAreaCalculator] = {}
 _DECISION_MEMO: dict[tuple, np.ndarray] = {}
 _POINT_MEMO: dict[tuple, "np.ndarray | None | _LoudFailure"] = {}
+
+#: Cumulative memo-cache telemetry for this process (hits avoid a Gamma/LP
+#: solve entirely; evictions count whole-cache flushes at :data:`_MEMO_LIMIT`).
+#: Published into the metrics registry by delta — see ``vectorized_stats_snapshot``.
+_VEC_STATS: dict[str, int] = {
+    "decision_memo_hits": 0,
+    "decision_memo_misses": 0,
+    "point_memo_hits": 0,
+    "point_memo_misses": 0,
+    "memo_evictions": 0,
+}
+
+
+def vectorized_stats_snapshot() -> dict[str, int]:
+    """Point-in-time copy of the columnar engine's memo-cache counters."""
+    return dict(_VEC_STATS)
 
 
 def _shared_chooser(fault_bound: int) -> SafeAreaCalculator:
@@ -350,6 +367,7 @@ def _run_broadcast_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             results.append(_error_result(spec, error))
     if len(_DECISION_MEMO) > _MEMO_LIMIT:
         _DECISION_MEMO.clear()
+        _VEC_STATS["memo_evictions"] += 1
     return results
 
 
@@ -382,7 +400,10 @@ def _execute_broadcast_trial(
     if protocol == "exact":
         cloud_key = _memo_key(spec.fault_bound, cloud)
         if cloud_key not in _DECISION_MEMO:
+            _VEC_STATS["decision_memo_misses"] += 1
             _DECISION_MEMO[cloud_key] = chooser.choose(cloud)
+        else:
+            _VEC_STATS["decision_memo_hits"] += 1
         decision = _DECISION_MEMO[cloud_key]
     else:
         decision = coordinatewise_decision(cloud)
@@ -702,6 +723,7 @@ def _run_restricted_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
         live = still_live
         if len(_POINT_MEMO) > _MEMO_LIMIT:
             _POINT_MEMO.clear()
+            _VEC_STATS["memo_evictions"] += 1
 
     return [results[position] for position in range(len(specs))]
 
@@ -736,7 +758,10 @@ def _round_view_updates(
     for clouds in view_clouds.values():
         for cloud in clouds:
             cloud_key = _memo_key(fault_bound, cloud)
-            if cloud_key not in _POINT_MEMO and cloud_key not in pending:
+            if cloud_key in _POINT_MEMO:
+                _VEC_STATS["point_memo_hits"] += 1
+            elif cloud_key not in pending:
+                _VEC_STATS["point_memo_misses"] += 1
                 pending[cloud_key] = cloud
     if pending:
         try:
@@ -1033,3 +1058,30 @@ def _async_skeleton(
         messages_sent=result.traffic.messages_sent,
         messages_dropped=result.traffic.messages_dropped,
     )
+
+
+def _register_vectorized_metrics() -> None:
+    """Publish the memo-cache counters into the process metrics registry."""
+    from repro.obs.registry import CounterSync, get_registry
+
+    registry = get_registry()
+    events = registry.counter(
+        "repro_vectorized_events_total",
+        "Columnar engine memo-cache events (hits, misses, evictions) by kind.",
+        labelnames=("kind",),
+    )
+    registry.register_collector(CounterSync(events, vectorized_stats_snapshot))
+    sizes = registry.gauge(
+        "repro_vectorized_memo_size",
+        "Entries currently held by the cross-round memo caches.",
+        labelnames=("cache",),
+    )
+    registry.register_collector(
+        lambda: (
+            sizes.labels(cache="decision").set(len(_DECISION_MEMO)),
+            sizes.labels(cache="point").set(len(_POINT_MEMO)),
+        )
+    )
+
+
+_register_vectorized_metrics()

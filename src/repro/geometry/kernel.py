@@ -55,7 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 from math import comb
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 import numpy as np
 from scipy.sparse import csc_matrix
@@ -401,13 +401,26 @@ class KernelStats:
     blocks_assembled: int = 0
     blocks_pruned_away: int = 0
 
+    #: Every counter field, in exposition order.  ``as_dict``/``snapshot``
+    #: and the observability bridge iterate this instead of hard-coding names.
+    FIELDS: ClassVar[tuple[str, ...]] = (
+        "single_queries", "batch_queries", "batch_calls",
+        "multi_queries", "multi_calls", "multi_dedup_hits", "lp_solves",
+        "dense_solves", "relaxed_solves", "template_hits",
+        "template_misses", "blocks_assembled", "blocks_pruned_away",
+    )
+
     def as_dict(self) -> dict[str, int]:
-        return {name: int(getattr(self, name)) for name in (
-            "single_queries", "batch_queries", "batch_calls",
-            "multi_queries", "multi_calls", "multi_dedup_hits", "lp_solves",
-            "dense_solves", "relaxed_solves", "template_hits",
-            "template_misses", "blocks_assembled", "blocks_pruned_away",
-        )}
+        return {name: int(getattr(self, name)) for name in self.FIELDS}
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of every counter (the documented read API).
+
+        This is what the metrics registry consumes: cumulative totals, safe
+        to diff across calls.  Alias of :meth:`as_dict`, kept separate so the
+        observability contract survives future ``as_dict`` format changes.
+        """
+        return self.as_dict()
 
 
 class GammaKernel:
@@ -448,8 +461,25 @@ class GammaKernel:
 
     # -- cache -------------------------------------------------------------------
 
-    def reset_stats(self) -> None:
+    def stats_snapshot(self) -> dict[str, int]:
+        """Cumulative counter totals for this kernel (see :meth:`KernelStats.snapshot`)."""
+        return self.stats.snapshot()
+
+    def reset_stats(self) -> KernelStats:
+        """Zero the counters, returning the pre-reset :class:`KernelStats`.
+
+        Snapshot-and-reset in one step: benchmarks and the metrics registry
+        use the returned object (or :meth:`stats_snapshot` beforehand) instead
+        of reaching into kernel internals.
+        """
+        previous = self.stats
         self.stats = KernelStats()
+        return previous
+
+    @property
+    def template_cache_size(self) -> int:
+        """Number of LP constraint templates currently cached."""
+        return len(self._templates)
 
     def clear_cache(self) -> None:
         self._templates.clear()
@@ -934,6 +964,37 @@ class GammaKernel:
 
 #: Shared kernel used by the protocol layer (``SafeAreaCalculator`` et al.).
 default_kernel = GammaKernel()
+
+
+def _register_kernel_metrics() -> None:
+    """Bridge the shared kernel's stats into the process metrics registry.
+
+    All protocol code solves through :data:`default_kernel`, so publishing its
+    cumulative counters (by delta, at collection time) covers the kernel layer
+    in both the parent process and every pool worker — worker registries ship
+    the resulting counters back over the result pipes.
+    """
+    from repro.obs.registry import CounterSync, get_registry
+
+    registry = get_registry()
+    events = registry.counter(
+        "repro_kernel_events_total",
+        "Gamma kernel events (queries, solves, cache hits) by kind.",
+        labelnames=("kind",),
+    )
+    registry.register_collector(CounterSync(events, default_kernel.stats_snapshot))
+    registry.gauge(
+        "repro_kernel_template_cache_size",
+        "LP constraint templates currently cached by the shared kernel.",
+    )
+    registry.register_collector(
+        lambda: registry.gauge("repro_kernel_template_cache_size").set(
+            default_kernel.template_cache_size
+        )
+    )
+
+
+_register_kernel_metrics()
 
 
 def safe_area_point_kernel(

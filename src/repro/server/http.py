@@ -16,7 +16,10 @@ cleanly.
 Resources::
 
     GET  /healthz                     liveness + service bounds
-    GET  /metrics                     per-API-key accounting + run states
+    GET  /metrics                     accounting + run states + pool/telemetry
+                                      (``?format=prometheus`` or an Accept
+                                      header naming text exposition switches
+                                      to the Prometheus v0.0.4 text format)
     GET  /store/stats                 store row/claim counters
     GET  /store/claims                outstanding claims (age, owner)
     GET  /store/query?...             filtered trial rows (ETag)
@@ -43,10 +46,12 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import time
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry
 from repro.server.service import CampaignService, ServiceError
 from repro.store.keys import ENGINE_VERSION
 from repro.store.query import TrialFilter
@@ -81,6 +86,76 @@ _STATUS_TEXT = {
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
+
+#: Prometheus text exposition content type (v0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Routes the latency histogram may label.  Unknown paths collapse to
+# "other" so a scanner probing random URLs cannot explode label cardinality.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/",
+        "/healthz",
+        "/metrics",
+        "/store/stats",
+        "/store/claims",
+        "/store/query",
+        "/store/aggregate",
+        "/store/export",
+        "/campaigns",
+    }
+)
+
+_HTTP_REQUESTS = get_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests dispatched, by normalised route.",
+    labelnames=("route",),
+)
+_HTTP_LATENCY = get_registry().histogram(
+    "repro_http_request_seconds",
+    "Request handling latency (parse excluded, streaming included), by route.",
+    labelnames=("route",),
+)
+_HTTP_KEEPALIVE_REUSE = get_registry().counter(
+    "repro_http_keepalive_reuse_total",
+    "Requests served on an already-used keep-alive connection.",
+)
+_HTTP_NOT_MODIFIED = get_registry().counter(
+    "repro_http_not_modified_total",
+    "Conditional requests answered with a bodyless 304, by route.",
+    labelnames=("route",),
+)
+_HTTP_STREAMS = get_registry().counter(
+    "repro_http_ndjson_streams_total",
+    "Chunked NDJSON streaming responses started, by route.",
+    labelnames=("route",),
+)
+
+
+def _wants_prometheus(request: "Request") -> bool:
+    """Content negotiation for ``/metrics``: query param wins, then Accept.
+
+    ``?format=prometheus`` (or ``json``) is explicit; otherwise an Accept
+    header naming a text exposition type selects Prometheus, and the JSON
+    payload remains the default for untyped clients.
+    """
+    explicit = request.param("format")
+    if explicit is not None:
+        return explicit == "prometheus"
+    accept = request.headers.get("accept", "")
+    return "application/openmetrics-text" in accept or "text/plain" in accept
+
+
+def _route_label(path: str) -> str:
+    """Normalise a request path to a bounded-cardinality route label."""
+    path = path.rstrip("/") or "/"
+    if path.startswith("/campaigns/"):
+        tail = path.split("/")[3:]
+        suffix = tail[0] if tail else ""
+        if suffix in ("rows", "cancel"):
+            return f"/campaigns/{{run_id}}/{suffix}"
+        return "/campaigns/{run_id}" if not tail else "other"
+    return path if path in _KNOWN_ROUTES else "other"
 
 
 class HttpError(Exception):
@@ -257,6 +332,19 @@ async def _send_empty(
     await writer.drain()
 
 
+async def _send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    close: bool = True,
+) -> None:
+    body = text.encode("utf-8")
+    headers = {"content-type": content_type, "content-length": str(len(body))}
+    writer.write(_response_head(status, headers, close) + body)
+    await writer.drain()
+
+
 class _ChunkedWriter:
     """Chunked transfer encoding over a StreamWriter (for NDJSON streams).
 
@@ -323,6 +411,8 @@ class RequestHandler:
                 if request is None:
                     return  # EOF or idle timeout — close quietly
                 served += 1
+                if served > 1:
+                    _HTTP_KEEPALIVE_REUSE.inc()
                 state = _ConnectionState(
                     keep_alive=request.keep_alive
                     and served < MAX_REQUESTS_PER_CONNECTION
@@ -361,6 +451,22 @@ class RequestHandler:
     async def dispatch(
         self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
     ) -> None:
+        """Route one request, timing it under the per-route histogram.
+
+        The timer covers handler work including streamed bodies; failures are
+        observed too (the finally), so error latency is not invisible.
+        """
+        route = _route_label(request.path)
+        _HTTP_REQUESTS.labels(route=route).inc()
+        started = time.perf_counter()
+        try:
+            await self._route(request, writer, state)
+        finally:
+            _HTTP_LATENCY.labels(route=route).observe(time.perf_counter() - started)
+
+    async def _route(
+        self, request: Request, writer: asyncio.StreamWriter, state: _ConnectionState
+    ) -> None:
         service = self.service
         # Plain-lock counter bump: cheap enough to run inline on the loop
         # (no executor round trip per request).
@@ -381,6 +487,12 @@ class RequestHandler:
             )
             return
         if method == "GET" and path == "/metrics":
+            if _wants_prometheus(request):
+                text = await asyncio.to_thread(service.prometheus_metrics)
+                await _send_text(
+                    writer, 200, text, PROMETHEUS_CONTENT_TYPE, close=state.close
+                )
+                return
             await _send_json(
                 writer, 200, await asyncio.to_thread(service.metrics), close=state.close
             )
@@ -462,6 +574,7 @@ class RequestHandler:
             raise HttpError(400, "limit must be a positive integer")
         etag, current = await self._revalidate(request, trial_filter.to_where())
         if current:
+            _HTTP_NOT_MODIFIED.labels(route="/store/query").inc()
             await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
         rows = await asyncio.to_thread(self.service.query_rows, trial_filter, limit)
@@ -483,6 +596,7 @@ class RequestHandler:
         trial_filter = self._trial_filter(request)
         etag, current = await self._revalidate(request, trial_filter.to_where())
         if current:
+            _HTTP_NOT_MODIFIED.labels(route="/store/aggregate").inc()
             await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
         try:
@@ -506,10 +620,12 @@ class RequestHandler:
         where["engine_version"] = request.param("engine_version", ENGINE_VERSION)
         etag, current = await self._revalidate(request, where)
         if current:
+            _HTTP_NOT_MODIFIED.labels(route="/store/export").inc()
             await _send_empty(writer, 304, {"etag": etag}, close=state.close)
             return
         stream = _ChunkedWriter(writer, state)
         await stream.start({"etag": etag})
+        _HTTP_STREAMS.labels(route="/store/export").inc()
         sent = 0
         after_key: str | None = None
         while True:
@@ -607,6 +723,7 @@ class RequestHandler:
         loop = asyncio.get_running_loop()
         try:
             await stream.start({"x-run-id": run_id})
+            _HTTP_STREAMS.labels(route="/campaigns/{run_id}/rows").inc()
             while True:
                 # Register the waiter *before* snapshotting: a row appended
                 # after the snapshot wakes the event, so nothing is missed.
@@ -665,6 +782,7 @@ def run_server(
     max_pending: int = 8,
     ready: Callable[[str, int], None] | None = None,
     idle_timeout: float = IDLE_TIMEOUT_SECONDS,
+    trace_dir: str | None = None,
 ) -> None:
     """Blocking convenience entry point (the CLI's ``repro serve``)."""
     service = CampaignService(
@@ -673,6 +791,7 @@ def run_server(
         workers=workers,
         max_active=max_active,
         max_pending=max_pending,
+        trace_dir=trace_dir,
     )
     try:
         asyncio.run(serve(service, host=host, port=port, ready=ready, idle_timeout=idle_timeout))

@@ -52,9 +52,11 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.engine.campaign import Campaign
-from repro.engine.pool import POOL_CHOICES, shutdown_pools
+from repro.engine.pool import POOL_CHOICES, pool_metrics, shutdown_pools
 from repro.engine.session import ENGINE_CHOICES, CampaignSession, RowEvent
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry, render_prometheus, snapshot_jsonable
+from repro.obs.trace import TraceRecorder
 from repro.store.backend import open_store
 from repro.store.query import TrialFilter, aggregate_store, query_store
 
@@ -188,6 +190,7 @@ class CampaignService:
         max_active: int = 2,
         max_pending: int = 8,
         claim_wait_timeout: float = 60.0,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.store_path = Path(store_path)
         self.backend = backend
@@ -195,6 +198,9 @@ class CampaignService:
         self.max_active = max_active
         self.max_pending = max_pending
         self.claim_wait_timeout = claim_wait_timeout
+        #: When set, every submitted run records a Chrome trace written to
+        #: ``<trace_dir>/<run_id>.json`` as the run retires.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._executor = ThreadPoolExecutor(
             max_workers=max_active, thread_name_prefix="campaign-session"
         )
@@ -259,7 +265,19 @@ class CampaignService:
             for handle in self._runs.values():
                 state = handle.session.state
                 states[state] = states.get(state, 0) + 1
-        return {"api_keys": per_key, "runs": states}
+        return {
+            "api_keys": per_key,
+            "runs": states,
+            # Worker-pool state was historically absent from this payload;
+            # crash recoveries and seat occupancy live here now so the JSON
+            # and Prometheus views agree.
+            "pool": pool_metrics(),
+            "telemetry": snapshot_jsonable(get_registry().snapshot()),
+        }
+
+    def prometheus_metrics(self) -> str:
+        """The process registry in Prometheus text exposition format."""
+        return render_prometheus(get_registry())
 
     # -- campaign lifecycle --------------------------------------------------
 
@@ -314,6 +332,7 @@ class CampaignService:
                 reuse_cached=resume,
                 pool=pool,
                 claim_wait_timeout=self.claim_wait_timeout,
+                trace=TraceRecorder() if self.trace_dir is not None else None,
             )
             handle = RunHandle(
                 run_id=session.run_id,
@@ -337,6 +356,11 @@ class CampaignService:
             pass
         finally:
             handle.mark_finished()
+            if self.trace_dir is not None and handle.session.trace is not None:
+                try:
+                    handle.session.trace.write(self.trace_dir / f"{handle.run_id}.json")
+                except OSError:
+                    pass  # tracing is best-effort; the run itself succeeded
 
     def get(self, run_id: str) -> RunHandle:
         with self._lock:

@@ -53,6 +53,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from repro.engine.executor import iter_jsonl
 from repro.engine.spec import TrialResult
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry
 from repro.store.keys import ENGINE_VERSION, trial_key
 
 __all__ = [
@@ -127,6 +128,33 @@ def _check_where(where: Mapping[str, Any] | None) -> dict[str, Any]:
             f"indexed columns are {', '.join(INDEXED_COLUMNS)}"
         )
     return dict(where)
+
+
+# Store-layer telemetry (see docs/OBSERVABILITY.md).  Families are created at
+# import; every instrumented site is a no-op when the registry is disabled.
+_STORE_ROWS_WRITTEN = get_registry().counter(
+    "repro_store_rows_written_total",
+    "Trial rows committed to a result store, by backend.",
+    labelnames=("backend",),
+)
+_STORE_GENERATION_BUMPS = get_registry().counter(
+    "repro_store_generation_bumps_total",
+    "Mutating commits that advanced a store's generation counter.",
+    labelnames=("backend",),
+)
+_STORE_CLAIMS = get_registry().counter(
+    "repro_store_claims_total",
+    "Cross-process claim requests, by outcome (granted = this owner computes "
+    "the key; denied = another live owner already holds it).",
+    labelnames=("outcome",),
+)
+
+
+def _count_claims(granted: int, requested: int) -> None:
+    if granted:
+        _STORE_CLAIMS.labels(outcome="granted").inc(granted)
+    if requested > granted:
+        _STORE_CLAIMS.labels(outcome="denied").inc(requested - granted)
 
 
 class ResultStore(ABC):
@@ -260,6 +288,7 @@ class ResultStore(ABC):
         (JSONL directories) have no cross-process story, and granting all
         claims reduces the executor to its ordinary single-process path.
         """
+        _count_claims(granted=len(keys), requested=len(keys))
         return set(keys)
 
     def release_claims(self, keys: Sequence[str], owner: str) -> int:
@@ -479,6 +508,9 @@ class SqliteResultStore(ResultStore):
             )
             if records:
                 self._connection.execute(_BUMP_GENERATION)
+        if records:
+            _STORE_ROWS_WRITTEN.labels(backend=self.backend_name).inc(len(records))
+            _STORE_GENERATION_BUMPS.labels(backend=self.backend_name).inc()
         return len(records)
 
     def claim_keys(self, keys: Sequence[str], owner: str) -> set[str]:
@@ -519,6 +551,7 @@ class SqliteResultStore(ResultStore):
         except BaseException:
             self._connection.rollback()
             raise
+        _count_claims(granted=len(granted), requested=len(keys))
         return granted
 
     def release_claims(self, keys: Sequence[str], owner: str) -> int:
@@ -590,6 +623,8 @@ class SqliteResultStore(ResultStore):
                 deleted += cursor.rowcount
             if deleted:
                 self._connection.execute(_BUMP_GENERATION)
+        if deleted:
+            _STORE_GENERATION_BUMPS.labels(backend=self.backend_name).inc()
         return deleted
 
     def __len__(self) -> int:
@@ -610,6 +645,8 @@ class SqliteResultStore(ResultStore):
             )
             if cursor.rowcount:
                 self._connection.execute(_BUMP_GENERATION)
+        if cursor.rowcount:
+            _STORE_GENERATION_BUMPS.labels(backend=self.backend_name).inc()
         return cursor.rowcount
 
     def stats(self) -> dict[str, Any]:
@@ -733,6 +770,7 @@ class JsonlDirectoryStore(ResultStore):
             return 0
 
     def _bump_generation(self) -> None:
+        _STORE_GENERATION_BUMPS.labels(backend=self.backend_name).inc()
         self._generation = self._disk_generation() + 1
         meta = self.path / self._META_NAME
         replacement = meta.with_suffix(".json.tmp")
@@ -794,6 +832,7 @@ class JsonlDirectoryStore(ResultStore):
             for entry in shard_entries:
                 self._entries[entry.key] = entry
         if entries:
+            _STORE_ROWS_WRITTEN.labels(backend=self.backend_name).inc(len(entries))
             self._bump_generation()
         return len(entries)
 

@@ -36,6 +36,7 @@ from repro.engine.pool import (
     execute_plan,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import get_registry, snapshot_delta
 
 
 def _mixed_specs(count: int = 12) -> list[TrialSpec]:
@@ -227,6 +228,35 @@ class TestPersistentPoolLifecycle:
         results = list(execute_specs(specs, workers=2))
         assert len(results) == len(specs)
         assert [result.spec.trial_index for result in results] == list(range(len(specs)))
+
+
+class TestPoolTelemetry:
+    def test_worker_registry_deltas_merge_into_the_parent(self):
+        campaign = Campaign.from_grid(
+            "pool-telemetry",
+            protocols=("exact",),
+            adversaries=("crash",),
+            dimensions=(1, 2),
+            repeats=2,
+            base_seed=13,
+        )
+        registry = get_registry()
+        before = registry.snapshot()
+        summary, _ = run_campaign(campaign, workers=2, engine="object")
+        assert summary.errors == 0
+        delta = snapshot_delta(registry.snapshot(), before)
+
+        trials = sum(delta["repro_pool_trials_total"]["samples"].values())
+        assert trials == summary.trials == len(campaign)
+        units = sum(delta["repro_pool_units_total"]["samples"].values())
+        seconds = delta["repro_pool_unit_seconds"]["samples"]
+        assert sum(sample["count"] for sample in seconds.values()) == units
+
+        # The exact protocol's LP solves only ever run inside the fork
+        # workers for a workers=2 object-engine campaign, so kernel counters
+        # moving in *this* process proves the piped worker deltas merged.
+        kernel = delta.get("repro_kernel_events_total", {"samples": {}})
+        assert sum(kernel["samples"].values()) > 0
 
 
 class TestColumnarFanout:

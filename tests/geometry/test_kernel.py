@@ -30,6 +30,7 @@ from repro.core.safe_area import (
 from repro.exceptions import EmptyIntersectionError, GeometryError
 from repro.geometry.kernel import (
     GammaKernel,
+    KernelStats,
     full_subset_family,
     pruned_subset_family,
     safe_area_interval_1d,
@@ -297,7 +298,7 @@ class TestTemplateCacheAndStats:
         kernel = GammaKernel(max_cached_templates=2, dense_crossover=0)
         for point_count in (5, 6, 7, 8):
             kernel.point(rng.uniform(size=(point_count, 2)), 1)
-        assert len(kernel._templates) <= 2
+        assert kernel.template_cache_size <= 2
         with pytest.raises(GeometryError):
             GammaKernel(max_cached_templates=0)
         with pytest.raises(GeometryError):
@@ -308,14 +309,26 @@ class TestTemplateCacheAndStats:
         kernel = GammaKernel()
         kernel.point(rng.uniform(size=(5, 2)), 1)
         assert kernel.stats.single_queries == 1
-        kernel.reset_stats()
+        previous = kernel.reset_stats()
+        assert previous.single_queries == 1  # snapshot-and-reset returns the old stats
         assert kernel.stats.single_queries == 0
         kernel.clear_cache()
-        assert len(kernel._templates) == 0
+        assert kernel.template_cache_size == 0
 
     def test_stats_as_dict_round_trip(self):
         stats = GammaKernel().stats.as_dict()
         assert set(stats) >= {"single_queries", "lp_solves", "template_hits"}
+        assert stats == GammaKernel().stats_snapshot()
+
+    def test_snapshot_is_a_copy(self):
+        kernel = GammaKernel()
+        before = kernel.stats_snapshot()
+        rng = np.random.default_rng(14)
+        kernel.point(rng.uniform(size=(5, 2)), 1)
+        after = kernel.stats_snapshot()
+        assert before["single_queries"] == 0
+        assert after["single_queries"] == 1
+        assert set(after) == set(KernelStats.FIELDS)
 
 
 class TestScalarInterval:

@@ -451,6 +451,59 @@ class TestHttpServer:
             )
             assert status == 200 and payload["api_keys"]["carol"]["requests"] == 1
 
+    def test_metrics_surfaces_pool_state_and_telemetry(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            status, headers, payload = _get_json(server.url("/metrics"))
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+            for key in ("crash_recoveries", "busy_seats", "cost_model_probes"):
+                assert key in payload["pool"]
+            assert "repro_http_requests_total" in payload["telemetry"]
+
+    @staticmethod
+    def _scrape_counter(text: str, sample: str) -> float:
+        for line in text.splitlines():
+            if line.startswith(sample + " "):
+                return float(line.rpartition(" ")[2])
+        raise AssertionError(f"{sample} not found in exposition")
+
+    def test_metrics_prometheus_variant(self, tmp_path):
+        with _serving(tmp_path / "store.db") as server:
+            status, headers, body = _http(
+                "GET", server.url("/metrics?format=prometheus")
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            text = body.decode("utf-8")
+            assert "# TYPE repro_http_requests_total counter" in text
+            assert "# TYPE repro_http_request_seconds histogram" in text
+            first = self._scrape_counter(
+                text, 'repro_http_requests_total{route="/metrics"}'
+            )
+
+            # Accept-header negotiation reaches the same exposition, and the
+            # request counter is monotonic across the two scrapes.
+            status, headers, body = _http(
+                "GET",
+                server.url("/metrics"),
+                headers={"Accept": "application/openmetrics-text"},
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            second = self._scrape_counter(
+                body.decode("utf-8"), 'repro_http_requests_total{route="/metrics"}'
+            )
+            assert second >= first + 1
+
+            # An explicit JSON ask still wins over the Accept header.
+            status, headers, _ = _http(
+                "GET",
+                server.url("/metrics?format=json"),
+                headers={"Accept": "text/plain"},
+            )
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+
     def test_query_with_etag_revalidation(self, tmp_path):
         store_path = tmp_path / "store.db"
         declaration = _declaration(3)
